@@ -1,0 +1,42 @@
+// Figure 4: RNN training log loss vs sessions processed on MPU, with
+// epoch boundaries. The paper trains 8 epochs; the bench default is 4
+// (PP_BENCH_FULL=1 restores 8). The expected shape: a steep first-epoch
+// drop, then slow decay with visible per-epoch ripples.
+#include "bench/common.hpp"
+
+using namespace pp;
+using namespace pp::bench;
+
+int main() {
+  auto config = mpu_config();
+  config.mean_events_per_day = bench_full() ? 80.0 : 18.0;
+  const data::Dataset dataset = data::generate_mpu(config);
+  const BenchSplit split = make_split(dataset.users.size());
+
+  auto rnn_config = rnn_config_for(dataset);
+  rnn_config.epochs = bench_full() ? 8 : 4;
+  models::RnnModel rnn(dataset, rnn_config);
+  const train::TrainingCurve curve = rnn.fit(dataset, split.train);
+
+  // Downsample the minibatch series to ~40 printed points.
+  Table table({"sessions_processed", "log_loss"});
+  const std::size_t stride =
+      std::max<std::size_t>(1, curve.minibatch_loss.size() / 40);
+  for (std::size_t i = 0; i < curve.minibatch_loss.size(); i += stride) {
+    table.row()
+        .cell(static_cast<long long>(curve.sessions_processed[i]))
+        .cell(curve.minibatch_loss[i], 4);
+  }
+  table.print("Figure 4: training log loss vs sessions processed (MPU)");
+
+  Table epochs({"epoch", "ends_at_sessions"});
+  for (std::size_t e = 0; e < curve.epoch_boundaries.size(); ++e) {
+    epochs.row()
+        .cell(static_cast<long long>(e + 1))
+        .cell(static_cast<long long>(curve.epoch_boundaries[e]));
+  }
+  epochs.print("Epoch boundaries (the vertical lines in Figure 4)");
+  std::printf("final epoch mean log loss: %.4f\n",
+              curve.final_epoch_mean_loss);
+  return 0;
+}

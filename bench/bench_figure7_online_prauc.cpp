@@ -1,0 +1,143 @@
+// Figure 7 + the §9 online experiment. Trains the RNN and GBDT models on
+// MobileTab training users, picks per-model thresholds targeting 60%
+// precision on validation (the production policy), then replays a cohort
+// of held-out users with EMPTY serving state through both production
+// pipelines day by day.
+//
+// Reproduced artifacts:
+//   Figure 7: per-day online PR-AUC for both models (cold-start warmup;
+//             the paper sees the RNN stabilize in ~14 days, consistently
+//             above GBDT).
+//   §9 recall: recall at the 60%-precision threshold (paper: RNN 51.1% vs
+//             GBDT 47.4% -> +7.81% successful prefetches).
+//   §9 costs: KV lookups per prediction (1 vs ~20), storage footprint,
+//             and the end-to-end serving cost ratio (~10x).
+#include "bench/common.hpp"
+#include "serving/online_experiment.hpp"
+
+using namespace pp;
+using namespace pp::bench;
+
+int main() {
+  auto config = mobile_tab_config();
+  const data::Dataset dataset = data::generate_mobile_tab(config);
+  const BenchSplit split = make_split(dataset.users.size());
+  const std::int64_t eval_from = dataset.end_time - 7 * 86400;
+  const std::int64_t train_from = eval_from;
+
+  // ---- train both models ----
+  std::fprintf(stderr, "[bench] training RNN\n");
+  auto rnn_config = rnn_config_for(dataset);
+  rnn_config.epochs += 1;  // the online claim is data-hungry (§9 Tradeoffs)
+  models::RnnModel rnn(dataset, rnn_config);
+  rnn.fit(dataset, split.train);
+
+  std::fprintf(stderr, "[bench] training GBDT\n");
+  features::FeaturePipeline pipeline(dataset.schema, {},
+                                     features::gbdt_encoding());
+  const auto gbdt_train = features::build_session_examples(
+      dataset, split.gbdt_train, pipeline, train_from, 0, 2);
+  const auto gbdt_valid = features::build_session_examples(
+      dataset, split.gbdt_valid, pipeline, train_from, 0, 2);
+  models::GbdtModel gbdt;
+  gbdt.fit(gbdt_train, gbdt_valid, gbdt_config());
+
+  // ---- thresholds targeting 60% precision on validation users ----
+  const auto rnn_valid =
+      rnn.score(dataset, split.gbdt_valid, eval_from, 0, 2);
+  const double rnn_threshold = eval::threshold_for_precision(
+      rnn_valid.scores, rnn_valid.labels, 0.6);
+  const auto gbdt_valid_eval = features::build_session_examples(
+      dataset, split.gbdt_valid, pipeline, eval_from, 0, 2);
+  const auto gbdt_valid_scores = gbdt.predict(gbdt_valid_eval);
+  const double gbdt_threshold = eval::threshold_for_precision(
+      gbdt_valid_scores, gbdt_valid_eval.labels, 0.6);
+  std::fprintf(stderr, "[bench] thresholds: rnn=%.3f gbdt=%.3f\n",
+               rnn_threshold, gbdt_threshold);
+
+  // ---- online replay on a fresh cohort ----
+  std::fprintf(stderr, "[bench] online replay (%zu cohort users)\n",
+               split.test.size());
+  serving::OnlineExperimentConfig exp_config;
+  exp_config.rnn_threshold = rnn_threshold;
+  exp_config.gbdt_threshold = gbdt_threshold;
+  const serving::OnlineExperimentResult result = serving::run_online_experiment(
+      dataset, split.test, rnn, gbdt, pipeline, exp_config);
+
+  Table fig7({"day", "RNN_pr_auc", "GBDT_pr_auc"});
+  for (std::size_t d = 0; d < result.rnn.daily_pr_auc.size(); ++d) {
+    fig7.row()
+        .cell(static_cast<long long>(d + 1))
+        .cell(result.rnn.daily_pr_auc[d], 3)
+        .cell(d < result.gbdt.daily_pr_auc.size()
+                  ? result.gbdt.daily_pr_auc[d]
+                  : 0.0,
+              3);
+  }
+  fig7.print(
+      "Figure 7: online PR-AUC by day, cohort starting with empty serving "
+      "state (paper: RNN warms up over ~14 days, consistently above GBDT)");
+
+  Table recall({"model", "online_precision", "online_recall",
+                "successful_prefetches", "wasted_prefetches"});
+  recall.row()
+      .cell("RNN")
+      .cell(result.rnn.precision, 3)
+      .cell(result.rnn.recall, 3)
+      .cell(static_cast<long long>(result.rnn.successful_prefetches))
+      .cell(static_cast<long long>(result.rnn.prefetches -
+                                   result.rnn.successful_prefetches));
+  recall.row()
+      .cell("GBDT")
+      .cell(result.gbdt.precision, 3)
+      .cell(result.gbdt.recall, 3)
+      .cell(static_cast<long long>(result.gbdt.successful_prefetches))
+      .cell(static_cast<long long>(result.gbdt.prefetches -
+                                   result.gbdt.successful_prefetches));
+  recall.print(
+      "Section 9: online operating point at the 60%-precision threshold "
+      "(paper: recall 51.1% RNN vs 47.4% GBDT)");
+  const double lift =
+      static_cast<double>(result.rnn.successful_prefetches) /
+          std::max<std::size_t>(result.gbdt.successful_prefetches, 1) -
+      1.0;
+  std::printf("successful-prefetch lift RNN vs GBDT: %+.2f%% (paper: "
+              "+7.81%%)\n\n",
+              lift * 100.0);
+
+  Table costs({"metric", "RNN", "GBDT", "GBDT/RNN"});
+  const auto& rc = result.rnn.costs;
+  const auto& gc = result.gbdt.costs;
+  auto ratio = [](double a, double b) { return b > 0 ? a / b : 0.0; };
+  costs.row()
+      .cell("KV lookups / prediction")
+      .cell(rc.lookups_per_prediction(), 2)
+      .cell(gc.lookups_per_prediction(), 2)
+      .cell(ratio(gc.lookups_per_prediction(), rc.lookups_per_prediction()),
+            1);
+  costs.row()
+      .cell("KV bytes read / prediction")
+      .cell(static_cast<double>(rc.kv.bytes_read) / rc.predictions, 1)
+      .cell(static_cast<double>(gc.kv.bytes_read) / gc.predictions, 1)
+      .cell(ratio(static_cast<double>(gc.kv.bytes_read),
+                  static_cast<double>(rc.kv.bytes_read)),
+            1);
+  costs.row()
+      .cell("live KV keys (state)")
+      .cell(static_cast<long long>(rc.live_keys))
+      .cell(static_cast<long long>(gc.live_keys))
+      .cell(ratio(static_cast<double>(gc.live_keys),
+                  static_cast<double>(rc.live_keys)),
+            1);
+  costs.row()
+      .cell("model MACs / prediction")
+      .cell(rc.flops_per_prediction(), 0)
+      .cell(gc.flops_per_prediction(), 0)
+      .cell(ratio(gc.flops_per_prediction(), rc.flops_per_prediction()), 3);
+  costs.print(
+      "Section 9 serving costs: the RNN needs 1 hidden-state lookup per "
+      "prediction vs ~20 aggregation lookups (and far fewer live keys); "
+      "its model compute is higher — the paper's 9.5x — but lookups "
+      "dominate, for ~10x lower end-to-end serving cost.");
+  return 0;
+}

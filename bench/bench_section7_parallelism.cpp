@@ -1,0 +1,93 @@
+// §7.1: minibatch execution strategies. The paper reports that evaluating
+// each user on its own thread and accumulating gradients ("custom
+// parallelism") trains about 2x faster than padding user histories to a
+// uniform length, because the history-length distribution is long-tailed
+// (Figure 5) and padded steps are wasted work.
+//
+// This bench times one epoch of identical training work under all three
+// strategies on an MPU-like workload with heavy-tailed history lengths.
+#include <numeric>
+#include <thread>
+
+#include "bench/common.hpp"
+
+using namespace pp;
+using namespace pp::bench;
+
+int main() {
+  data::MpuConfig config;
+  config.num_users = 48;
+  config.days = 14;
+  config.mean_events_per_day = 25;
+  config.activity_sigma = 1.2;  // pronounced long tail: padding hurts
+  const data::Dataset dataset = data::generate_mpu(config);
+
+  std::size_t max_len = 0, total = 0;
+  for (const auto& u : dataset.users) {
+    max_len = std::max(max_len, u.sessions.size());
+    total += u.sessions.size();
+  }
+  std::printf("history lengths: mean %.0f, max %zu (padding factor %.2fx)\n",
+              static_cast<double>(total) / dataset.users.size(), max_len,
+              static_cast<double>(max_len) * dataset.users.size() / total);
+
+  std::vector<std::size_t> users(dataset.users.size());
+  std::iota(users.begin(), users.end(), 0);
+
+  struct Strategy {
+    const char* name;
+    train::BatchStrategy strategy;
+  };
+  const Strategy strategies[] = {
+      {"per-user threads (paper)", train::BatchStrategy::kPerUserThreads},
+      {"padded batch", train::BatchStrategy::kPaddedBatch},
+      {"sequential", train::BatchStrategy::kSequential},
+  };
+
+  Table table({"strategy", "seconds_per_epoch", "speedup_vs_padded"});
+  double padded_time = 0;
+  std::vector<double> times;
+  for (const Strategy& s : strategies) {
+    train::RnnNetworkConfig net_config;
+    net_config.feature_size =
+        train::feature_width(dataset.schema, train::FeatureMode::kFull);
+    net_config.hidden_size = 32;
+    net_config.mlp_hidden = 32;
+    net_config.dropout = 0.0f;
+    Rng rng(11);
+    train::RnnNetwork network(net_config, rng);
+    train::RnnTrainerConfig trainer_config;
+    trainer_config.epochs = 1;
+    trainer_config.minibatch_users = 8;
+    trainer_config.strategy = s.strategy;
+    trainer_config.num_threads = 2;
+    trainer_config.sequence.truncate_history = 2000;
+    train::RnnTrainer trainer(network, trainer_config);
+    Stopwatch sw;
+    trainer.fit(dataset, users);
+    times.push_back(sw.elapsed_seconds());
+    if (s.strategy == train::BatchStrategy::kPaddedBatch) {
+      padded_time = times.back();
+    }
+  }
+  for (std::size_t i = 0; i < 3; ++i) {
+    table.row()
+        .cell(strategies[i].name)
+        .cell(times[i], 2)
+        .cell(padded_time / times[i], 2);
+  }
+  table.print(
+      "Section 7.1: one epoch under each execution strategy (paper: "
+      "per-user evaluation ~2x faster than padded batching)");
+  std::printf(
+      "The paper's 2x is the padding-waste elimination: compare the\n"
+      "unpadded rows (sequential / per-user threads) against the padded\n"
+      "batch. Padded batching amortizes per-op overhead across the batch,\n"
+      "so its deficit is smaller than the raw %.2fx padding factor; on\n"
+      "hosts with several physical cores the per-user-thread row gains a\n"
+      "further ~Nx from parallel whole-user evaluation (this runner has\n"
+      "%u hardware threads, which may be hyperthread siblings).\n",
+      static_cast<double>(max_len) * dataset.users.size() / total,
+      std::thread::hardware_concurrency());
+  return 0;
+}

@@ -1,0 +1,168 @@
+// §9 microbenchmarks (google-benchmark): the raw compute cost of one
+// model evaluation and one state update for each serving stack. The paper
+// reports the TorchScript RNN as ~9.5x more compute than the GBDT model
+// evaluation — while total serving cost still drops ~10x because KV
+// lookups dominate (see bench_figure7_online_prauc for the end-to-end
+// ledger).
+#include <benchmark/benchmark.h>
+
+#include <numeric>
+
+#include "bench/common.hpp"
+#include "serving/aggregation_service.hpp"
+#include "serving/hidden_store.hpp"
+
+using namespace pp;
+
+namespace {
+
+struct Fixture {
+  data::Dataset dataset;
+  std::unique_ptr<models::RnnModel> rnn;
+  std::unique_ptr<models::GbdtModel> gbdt;
+  std::unique_ptr<features::FeaturePipeline> pipeline;
+  tensor::Matrix hidden;
+  tensor::Matrix predict_row;
+  tensor::Matrix update_row;
+  std::vector<float> gbdt_row;
+
+  static Fixture& get() {
+    static Fixture instance = build();
+    return instance;
+  }
+
+  static Fixture build() {
+    Fixture f;
+    data::MobileTabConfig config;
+    config.num_users = 300;
+    config.days = 10;
+    f.dataset = data::generate_mobile_tab(config);
+
+    models::RnnModelConfig rnn_config;
+    rnn_config.hidden_size = 128;  // paper serving dimensionality
+    rnn_config.mlp_hidden = 128;
+    rnn_config.epochs = 1;
+    rnn_config.num_threads = 2;
+    rnn_config.truncate_history = 100;
+    f.rnn = std::make_unique<models::RnnModel>(f.dataset, rnn_config);
+    std::vector<std::size_t> users(200);
+    std::iota(users.begin(), users.end(), 0);
+    f.rnn->fit(f.dataset, users);
+
+    f.pipeline = std::make_unique<features::FeaturePipeline>(
+        f.dataset.schema, features::FeatureSelection{},
+        features::gbdt_encoding());
+    const auto train = features::build_session_examples(
+        f.dataset, users, *f.pipeline, 0, 0, 2);
+    std::vector<std::size_t> valid_users;
+    for (std::size_t u = 200; u < 250; ++u) valid_users.push_back(u);
+    const auto valid = features::build_session_examples(
+        f.dataset, valid_users, *f.pipeline, 0, 0, 2);
+    f.gbdt = std::make_unique<models::GbdtModel>();
+    models::GbdtModelConfig gbdt_config;
+    gbdt_config.depth_search = false;
+    gbdt_config.booster.tree.max_depth = 6;
+    gbdt_config.booster.num_rounds = 100;  // XGBoost-default-like ensemble
+    gbdt_config.booster.early_stopping_rounds = 0;
+    f.gbdt->fit(train, valid, gbdt_config);
+
+    Rng rng(3);
+    const auto& net = f.rnn->network();
+    f.hidden = tensor::Matrix::randn(1, net.config().hidden_size, rng, 0,
+                                     0.3f);
+    f.predict_row = tensor::Matrix::rand_uniform(
+        1, net.config().predict_input_size(), rng, 0, 1);
+    f.update_row = tensor::Matrix::rand_uniform(
+        1, net.config().update_input_size(), rng, 0, 1);
+    f.gbdt_row.assign(f.pipeline->dimension(), 0.0f);
+    train.densify_row(0, f.gbdt_row);
+    return f;
+  }
+};
+
+void BM_RnnPredict(benchmark::State& state) {
+  Fixture& f = Fixture::get();
+  const auto& net = f.rnn->network();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net.infer_logit(f.hidden, f.predict_row));
+  }
+  state.counters["MACs"] = static_cast<double>(net.predict_flops());
+}
+BENCHMARK(BM_RnnPredict);
+
+void BM_RnnHiddenUpdate(benchmark::State& state) {
+  Fixture& f = Fixture::get();
+  const auto& net = f.rnn->network();
+  auto rnn_state = net.infer_initial_state();
+  for (auto _ : state) {
+    net.infer_update(rnn_state, f.update_row);
+    benchmark::DoNotOptimize(rnn_state.hidden());
+  }
+  state.counters["MACs"] = static_cast<double>(net.update_flops());
+}
+BENCHMARK(BM_RnnHiddenUpdate);
+
+void BM_GbdtPredict(benchmark::State& state) {
+  Fixture& f = Fixture::get();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.gbdt->predict_row(f.gbdt_row));
+  }
+  state.counters["trees"] =
+      static_cast<double>(f.gbdt->booster().num_trees());
+}
+BENCHMARK(BM_GbdtPredict);
+
+void BM_HiddenStateRoundTripFloat32(benchmark::State& state) {
+  Fixture& f = Fixture::get();
+  serving::KvStore kv;
+  serving::HiddenStateStore store(kv, serving::StateCodec::kFloat32);
+  serving::StoredState stored;
+  stored.state = f.rnn->network().infer_initial_state();
+  stored.state.layers[0][0] = f.hidden;
+  for (auto _ : state) {
+    store.put(1, stored);
+    benchmark::DoNotOptimize(store.get(1, f.rnn->network()));
+  }
+  state.counters["bytes"] =
+      static_cast<double>(store.encoded_bytes(f.rnn->network()));
+}
+BENCHMARK(BM_HiddenStateRoundTripFloat32);
+
+void BM_HiddenStateRoundTripInt8(benchmark::State& state) {
+  Fixture& f = Fixture::get();
+  serving::KvStore kv;
+  serving::HiddenStateStore store(kv, serving::StateCodec::kInt8);
+  serving::StoredState stored;
+  stored.state = f.rnn->network().infer_initial_state();
+  stored.state.layers[0][0] = f.hidden;
+  for (auto _ : state) {
+    store.put(1, stored);
+    benchmark::DoNotOptimize(store.get(1, f.rnn->network()));
+  }
+  state.counters["bytes"] =
+      static_cast<double>(store.encoded_bytes(f.rnn->network()));
+}
+BENCHMARK(BM_HiddenStateRoundTripInt8);
+
+void BM_AggregationServeFeatures(benchmark::State& state) {
+  Fixture& f = Fixture::get();
+  serving::KvStore kv;
+  serving::AggregationService service(*f.pipeline, kv);
+  // Warm one user's aggregation state with realistic history.
+  const auto& user = f.dataset.users[0];
+  for (const auto& s : user.sessions) service.apply_session(1, s);
+  features::SparseRow row;
+  const std::array<std::uint32_t, 4> ctx{3, 0, 0, 0};
+  std::int64_t t = f.dataset.end_time;
+  for (auto _ : state) {
+    service.serve_features(1, t, ctx, row);
+    benchmark::DoNotOptimize(row);
+  }
+  state.counters["kv_lookups"] =
+      static_cast<double>(service.lookups_per_prediction());
+}
+BENCHMARK(BM_AggregationServeFeatures);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,67 @@
+// Table 5: GBDT feature-engineering ablation on MPU. Paper: C .588/.848,
+// E+C .642/.883, A+E+C .686/.917, RNN .767/.977 (PR-AUC / recall@50%).
+// The ordering C < E+C < A+E+C < RNN is the claim; a single user split is
+// used here (the paper's CV variant is exercised by bench_table3_prauc).
+#include "bench/common.hpp"
+
+using namespace pp;
+using namespace pp::bench;
+
+int main() {
+  auto config = mpu_config();
+  const data::Dataset dataset = data::generate_mpu(config);
+  const BenchSplit split = make_split(dataset.users.size());
+  const std::int64_t eval_from = dataset.end_time - 7 * 86400;
+  const std::int64_t train_from = dataset.end_time - 7 * 86400;
+
+  struct Row {
+    const char* name;
+    features::FeatureSelection selection;
+  };
+  const Row rows[] = {
+      {"C", {true, false, false}},
+      {"E + C", {true, true, false}},
+      {"A + E + C", {true, true, true}},
+  };
+
+  Table table({"features", "PR-AUC", "recall@50%", "paper_PR-AUC"});
+  const double paper[3] = {0.588, 0.642, 0.686};
+  int i = 0;
+  for (const Row& row : rows) {
+    std::fprintf(stderr, "[bench] GBDT ablation: %s\n", row.name);
+    features::FeaturePipeline pipeline(dataset.schema, row.selection,
+                                       features::gbdt_encoding());
+    const auto train = features::build_session_examples(
+        dataset, split.gbdt_train, pipeline, train_from, 0, 2);
+    const auto valid = features::build_session_examples(
+        dataset, split.gbdt_valid, pipeline, train_from, 0, 2);
+    const auto test = features::build_session_examples(
+        dataset, split.test, pipeline, eval_from, 0, 2);
+    models::GbdtModel gbdt;
+    auto model_config = gbdt_config();
+    gbdt.fit(train, valid, model_config);
+    const auto scores = gbdt.predict(test);
+    table.row()
+        .cell(row.name)
+        .cell(eval::pr_auc(scores, test.labels), 3)
+        .cell(eval::recall_at_precision(scores, test.labels, 0.5), 3)
+        .cell(paper[i++], 3);
+  }
+
+  // RNN reference on the same split.
+  std::fprintf(stderr, "[bench] RNN reference\n");
+  auto rnn_config = rnn_config_for(dataset);
+  models::RnnModel rnn(dataset, rnn_config);
+  rnn.fit(dataset, split.train);
+  const auto series = rnn.score(dataset, split.test, eval_from, 0, 2);
+  table.row()
+      .cell("RNN")
+      .cell(eval::pr_auc(series.scores, series.labels), 3)
+      .cell(eval::recall_at_precision(series.scores, series.labels, 0.5), 3)
+      .cell(0.767, 3);
+
+  table.print(
+      "Table 5: GBDT feature ablation on MPU (A: aggregations, E: time "
+      "elapsed, C: contextual)");
+  return 0;
+}

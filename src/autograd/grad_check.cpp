@@ -1,0 +1,66 @@
+#include "autograd/grad_check.hpp"
+
+#include <cmath>
+#include <sstream>
+
+namespace pp::autograd {
+
+GradCheckResult check_gradients(const std::vector<Variable>& params,
+                                const std::function<Variable()>& forward,
+                                double epsilon, double rel_tol,
+                                double abs_tol) {
+  GradCheckResult result;
+
+  // Analytic pass.
+  for (const auto& p : params) {
+    const_cast<Variable&>(p).zero_grad();
+  }
+  Variable loss = forward();
+  backward(loss);
+  std::vector<Matrix> analytic;
+  analytic.reserve(params.size());
+  for (const auto& p : params) {
+    analytic.push_back(p.has_grad()
+                           ? p.grad()
+                           : Matrix::zeros(p.rows(), p.cols()));
+  }
+
+  // Numeric pass: central differences, one element at a time.
+  for (std::size_t pi = 0; pi < params.size(); ++pi) {
+    Variable& p = const_cast<Variable&>(params[pi]);
+    Matrix& v = p.mutable_value();
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      const float saved = v[i];
+      v[i] = saved + static_cast<float>(epsilon);
+      Variable plus = forward();
+      const double f_plus = plus.value()[0];
+      detach_graph(plus);
+      v[i] = saved - static_cast<float>(epsilon);
+      Variable minus = forward();
+      const double f_minus = minus.value()[0];
+      detach_graph(minus);
+      v[i] = saved;
+
+      const double numeric = (f_plus - f_minus) / (2.0 * epsilon);
+      const double exact = analytic[pi][i];
+      const double abs_err = std::fabs(numeric - exact);
+      const double denom =
+          std::max({std::fabs(numeric), std::fabs(exact), 1e-8});
+      const double rel_err = abs_err / denom;
+      result.max_abs_error = std::max(result.max_abs_error, abs_err);
+      if (abs_err > abs_tol) {
+        result.max_rel_error = std::max(result.max_rel_error, rel_err);
+        if (rel_err > rel_tol && result.ok) {
+          result.ok = false;
+          std::ostringstream os;
+          os << "param " << pi << " elem " << i << ": analytic=" << exact
+             << " numeric=" << numeric << " rel_err=" << rel_err;
+          result.detail = os.str();
+        }
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace pp::autograd

@@ -1,0 +1,33 @@
+// Finite-difference gradient checking. Every autograd op and every nn layer
+// is validated against this in the test suite; it is the ground truth that
+// lets us trust a from-scratch backward implementation.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "autograd/variable.hpp"
+
+namespace pp::autograd {
+
+struct GradCheckResult {
+  bool ok = true;
+  double max_abs_error = 0;
+  double max_rel_error = 0;
+  std::string detail;  // first offending (param, index) when not ok
+};
+
+/// Compares analytic gradients against central finite differences.
+///
+/// `forward` must rebuild the graph from scratch and return a scalar loss;
+/// it is invoked 2*N+1 times where N is the total parameter element count.
+/// Parameters are perturbed in place through the supplied handles. Because
+/// values are float32 while the check runs in double, tolerances are
+/// necessarily loose (default 2e-2 relative / 1e-3 absolute).
+GradCheckResult check_gradients(
+    const std::vector<Variable>& params,
+    const std::function<Variable()>& forward, double epsilon = 1e-3,
+    double rel_tol = 2e-2, double abs_tol = 1e-3);
+
+}  // namespace pp::autograd

@@ -1,0 +1,316 @@
+#include "autograd/ops.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/math.hpp"
+
+namespace pp::autograd {
+
+namespace {
+bool any_requires_grad(const Variable& a) { return a.requires_grad(); }
+bool any_requires_grad(const Variable& a, const Variable& b) {
+  return a.requires_grad() || b.requires_grad();
+}
+}  // namespace
+
+Variable matmul(const Variable& a, const Variable& b) {
+  auto node = make_node(a.value().matmul(b.value()), {a.node(), b.node()},
+                        any_requires_grad(a, b));
+  Node* out = node.get();
+  Node* na = a.raw();
+  Node* nb = b.raw();
+  node->backward_fn = [out, na, nb] {
+    if (na->requires_grad) {
+      na->accumulate_grad(out->grad.matmul_transposed_other(nb->value));
+    }
+    if (nb->requires_grad) {
+      nb->accumulate_grad(na->value.matmul_transposed_self(out->grad));
+    }
+  };
+  return Variable(node);
+}
+
+Variable add(const Variable& a, const Variable& b) {
+  auto node = make_node(a.value().add(b.value()), {a.node(), b.node()},
+                        any_requires_grad(a, b));
+  Node* out = node.get();
+  Node* na = a.raw();
+  Node* nb = b.raw();
+  node->backward_fn = [out, na, nb] {
+    if (na->requires_grad) na->accumulate_grad(out->grad);
+    if (nb->requires_grad) nb->accumulate_grad(out->grad);
+  };
+  return Variable(node);
+}
+
+Variable sub(const Variable& a, const Variable& b) {
+  auto node = make_node(a.value().sub(b.value()), {a.node(), b.node()},
+                        any_requires_grad(a, b));
+  Node* out = node.get();
+  Node* na = a.raw();
+  Node* nb = b.raw();
+  node->backward_fn = [out, na, nb] {
+    if (na->requires_grad) na->accumulate_grad(out->grad);
+    if (nb->requires_grad) {
+      nb->ensure_grad().axpy_inplace(-1.0f, out->grad);
+    }
+  };
+  return Variable(node);
+}
+
+Variable mul(const Variable& a, const Variable& b) {
+  auto node = make_node(a.value().mul(b.value()), {a.node(), b.node()},
+                        any_requires_grad(a, b));
+  Node* out = node.get();
+  Node* na = a.raw();
+  Node* nb = b.raw();
+  node->backward_fn = [out, na, nb] {
+    if (na->requires_grad) na->accumulate_grad(out->grad.mul(nb->value));
+    if (nb->requires_grad) nb->accumulate_grad(out->grad.mul(na->value));
+  };
+  return Variable(node);
+}
+
+Variable add_broadcast(const Variable& x, const Variable& bias) {
+  Matrix value = x.value();
+  value.add_row_broadcast_inplace(bias.value());
+  auto node = make_node(std::move(value), {x.node(), bias.node()},
+                        any_requires_grad(x, bias));
+  Node* out = node.get();
+  Node* nx = x.raw();
+  Node* nb = bias.raw();
+  node->backward_fn = [out, nx, nb] {
+    if (nx->requires_grad) nx->accumulate_grad(out->grad);
+    if (nb->requires_grad) nb->accumulate_grad(out->grad.col_sum());
+  };
+  return Variable(node);
+}
+
+Variable scale(const Variable& a, float s) {
+  auto node =
+      make_node(a.value().scale(s), {a.node()}, any_requires_grad(a));
+  Node* out = node.get();
+  Node* na = a.raw();
+  node->backward_fn = [out, na, s] {
+    if (na->requires_grad) na->ensure_grad().axpy_inplace(s, out->grad);
+  };
+  return Variable(node);
+}
+
+Variable add_scalar(const Variable& a, float s) {
+  auto node = make_node(a.value().map([s](float v) { return v + s; }),
+                        {a.node()}, any_requires_grad(a));
+  Node* out = node.get();
+  Node* na = a.raw();
+  node->backward_fn = [out, na] {
+    if (na->requires_grad) na->accumulate_grad(out->grad);
+  };
+  return Variable(node);
+}
+
+Variable one_minus(const Variable& a) {
+  auto node = make_node(a.value().map([](float v) { return 1.0f - v; }),
+                        {a.node()}, any_requires_grad(a));
+  Node* out = node.get();
+  Node* na = a.raw();
+  node->backward_fn = [out, na] {
+    if (na->requires_grad) na->ensure_grad().axpy_inplace(-1.0f, out->grad);
+  };
+  return Variable(node);
+}
+
+Variable sigmoid(const Variable& a) {
+  auto node = make_node(
+      a.value().map([](float v) { return static_cast<float>(pp::sigmoid(v)); }),
+      {a.node()}, any_requires_grad(a));
+  Node* out = node.get();
+  Node* na = a.raw();
+  node->backward_fn = [out, na] {
+    if (!na->requires_grad) return;
+    Matrix dy = out->grad;
+    const Matrix& y = out->value;
+    for (std::size_t i = 0; i < dy.size(); ++i) {
+      dy[i] *= y[i] * (1.0f - y[i]);
+    }
+    na->accumulate_grad(dy);
+  };
+  return Variable(node);
+}
+
+Variable tanh_op(const Variable& a) {
+  auto node = make_node(a.value().map([](float v) { return std::tanh(v); }),
+                        {a.node()}, any_requires_grad(a));
+  Node* out = node.get();
+  Node* na = a.raw();
+  node->backward_fn = [out, na] {
+    if (!na->requires_grad) return;
+    Matrix dy = out->grad;
+    const Matrix& y = out->value;
+    for (std::size_t i = 0; i < dy.size(); ++i) {
+      dy[i] *= 1.0f - y[i] * y[i];
+    }
+    na->accumulate_grad(dy);
+  };
+  return Variable(node);
+}
+
+Variable relu(const Variable& a) {
+  auto node =
+      make_node(a.value().map([](float v) { return v > 0 ? v : 0.0f; }),
+                {a.node()}, any_requires_grad(a));
+  Node* out = node.get();
+  Node* na = a.raw();
+  node->backward_fn = [out, na] {
+    if (!na->requires_grad) return;
+    Matrix dy = out->grad;
+    const Matrix& x = na->value;
+    for (std::size_t i = 0; i < dy.size(); ++i) {
+      if (x[i] <= 0) dy[i] = 0.0f;
+    }
+    na->accumulate_grad(dy);
+  };
+  return Variable(node);
+}
+
+Variable dropout(const Variable& a, float p, Rng& rng, bool training) {
+  if (!training || p <= 0.0f) return a;
+  if (p >= 1.0f) {
+    throw std::invalid_argument("dropout: p must be < 1");
+  }
+  const float keep_scale = 1.0f / (1.0f - p);
+  Matrix mask(a.rows(), a.cols());
+  for (std::size_t i = 0; i < mask.size(); ++i) {
+    mask[i] = rng.bernoulli(p) ? 0.0f : keep_scale;
+  }
+  auto node = make_node(a.value().mul(mask), {a.node()},
+                        any_requires_grad(a));
+  Node* out = node.get();
+  Node* na = a.raw();
+  node->backward_fn = [out, na, mask = std::move(mask)] {
+    if (na->requires_grad) na->accumulate_grad(out->grad.mul(mask));
+  };
+  return Variable(node);
+}
+
+Variable concat_cols(const Variable& a, const Variable& b) {
+  auto node = make_node(Matrix::concat_cols(a.value(), b.value()),
+                        {a.node(), b.node()}, any_requires_grad(a, b));
+  Node* out = node.get();
+  Node* na = a.raw();
+  Node* nb = b.raw();
+  const std::size_t a_cols = a.cols();
+  const std::size_t b_cols = b.cols();
+  node->backward_fn = [out, na, nb, a_cols, b_cols] {
+    if (na->requires_grad) {
+      na->accumulate_grad(out->grad.slice_cols(0, a_cols));
+    }
+    if (nb->requires_grad) {
+      nb->accumulate_grad(out->grad.slice_cols(a_cols, b_cols));
+    }
+  };
+  return Variable(node);
+}
+
+Variable slice_cols(const Variable& a, std::size_t begin, std::size_t count) {
+  auto node = make_node(a.value().slice_cols(begin, count), {a.node()},
+                        any_requires_grad(a));
+  Node* out = node.get();
+  Node* na = a.raw();
+  node->backward_fn = [out, na, begin, count] {
+    if (!na->requires_grad) return;
+    Matrix& g = na->ensure_grad();
+    for (std::size_t r = 0; r < out->grad.rows(); ++r) {
+      for (std::size_t c = 0; c < count; ++c) {
+        g.at(r, begin + c) += out->grad.at(r, c);
+      }
+    }
+  };
+  return Variable(node);
+}
+
+Variable slice_rows(const Variable& a, std::size_t begin, std::size_t count) {
+  if (begin + count > a.rows()) {
+    throw std::invalid_argument("slice_rows: out of range");
+  }
+  Matrix value(count, a.cols());
+  for (std::size_t r = 0; r < count; ++r) {
+    std::copy(a.value().row(begin + r).begin(),
+              a.value().row(begin + r).end(), value.row(r).begin());
+  }
+  auto node = make_node(std::move(value), {a.node()}, any_requires_grad(a));
+  Node* out = node.get();
+  Node* na = a.raw();
+  node->backward_fn = [out, na, begin, count] {
+    if (!na->requires_grad) return;
+    Matrix& g = na->ensure_grad();
+    for (std::size_t r = 0; r < count; ++r) {
+      for (std::size_t c = 0; c < out->grad.cols(); ++c) {
+        g.at(begin + r, c) += out->grad.at(r, c);
+      }
+    }
+  };
+  return Variable(node);
+}
+
+Variable sum(const Variable& a) {
+  Matrix value(1, 1);
+  value[0] = static_cast<float>(a.value().sum());
+  auto node = make_node(std::move(value), {a.node()}, any_requires_grad(a));
+  Node* out = node.get();
+  Node* na = a.raw();
+  node->backward_fn = [out, na] {
+    if (!na->requires_grad) return;
+    Matrix g(na->value.rows(), na->value.cols(), out->grad[0]);
+    na->accumulate_grad(g);
+  };
+  return Variable(node);
+}
+
+Variable mean(const Variable& a) {
+  Matrix value(1, 1);
+  value[0] = static_cast<float>(a.value().mean());
+  auto node = make_node(std::move(value), {a.node()}, any_requires_grad(a));
+  Node* out = node.get();
+  Node* na = a.raw();
+  const float inv = 1.0f / static_cast<float>(a.value().size());
+  node->backward_fn = [out, na, inv] {
+    if (!na->requires_grad) return;
+    Matrix g(na->value.rows(), na->value.cols(), out->grad[0] * inv);
+    na->accumulate_grad(g);
+  };
+  return Variable(node);
+}
+
+Variable bce_with_logits_sum(const Variable& logits, const Matrix& labels,
+                             const Matrix& weights) {
+  if (!logits.value().same_shape(labels) ||
+      !logits.value().same_shape(weights)) {
+    throw std::invalid_argument("bce_with_logits_sum: shape mismatch");
+  }
+  const Matrix& z = logits.value();
+  double loss = 0;
+  for (std::size_t i = 0; i < z.size(); ++i) {
+    loss += weights[i] * bce_from_logit(z[i], labels[i]);
+  }
+  Matrix value(1, 1);
+  value[0] = static_cast<float>(loss);
+  auto node = make_node(std::move(value), {logits.node()},
+                        logits.requires_grad());
+  Node* out = node.get();
+  Node* nz = logits.raw();
+  node->backward_fn = [out, nz, labels, weights] {
+    if (!nz->requires_grad) return;
+    const float g = out->grad[0];
+    Matrix dz(nz->value.rows(), nz->value.cols());
+    for (std::size_t i = 0; i < dz.size(); ++i) {
+      dz[i] = g * weights[i] *
+              (static_cast<float>(pp::sigmoid(nz->value[i])) - labels[i]);
+    }
+    nz->accumulate_grad(dz);
+  };
+  return Variable(node);
+}
+
+}  // namespace pp::autograd

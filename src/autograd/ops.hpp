@@ -1,0 +1,61 @@
+// Differentiable operations over Variables. Each op builds one graph node
+// whose backward closure implements the analytic vector-Jacobian product;
+// all closures are validated against finite differences in the test suite.
+#pragma once
+
+#include "autograd/variable.hpp"
+#include "util/rng.hpp"
+
+namespace pp::autograd {
+
+/// [m x k] * [k x n] -> [m x n].
+Variable matmul(const Variable& a, const Variable& b);
+
+/// Elementwise a + b (same shape).
+Variable add(const Variable& a, const Variable& b);
+/// Elementwise a - b (same shape).
+Variable sub(const Variable& a, const Variable& b);
+/// Hadamard (elementwise) product.
+Variable mul(const Variable& a, const Variable& b);
+
+/// x + bias with bias [1 x n] broadcast across the rows of x [m x n].
+Variable add_broadcast(const Variable& x, const Variable& bias);
+
+/// s * a.
+Variable scale(const Variable& a, float s);
+/// a + s (elementwise); used for the latent-cross "1 + L(f)" term.
+Variable add_scalar(const Variable& a, float s);
+/// 1 - a; used by the GRU interpolation gate.
+Variable one_minus(const Variable& a);
+
+Variable sigmoid(const Variable& a);
+Variable tanh_op(const Variable& a);
+Variable relu(const Variable& a);
+
+/// Inverted dropout: when training, zeroes entries with probability p and
+/// scales survivors by 1/(1-p) so inference needs no rescaling. Identity
+/// when training is false.
+Variable dropout(const Variable& a, float p, Rng& rng, bool training);
+
+/// Horizontal concatenation [m x a] ++ [m x b] -> [m x (a+b)].
+Variable concat_cols(const Variable& a, const Variable& b);
+/// Columns [begin, begin+count).
+Variable slice_cols(const Variable& a, std::size_t begin, std::size_t count);
+/// Rows [begin, begin+count); used to pull one user's hidden row out of a
+/// padded minibatch state.
+Variable slice_rows(const Variable& a, std::size_t begin, std::size_t count);
+
+/// Sum of all entries -> [1 x 1].
+Variable sum(const Variable& a);
+/// Mean of all entries -> [1 x 1].
+Variable mean(const Variable& a);
+
+/// Weighted binary cross-entropy computed directly from logits:
+///   sum_i w_i * (log(1 + e^{z_i}) - y_i * z_i)
+/// labels and weights are constants with the same shape as logits. Using
+/// logits avoids the log(sigmoid) instability; the session-loss mask of
+/// §6.3 (train on the last 21 days only) is expressed through weights.
+Variable bce_with_logits_sum(const Variable& logits, const Matrix& labels,
+                             const Matrix& weights);
+
+}  // namespace pp::autograd

@@ -1,0 +1,91 @@
+#include "autograd/variable.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace pp::autograd {
+
+namespace {
+std::atomic<std::uint64_t> g_sequence{1};
+
+/// Iterative DFS over parent links. Returns *owning* references: callers
+/// mutate parent links while iterating (sever_links), which would free
+/// interior nodes mid-loop if only raw pointers were held — intermediate
+/// nodes are typically owned solely by their children's parent vectors.
+std::vector<NodePtr> collect_reachable(const NodePtr& root) {
+  std::vector<NodePtr> order;
+  std::vector<Node*> stack{root.get()};
+  std::unordered_set<Node*> visited;
+  visited.reserve(1024);
+  visited.insert(root.get());
+  order.push_back(root);
+  while (!stack.empty()) {
+    Node* n = stack.back();
+    stack.pop_back();
+    for (const auto& p : n->parents) {
+      if (visited.insert(p.get()).second) {
+        order.push_back(p);
+        stack.push_back(p.get());
+      }
+    }
+  }
+  return order;
+}
+
+/// Clears parent links and closures so the graph frees iteratively once
+/// the owning handles (including `nodes` itself) go out of scope.
+void sever_links(const std::vector<NodePtr>& nodes) {
+  for (const NodePtr& n : nodes) {
+    n->parents.clear();
+    n->backward_fn = nullptr;
+  }
+}
+}  // namespace
+
+Matrix& Node::ensure_grad() {
+  if (grad.empty()) grad = Matrix::zeros(value.rows(), value.cols());
+  return grad;
+}
+
+void Node::accumulate_grad(const Matrix& g) {
+  ensure_grad().add_inplace(g);
+}
+
+NodePtr make_node(Matrix value, std::vector<NodePtr> parents,
+                  bool requires_grad) {
+  auto node = std::make_shared<Node>();
+  node->value = std::move(value);
+  node->parents = std::move(parents);
+  node->requires_grad = requires_grad;
+  node->seq = g_sequence.fetch_add(1, std::memory_order_relaxed);
+  return node;
+}
+
+void backward(const Variable& root, bool free_graph) {
+  if (!root.defined()) {
+    throw std::invalid_argument("backward: undefined variable");
+  }
+  if (root.value().size() != 1) {
+    throw std::invalid_argument(
+        "backward: root must be scalar [1 x 1], got " +
+        root.value().shape_string());
+  }
+  std::vector<NodePtr> nodes = collect_reachable(root.node());
+  // Creation order is a topological order of the DAG: every op node is
+  // created after its parents. Replay children before parents.
+  std::sort(nodes.begin(), nodes.end(),
+            [](const NodePtr& a, const NodePtr& b) { return a->seq > b->seq; });
+  root.raw()->ensure_grad().fill(1.0f);
+  for (const NodePtr& n : nodes) {
+    if (n->backward_fn && n->has_grad()) n->backward_fn();
+  }
+  if (free_graph) sever_links(nodes);
+}
+
+void detach_graph(const Variable& root) {
+  if (!root.defined()) return;
+  sever_links(collect_reachable(root.node()));
+}
+
+}  // namespace pp::autograd

@@ -1,0 +1,99 @@
+// Tape-free reverse-mode automatic differentiation over pp::tensor::Matrix.
+//
+// The graph is held together by shared_ptr links from each node to its
+// parents; creation order provides a topological order, so backward() only
+// needs to collect reachable nodes and replay them in descending creation
+// sequence. This keeps the implementation small while supporting the long
+// unrolled BPTT graphs produced by per-user session sequences (thousands of
+// steps):
+//
+//  * backward() is fully iterative (no recursion), and
+//  * by default it severs parent links afterwards so that dropping the last
+//    Variable frees the graph iteratively rather than through a deep chain
+//    of shared_ptr destructors.
+//
+// Thread model: a graph must be built and differentiated by a single thread.
+// The per-user training parallelism in pp::train gives each worker thread
+// its own model replica, so node state is never shared across threads.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "tensor/matrix.hpp"
+
+namespace pp::autograd {
+
+using tensor::Matrix;
+
+struct Node {
+  Matrix value;
+  /// Gradient of the loss w.r.t. value; empty until first accumulation.
+  Matrix grad;
+  bool requires_grad = false;
+  std::uint64_t seq = 0;
+  std::vector<std::shared_ptr<Node>> parents;
+  /// Propagates this->grad into parents' grads. Null for leaves.
+  std::function<void()> backward_fn;
+
+  /// Returns grad, allocating zeros of value's shape on first use.
+  Matrix& ensure_grad();
+  /// grad += g (allocating if needed).
+  void accumulate_grad(const Matrix& g);
+  bool has_grad() const { return !grad.empty(); }
+};
+
+using NodePtr = std::shared_ptr<Node>;
+
+/// Allocates a node with a fresh topological sequence number.
+NodePtr make_node(Matrix value, std::vector<NodePtr> parents,
+                  bool requires_grad);
+
+/// Value-semantic handle to a graph node. Copying a Variable aliases the
+/// node (like torch tensors sharing storage).
+class Variable {
+ public:
+  Variable() = default;
+  /// Leaf node. Set requires_grad for trainable parameters.
+  explicit Variable(Matrix value, bool requires_grad = false)
+      : node_(make_node(std::move(value), {}, requires_grad)) {}
+  explicit Variable(NodePtr node) : node_(std::move(node)) {}
+
+  bool defined() const { return node_ != nullptr; }
+  const Matrix& value() const { return node_->value; }
+  /// Mutable access to the value; only sensible for leaves (parameters)
+  /// between forward passes.
+  Matrix& mutable_value() { return node_->value; }
+  const Matrix& grad() const { return node_->grad; }
+  Matrix& mutable_grad() { return node_->ensure_grad(); }
+  bool has_grad() const { return node_ && node_->has_grad(); }
+  bool requires_grad() const { return node_ && node_->requires_grad; }
+  void zero_grad() {
+    if (node_ && node_->has_grad()) node_->grad.set_zero();
+  }
+
+  std::size_t rows() const { return node_->value.rows(); }
+  std::size_t cols() const { return node_->value.cols(); }
+
+  NodePtr node() const { return node_; }
+  Node* raw() const { return node_.get(); }
+
+ private:
+  NodePtr node_;
+};
+
+/// Runs reverse-mode differentiation from a scalar ([1 x 1]) root.
+/// Gradients accumulate into every reachable node with requires_grad set.
+/// When free_graph is true (default) parent links and backward closures are
+/// cleared afterwards: the graph cannot be differentiated again, and its
+/// memory is reclaimed as soon as handles go out of scope.
+void backward(const Variable& root, bool free_graph = true);
+
+/// Severs parent links of every node reachable from root without running
+/// backward; used to discard inference-only graphs of long sequences.
+void detach_graph(const Variable& root);
+
+}  // namespace pp::autograd

@@ -1,0 +1,249 @@
+#include "core/engine.hpp"
+
+#include <stdexcept>
+
+#include "eval/metrics.hpp"
+#include "features/examples.hpp"
+
+namespace pp::core {
+
+const char* to_string(ModelKind kind) {
+  switch (kind) {
+    case ModelKind::kPercentage:
+      return "percentage";
+    case ModelKind::kLogisticRegression:
+      return "lr";
+    case ModelKind::kGbdt:
+      return "gbdt";
+    case ModelKind::kRnn:
+      return "rnn";
+  }
+  return "?";
+}
+
+/// Internal serving state for the online API (score / observe_session).
+struct PrecomputeEngine::ServingState {
+  serving::KvStore rnn_kv;
+  std::unique_ptr<serving::HiddenStateStore> hidden_store;
+  std::unique_ptr<serving::RnnPolicy> rnn_policy;
+  serving::KvStore gbdt_kv;
+  std::unique_ptr<serving::AggregationService> aggregation;
+  std::unique_ptr<serving::GbdtPolicy> gbdt_policy;
+  /// Streaming extractors for LR serving (exact, per-user).
+  std::unordered_map<std::uint64_t,
+                     std::unique_ptr<features::UserFeatureExtractor>>
+      lr_extractors;
+  /// Percentage-model running counts.
+  std::unordered_map<std::uint64_t, std::pair<double, double>> pct_counts;
+};
+
+PrecomputeEngine::PrecomputeEngine(EngineConfig config)
+    : config_(std::move(config)), serving_(std::make_unique<ServingState>()) {}
+
+PrecomputeEngine::~PrecomputeEngine() = default;
+
+TrainReport PrecomputeEngine::train(const data::Dataset& dataset) {
+  meta_ = data::Dataset{dataset.name,         dataset.schema,
+                        dataset.start_time,   dataset.end_time,
+                        dataset.session_length, dataset.update_latency,
+                        dataset.timeshifted,  dataset.peak,
+                        {}};
+  const auto split = features::split_users(
+      dataset.users.size(), config_.validation_fraction, config_.seed);
+  const std::int64_t eval_from =
+      dataset.end_time -
+      static_cast<std::int64_t>(config_.eval_window_days) * 86400;
+
+  train::ScoredSeries validation;
+  switch (config_.model) {
+    case ModelKind::kPercentage: {
+      percentage_ = std::make_unique<models::PercentageModel>();
+      percentage_->fit(dataset, split.train);
+      validation = percentage_->score(dataset, split.test, eval_from);
+      break;
+    }
+    case ModelKind::kLogisticRegression: {
+      pipeline_ = std::make_unique<features::FeaturePipeline>(
+          meta_->schema, features::FeatureSelection{},
+          features::lr_encoding());
+      const auto train_batch = build_batch(dataset, split.train, eval_from);
+      lr_ = std::make_unique<models::LogisticRegressionModel>();
+      lr_->fit(train_batch, config_.lr);
+      const auto valid_batch = build_batch(dataset, split.test, eval_from);
+      const auto scores = lr_->predict(valid_batch);
+      for (std::size_t i = 0; i < scores.size(); ++i) {
+        validation.append(scores[i], valid_batch.labels[i],
+                          valid_batch.timestamps[i]);
+      }
+      break;
+    }
+    case ModelKind::kGbdt: {
+      pipeline_ = std::make_unique<features::FeaturePipeline>(
+          meta_->schema, features::FeatureSelection{},
+          features::gbdt_encoding());
+      // Carve a validation slice out of the training users for the depth
+      // search; the engine-level split stays the threshold holdout.
+      const auto inner = features::split_users(split.train.size(), 0.1,
+                                               config_.seed ^ 0xabcd);
+      std::vector<std::size_t> fit_users, depth_users;
+      for (const auto i : inner.train) fit_users.push_back(split.train[i]);
+      for (const auto i : inner.test) depth_users.push_back(split.train[i]);
+      const auto train_batch = build_batch(dataset, fit_users, eval_from);
+      const auto depth_batch = build_batch(dataset, depth_users, eval_from);
+      gbdt_ = std::make_unique<models::GbdtModel>();
+      gbdt_->fit(train_batch, depth_batch, config_.gbdt);
+      const auto valid_batch = build_batch(dataset, split.test, eval_from);
+      const auto scores = gbdt_->predict(valid_batch);
+      for (std::size_t i = 0; i < scores.size(); ++i) {
+        validation.append(scores[i], valid_batch.labels[i],
+                          valid_batch.timestamps[i]);
+      }
+      break;
+    }
+    case ModelKind::kRnn: {
+      rnn_ = std::make_unique<models::RnnModel>(*meta_, config_.rnn);
+      rnn_->fit(dataset, split.train);
+      validation = rnn_->score(dataset, split.test, eval_from, 0,
+                               config_.rnn.num_threads == 0
+                                   ? 2
+                                   : config_.rnn.num_threads);
+      break;
+    }
+  }
+
+  TrainReport report;
+  report.model = config_.model;
+  report.validation_examples = validation.scores.size();
+  if (!validation.scores.empty()) {
+    report.validation_pr_auc =
+        eval::pr_auc(validation.scores, validation.labels);
+    report.validation_recall_at_target = eval::recall_at_precision(
+        validation.scores, validation.labels, config_.target_precision);
+    threshold_ = eval::threshold_for_precision(
+        validation.scores, validation.labels, config_.target_precision);
+  }
+  report.threshold = threshold_;
+
+  // Wire the serving state.
+  if (config_.model == ModelKind::kRnn) {
+    serving_->hidden_store = std::make_unique<serving::HiddenStateStore>(
+        serving_->rnn_kv, serving::StateCodec::kFloat32);
+    serving_->rnn_policy = std::make_unique<serving::RnnPolicy>(
+        *rnn_, *serving_->hidden_store);
+  } else if (config_.model == ModelKind::kGbdt) {
+    serving_->aggregation = std::make_unique<serving::AggregationService>(
+        *pipeline_, serving_->gbdt_kv);
+    serving_->gbdt_policy = std::make_unique<serving::GbdtPolicy>(
+        *gbdt_, *pipeline_, *serving_->aggregation);
+  }
+  return report;
+}
+
+features::ExampleBatch PrecomputeEngine::build_batch(
+    const data::Dataset& dataset, std::span<const std::size_t> users,
+    std::int64_t emit_from) const {
+  return dataset.timeshifted
+             ? features::build_timeshift_examples(dataset, users, *pipeline_,
+                                                  emit_from, 0, 2)
+             : features::build_session_examples(dataset, users, *pipeline_,
+                                                emit_from, 0, 2);
+}
+
+double PrecomputeEngine::score(std::uint64_t user_id, std::int64_t t,
+                               std::span<const std::uint32_t> context) {
+  switch (config_.model) {
+    case ModelKind::kRnn:
+      return serving_->rnn_policy->score_session(user_id, t, context);
+    case ModelKind::kGbdt:
+      return serving_->gbdt_policy->score_session(user_id, t, context);
+    case ModelKind::kLogisticRegression: {
+      auto& extractor = serving_->lr_extractors[user_id];
+      if (!extractor) {
+        extractor = std::make_unique<features::UserFeatureExtractor>(
+            *pipeline_, meta_->delta());
+      }
+      features::SparseRow row;
+      extractor->extract(t, context, row);
+      std::vector<std::uint32_t> cols;
+      std::vector<float> vals;
+      cols.reserve(row.size());
+      vals.reserve(row.size());
+      for (const auto& [c, v] : row) {
+        cols.push_back(c);
+        vals.push_back(v);
+      }
+      return lr_->predict_row(cols, vals);
+    }
+    case ModelKind::kPercentage: {
+      auto& counts = serving_->pct_counts[user_id];
+      return (percentage_->alpha() + counts.first) / (counts.second + 1.0);
+    }
+  }
+  return 0;
+}
+
+bool PrecomputeEngine::should_precompute(
+    std::uint64_t user_id, std::int64_t t,
+    std::span<const std::uint32_t> context) {
+  return score(user_id, t, context) >= threshold_;
+}
+
+void PrecomputeEngine::observe_session(std::uint64_t user_id,
+                                       const data::Session& session) {
+  switch (config_.model) {
+    case ModelKind::kRnn: {
+      serving::JoinedSession joined;
+      joined.user_id = user_id;
+      joined.session_start = session.timestamp;
+      joined.context = session.context;
+      joined.access = session.access != 0;
+      serving_->rnn_policy->on_session_complete(joined);
+      break;
+    }
+    case ModelKind::kGbdt:
+      serving_->aggregation->apply_session(user_id, session);
+      break;
+    case ModelKind::kLogisticRegression: {
+      auto& extractor = serving_->lr_extractors[user_id];
+      if (!extractor) {
+        extractor = std::make_unique<features::UserFeatureExtractor>(
+            *pipeline_, meta_->delta());
+      }
+      extractor->push(session);
+      break;
+    }
+    case ModelKind::kPercentage: {
+      auto& counts = serving_->pct_counts[user_id];
+      counts.first += session.access;
+      counts.second += 1.0;
+      break;
+    }
+  }
+}
+
+train::ScoredSeries PrecomputeEngine::score_offline(
+    const data::Dataset& dataset, std::span<const std::size_t> users,
+    std::int64_t emit_from, std::int64_t emit_to) const {
+  switch (config_.model) {
+    case ModelKind::kPercentage:
+      return percentage_->score(dataset, users, emit_from, emit_to);
+    case ModelKind::kRnn:
+      return rnn_->score(dataset, users, emit_from, emit_to, 2);
+    case ModelKind::kLogisticRegression:
+    case ModelKind::kGbdt: {
+      const auto batch = build_batch(dataset, users, emit_from);
+      const auto scores = config_.model == ModelKind::kGbdt
+                              ? gbdt_->predict(batch)
+                              : lr_->predict(batch);
+      train::ScoredSeries series;
+      for (std::size_t i = 0; i < scores.size(); ++i) {
+        if (emit_to != 0 && batch.timestamps[i] >= emit_to) continue;
+        series.append(scores[i], batch.labels[i], batch.timestamps[i]);
+      }
+      return series;
+    }
+  }
+  return {};
+}
+
+}  // namespace pp::core

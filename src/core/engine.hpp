@@ -1,0 +1,108 @@
+// PrecomputeEngine — the library façade a downstream application adopts.
+//
+// It packages the paper's full workflow:
+//   1. train a model family (percentage / LR / GBDT / RNN) on an access-log
+//      dataset with the paper's splits,
+//   2. pick the trigger threshold that maximizes recall at a target
+//      precision on held-out validation users (§8),
+//   3. hand out a serving policy wired to the production-style stores.
+//
+// Example:
+//   pp::core::EngineConfig cfg;
+//   cfg.model = pp::core::ModelKind::kRnn;
+//   pp::core::PrecomputeEngine engine(cfg);
+//   auto report = engine.train(dataset);
+//   auto decision = engine.should_precompute(user_id, now, context);
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "features/examples.hpp"
+#include "models/gbdt_model.hpp"
+#include "models/logistic_regression.hpp"
+#include "models/percentage.hpp"
+#include "models/rnn_model.hpp"
+#include "serving/precompute_service.hpp"
+
+namespace pp::core {
+
+enum class ModelKind { kPercentage, kLogisticRegression, kGbdt, kRnn };
+
+const char* to_string(ModelKind kind);
+
+struct EngineConfig {
+  ModelKind model = ModelKind::kRnn;
+  /// Threshold policy: maximize recall subject to this precision (§8/§9).
+  double target_precision = 0.6;
+  /// Fraction of users held out for threshold selection / validation.
+  double validation_fraction = 0.1;
+  /// Evaluation window: predictions from the last N days (§8).
+  int eval_window_days = 7;
+  std::uint64_t seed = 1234;
+
+  models::RnnModelConfig rnn;
+  models::GbdtModelConfig gbdt;
+  models::LrConfig lr;
+};
+
+struct TrainReport {
+  ModelKind model;
+  double threshold = 0;
+  double validation_pr_auc = 0;
+  double validation_recall_at_target = 0;
+  std::size_t validation_examples = 0;
+};
+
+class PrecomputeEngine {
+ public:
+  explicit PrecomputeEngine(EngineConfig config);
+  ~PrecomputeEngine();
+
+  /// Trains on all users of the dataset (90/10 train/validation split by
+  /// user) and selects the serving threshold.
+  TrainReport train(const data::Dataset& dataset);
+
+  /// Probability estimate for a session starting now. Serving state
+  /// (hidden states / aggregations) is maintained internally; feed
+  /// completed sessions through observe_session().
+  double score(std::uint64_t user_id, std::int64_t t,
+               std::span<const std::uint32_t> context);
+  /// score() >= the selected threshold.
+  bool should_precompute(std::uint64_t user_id, std::int64_t t,
+                         std::span<const std::uint32_t> context);
+  /// Feeds a completed session into the serving state.
+  void observe_session(std::uint64_t user_id, const data::Session& session);
+
+  /// Offline scoring of held-out users (for evaluation harnesses).
+  train::ScoredSeries score_offline(const data::Dataset& dataset,
+                                    std::span<const std::size_t> users,
+                                    std::int64_t emit_from = 0,
+                                    std::int64_t emit_to = 0) const;
+
+  double threshold() const { return threshold_; }
+  const EngineConfig& config() const { return config_; }
+  const models::RnnModel* rnn() const { return rnn_.get(); }
+  const models::GbdtModel* gbdt() const { return gbdt_.get(); }
+
+ private:
+  struct ServingState;
+
+  features::ExampleBatch build_batch(const data::Dataset& dataset,
+                                     std::span<const std::size_t> users,
+                                     std::int64_t emit_from) const;
+
+  EngineConfig config_;
+  double threshold_ = 0.5;
+  std::optional<data::Dataset> meta_;  // schema + timing (users cleared)
+
+  std::unique_ptr<models::PercentageModel> percentage_;
+  std::unique_ptr<models::LogisticRegressionModel> lr_;
+  std::unique_ptr<models::GbdtModel> gbdt_;
+  std::unique_ptr<models::RnnModel> rnn_;
+  std::unique_ptr<features::FeaturePipeline> pipeline_;
+  std::unique_ptr<ServingState> serving_;
+};
+
+}  // namespace pp::core

@@ -1,0 +1,58 @@
+#include "data/dataset.hpp"
+
+#include <stdexcept>
+
+namespace pp::data {
+
+std::size_t ContextSchema::index_of(std::string_view name) const {
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (fields[i].name == name) return i;
+  }
+  throw std::out_of_range("ContextSchema: no field named " +
+                          std::string(name));
+}
+
+std::size_t ContextSchema::one_hot_width() const {
+  std::size_t width = 0;
+  for (const auto& f : fields) width += f.cardinality;
+  return width;
+}
+
+std::size_t UserLog::access_count() const {
+  std::size_t n = 0;
+  for (const auto& s : sessions) n += s.access;
+  return n;
+}
+
+double UserLog::access_rate() const {
+  return sessions.empty()
+             ? 0.0
+             : static_cast<double>(access_count()) /
+                   static_cast<double>(sessions.size());
+}
+
+bool PeakWindow::contains(std::int64_t timestamp) const {
+  const int h = hour_of_day(timestamp);
+  return h >= start_hour && h < end_hour;
+}
+
+std::size_t Dataset::total_sessions() const {
+  std::size_t n = 0;
+  for (const auto& u : users) n += u.sessions.size();
+  return n;
+}
+
+std::size_t Dataset::total_accesses() const {
+  std::size_t n = 0;
+  for (const auto& u : users) n += u.access_count();
+  return n;
+}
+
+double Dataset::positive_rate() const {
+  const std::size_t sessions = total_sessions();
+  return sessions == 0 ? 0.0
+                       : static_cast<double>(total_accesses()) /
+                             static_cast<double>(sessions);
+}
+
+}  // namespace pp::data

@@ -1,0 +1,119 @@
+// Core data model: sessions, per-user access logs, and datasets (§3.1).
+//
+// A Session records the context observed at session start plus the access
+// flag determined when the session window closes. A Dataset bundles every
+// user's log with the context schema and the timing constants (session
+// length, update latency ε) that drive the lag-δ semantics of §6.1.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pp::data {
+
+/// Upper bound on categorical context fields per dataset; keeps Session a
+/// flat 32-byte POD so multi-million-session datasets stay cache friendly.
+inline constexpr std::size_t kMaxContextFields = 4;
+
+struct CategoricalField {
+  std::string name;
+  /// Number of distinct encoded values (after hashing, if hashed).
+  std::uint32_t cardinality = 0;
+  /// True when raw values were hashed modulo a prime (97 in the paper).
+  bool hashed = false;
+  /// True for count-valued fields (e.g. the unread badge) whose order is
+  /// meaningful; tree models consume them as a single numeric column
+  /// while LR one-hot encodes them.
+  bool ordinal = false;
+};
+
+struct ContextSchema {
+  std::vector<CategoricalField> fields;
+
+  std::size_t size() const { return fields.size(); }
+  /// Index of a field by name; throws std::out_of_range when absent.
+  std::size_t index_of(std::string_view name) const;
+  /// Sum of cardinalities (width of a full one-hot encoding).
+  std::size_t one_hot_width() const;
+};
+
+struct Session {
+  /// UNIX timestamp (seconds) of session start.
+  std::int64_t timestamp = 0;
+  /// Encoded categorical context values, aligned with ContextSchema.
+  std::array<std::uint32_t, kMaxContextFields> context{};
+  /// 1 when the activity was accessed within the session window.
+  std::uint8_t access = 0;
+};
+
+struct UserLog {
+  std::uint64_t user_id = 0;
+  /// Ascending by timestamp.
+  std::vector<Session> sessions;
+
+  std::size_t access_count() const;
+  double access_rate() const;
+};
+
+/// Peak-hours window for timeshifted precompute, expressed in UTC hours;
+/// the window is [start_hour, end_hour) on each day.
+struct PeakWindow {
+  int start_hour = 17;
+  int end_hour = 23;
+
+  bool contains(std::int64_t timestamp) const;
+  /// Timestamp of the window's start on the day containing `timestamp`.
+  std::int64_t start_on_day(std::int64_t day_start) const {
+    return day_start + static_cast<std::int64_t>(start_hour) * 3600;
+  }
+};
+
+struct Dataset {
+  std::string name;
+  ContextSchema schema;
+  /// Observation window [start_time, end_time), end exclusive; start_time
+  /// is midnight UTC.
+  std::int64_t start_time = 0;
+  std::int64_t end_time = 0;
+  /// Fixed session window length (20 min for MobileTab/Timeshift, 10 min
+  /// for MPU).
+  std::int64_t session_length = 20 * 60;
+  /// ε of §6.1: pipeline latency before an updated hidden state is
+  /// available. δ = session_length + ε.
+  std::int64_t update_latency = 60;
+  /// True for the timeshifted-precompute problem (§3.2.1).
+  bool timeshifted = false;
+  PeakWindow peak;
+  std::vector<UserLog> users;
+
+  /// δ — the update lag of §6.1.
+  std::int64_t delta() const { return session_length + update_latency; }
+  std::size_t total_sessions() const;
+  std::size_t total_accesses() const;
+  double positive_rate() const;
+  int days() const {
+    return static_cast<int>((end_time - start_time) / 86400);
+  }
+};
+
+// ---- time helpers (UTC) ----
+inline int hour_of_day(std::int64_t ts) {
+  return static_cast<int>(((ts % 86400) + 86400) % 86400 / 3600);
+}
+/// 0 = Monday ... 6 = Sunday (1970-01-01 was a Thursday).
+inline int day_of_week(std::int64_t ts) {
+  return static_cast<int>((((ts / 86400) % 7) + 7 + 3) % 7);
+}
+/// Midnight UTC of the day containing ts.
+inline std::int64_t day_start(std::int64_t ts) {
+  return ts - (((ts % 86400) + 86400) % 86400);
+}
+/// Whole days between dataset start and ts.
+inline int day_index(std::int64_t ts, std::int64_t start) {
+  return static_cast<int>((ts - start) / 86400);
+}
+
+}  // namespace pp::data

@@ -1,0 +1,517 @@
+#include "data/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include "util/math.hpp"
+#include "util/rng.hpp"
+
+namespace pp::data {
+
+namespace {
+
+// Dataset epoch: 2020-06-01 00:00 UTC (a Monday), aligned to midnight.
+constexpr std::int64_t kEpochStart = 1590969600;
+
+// ---------------------------------------------------------------- traits
+
+/// Latent per-user behaviour shared by all three generators.
+struct UserTraits {
+  double base_logit = 0;        // persistent propensity (or -inf-ish)
+  double sessions_per_day = 1;  // arrival intensity
+  double peak_hour = 19;        // circadian preference, [0, 24)
+  double circadian_strength = 1.0;
+  double recency_weight = 0.8;  // excitation from the previous access
+  double recency_tau = 6 * 3600.0;
+  /// Hot/cold engagement switch times (ascending); state flips at each.
+  std::vector<std::int64_t> switch_times;
+  bool starts_hot = false;
+  double hot_bonus = 1.5;
+};
+
+/// Simulates the two-state engagement chain over the observation window.
+void simulate_engagement(UserTraits& traits, std::int64_t start,
+                         std::int64_t end, double mean_hot_days,
+                         double mean_cold_days, Rng& rng) {
+  const double stationary_hot =
+      mean_hot_days / (mean_hot_days + mean_cold_days);
+  traits.starts_hot = rng.bernoulli(stationary_hot);
+  bool hot = traits.starts_hot;
+  std::int64_t t = start;
+  while (t < end) {
+    const double sojourn_days =
+        rng.exponential(1.0 / (hot ? mean_hot_days : mean_cold_days));
+    t += static_cast<std::int64_t>(sojourn_days * 86400.0);
+    if (t < end) traits.switch_times.push_back(t);
+    hot = !hot;
+  }
+}
+
+bool is_hot(const UserTraits& traits, std::int64_t t) {
+  // Number of switches before t decides the current state.
+  const auto it = std::upper_bound(traits.switch_times.begin(),
+                                   traits.switch_times.end(), t);
+  const std::size_t flips =
+      static_cast<std::size_t>(it - traits.switch_times.begin());
+  return (flips % 2 == 0) ? traits.starts_hot : !traits.starts_hot;
+}
+
+double circadian_factor(const UserTraits& traits, double hour) {
+  const double angle =
+      2.0 * std::numbers::pi * (hour - traits.peak_hour) / 24.0;
+  return std::exp(traits.circadian_strength * std::cos(angle));
+}
+
+/// Draws session start times for one user across the window. Arrivals are
+/// Poisson per day with weekend uplift, hours drawn from the circadian
+/// profile; returned ascending and strictly increasing.
+std::vector<std::int64_t> draw_session_times(const UserTraits& traits,
+                                             std::int64_t start, int days,
+                                             Rng& rng) {
+  // Precompute the user's 24-hour arrival weights.
+  std::array<double, 24> hour_weights{};
+  for (int h = 0; h < 24; ++h) {
+    hour_weights[h] = circadian_factor(traits, h + 0.5);
+  }
+  std::vector<std::int64_t> times;
+  for (int d = 0; d < days; ++d) {
+    const std::int64_t day_begin = start + static_cast<std::int64_t>(d) * 86400;
+    const int dow = day_of_week(day_begin);
+    const double weekend_factor = (dow >= 5) ? 1.25 : 1.0;
+    const std::int64_t n =
+        rng.poisson(traits.sessions_per_day * weekend_factor);
+    for (std::int64_t i = 0; i < n; ++i) {
+      const std::size_t hour = rng.categorical(hour_weights);
+      const std::int64_t offset =
+          static_cast<std::int64_t>(hour) * 3600 + rng.uniform_int(0, 3599);
+      times.push_back(day_begin + offset);
+    }
+  }
+  std::sort(times.begin(), times.end());
+  // Enforce strict monotonicity (required by the sequence model).
+  for (std::size_t i = 1; i < times.size(); ++i) {
+    if (times[i] <= times[i - 1]) times[i] = times[i - 1] + 1;
+  }
+  return times;
+}
+
+/// Shared sampler for the persistent per-user traits. Engagement episodes
+/// default to short hot bursts inside long cold stretches: bursty enough
+/// that fixed-window aggregates blur the episode boundaries while an exact
+/// sequence model can track them — the regime the paper's RNN exploits.
+UserTraits draw_traits(Rng& rng, double never_fraction, double base_sigma,
+                       double mean_sessions_per_day, double activity_sigma,
+                       std::int64_t start, std::int64_t end,
+                       double mean_hot_days = 2.5,
+                       double mean_cold_days = 6.0,
+                       double hot_bonus_mean = 1.8) {
+  UserTraits traits;
+  if (rng.bernoulli(never_fraction)) {
+    traits.base_logit = -12.0;  // effectively never accesses
+  } else {
+    traits.base_logit = rng.normal(0.0, base_sigma);
+  }
+  // Log-normal activity with the mean fixed at mean_sessions_per_day:
+  // E[lognormal(mu, sigma)] = exp(mu + sigma^2/2).
+  const double mu =
+      std::log(mean_sessions_per_day) - 0.5 * activity_sigma * activity_sigma;
+  traits.sessions_per_day = rng.lognormal(mu, activity_sigma);
+  traits.peak_hour = std::fmod(rng.normal(19.0, 4.0) + 48.0, 24.0);
+  traits.circadian_strength = std::max(0.0, rng.normal(0.9, 0.35));
+  traits.recency_weight = std::max(0.0, rng.normal(0.9, 0.3));
+  traits.recency_tau = 3600.0 * std::clamp(rng.lognormal(1.8, 0.6), 0.5, 72.0);
+  traits.hot_bonus = std::max(0.2, rng.normal(hot_bonus_mean, 0.5));
+  simulate_engagement(traits, start, end, mean_hot_days, mean_cold_days, rng);
+  return traits;
+}
+
+/// Time-of-day access modulation (mild; arrival already carries most of
+/// the circadian signal).
+double access_circadian(const UserTraits& traits, std::int64_t t) {
+  const double hour = hour_of_day(t) + 0.5;
+  const double angle =
+      2.0 * std::numbers::pi * (hour - traits.peak_hour) / 24.0;
+  return 0.45 * std::cos(angle);
+}
+
+double recency_term(const UserTraits& traits, std::int64_t t,
+                    std::int64_t last_access) {
+  if (last_access < 0) return 0.0;
+  const double dt = static_cast<double>(t - last_access);
+  return traits.recency_weight * std::exp(-dt / traits.recency_tau);
+}
+
+/// Generic bisection on a monotone rate(bias) curve.
+template <typename RateFn>
+double calibrate_bias(RateFn&& rate_at, double target, double lo = -8.0,
+                      double hi = 6.0, int iterations = 16) {
+  for (int i = 0; i < iterations; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (rate_at(mid) < target) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+// ------------------------------------------------------------- MobileTab
+
+constexpr std::size_t kNumTabs = 8;
+// Global tab-to-access weights: being on HOME (0) predicts tab access,
+// deep surfaces (e.g. 3) predict against it.
+constexpr std::array<double, kNumTabs> kTabWeights = {
+    1.1, 0.1, -0.3, -0.8, 0.2, -0.2, 0.5, -0.5};
+
+struct MobileTabUserExtras {
+  std::array<double, kNumTabs> tab_arrival_weights{};
+  double target_affinity = 0;  // user-level extra weight on the target tab
+  double unread_sensitivity = 0.8;
+};
+
+MobileTabUserExtras draw_mobile_tab_extras(Rng& rng) {
+  MobileTabUserExtras extras;
+  // Dirichlet via normalized Gamma(1) = normalized exponentials.
+  double total = 0;
+  for (auto& w : extras.tab_arrival_weights) {
+    w = rng.exponential(1.0) + 0.05;
+    total += w;
+  }
+  for (auto& w : extras.tab_arrival_weights) w /= total;
+  extras.target_affinity = rng.normal(0.0, 0.6);
+  extras.unread_sensitivity = std::max(0.0, rng.normal(0.8, 0.25));
+  return extras;
+}
+
+/// Generates one MobileTab user's sessions given the global bias.
+UserLog generate_mobile_tab_user(std::uint64_t user_id, std::uint64_t seed,
+                                 const MobileTabConfig& config, double bias) {
+  Rng rng(seed);
+  const std::int64_t start = kEpochStart;
+  const std::int64_t end = start + static_cast<std::int64_t>(config.days) * 86400;
+  UserTraits traits = draw_traits(rng, config.never_access_fraction,
+                                  /*base_sigma=*/1.1,
+                                  config.mean_sessions_per_day,
+                                  config.activity_sigma, start, end);
+  MobileTabUserExtras extras = draw_mobile_tab_extras(rng);
+
+  UserLog log;
+  log.user_id = user_id;
+  std::int64_t last_access = -1;
+  std::int64_t last_session = -1;
+  for (std::int64_t t : draw_session_times(traits, start, config.days, rng)) {
+    const bool hot = is_hot(traits, t);
+    // Unread badge grows with absence and engagement.
+    const double hours_gap =
+        last_session < 0 ? 12.0
+                         : std::min(48.0, (t - last_session) / 3600.0);
+    double unread_mean = 0.6 + 0.25 * hours_gap + (hot ? 2.0 : 0.0);
+    const std::uint32_t unread = static_cast<std::uint32_t>(
+        std::min<std::int64_t>(99, rng.poisson(unread_mean)));
+    const std::uint32_t tab = static_cast<std::uint32_t>(rng.categorical(
+        {extras.tab_arrival_weights.data(), extras.tab_arrival_weights.size()}));
+
+    double logit = bias + traits.base_logit + extras.target_affinity;
+    logit += hot ? traits.hot_bonus : 0.0;
+    logit += kTabWeights[tab];
+    logit += extras.unread_sensitivity * std::log1p(std::min(unread, 50u)) /
+             std::log1p(50.0) * 1.4;
+    // Non-additive context interactions (trees capture these, a linear
+    // model on one-hots cannot): a loaded badge on the HOME surface primes
+    // the tap; a deep surface with a clear badge suppresses it.
+    if (tab == 0 && unread >= 8) logit += 0.9;
+    if (tab == 3 && unread == 0) logit -= 0.7;
+    // Recency matters much more during the user's active hours.
+    const double recency = recency_term(traits, t, last_access);
+    const double circadian = access_circadian(traits, t);
+    logit += circadian + recency + 1.2 * std::max(0.0, circadian) * recency;
+    logit += rng.normal(0.0, 0.7);
+
+    Session s;
+    s.timestamp = t;
+    s.context[0] = unread;
+    s.context[1] = tab;
+    s.access = rng.bernoulli(pp::sigmoid(logit)) ? 1 : 0;
+    if (s.access) last_access = t;
+    last_session = t;
+    log.sessions.push_back(s);
+  }
+  return log;
+}
+
+// ------------------------------------------------------------- Timeshift
+
+UserLog generate_timeshift_user(std::uint64_t user_id, std::uint64_t seed,
+                                const TimeshiftConfig& config, double bias) {
+  Rng rng(seed);
+  const std::int64_t start = kEpochStart;
+  const std::int64_t end = start + static_cast<std::int64_t>(config.days) * 86400;
+  UserTraits traits = draw_traits(rng, config.never_access_fraction,
+                                  /*base_sigma=*/1.0,
+                                  config.mean_sessions_per_day,
+                                  config.activity_sigma, start, end);
+  // Data-query usage is sticky day over day: long recency horizon.
+  traits.recency_tau = 3600.0 * std::clamp(rng.lognormal(2.6, 0.5), 4.0, 120.0);
+
+  UserLog log;
+  log.user_id = user_id;
+  std::int64_t last_access = -1;
+  for (std::int64_t t : draw_session_times(traits, start, config.days, rng)) {
+    const bool peak = hour_of_day(t) >= config.peak_start_hour &&
+                      hour_of_day(t) < config.peak_end_hour;
+    double logit = bias + traits.base_logit;
+    logit += is_hot(traits, t) ? traits.hot_bonus : 0.0;
+    logit += peak ? 0.4 : 0.0;
+    logit += access_circadian(traits, t);
+    logit += recency_term(traits, t, last_access);
+    logit += rng.normal(0.0, 0.5);
+
+    Session s;
+    s.timestamp = t;
+    s.context[0] = peak ? 1 : 0;
+    s.access = rng.bernoulli(pp::sigmoid(logit)) ? 1 : 0;
+    if (s.access) last_access = t;
+    log.sessions.push_back(s);
+  }
+  return log;
+}
+
+// ------------------------------------------------------------------ MPU
+
+struct MpuUserExtras {
+  std::vector<double> app_arrival_weights;  // notification volume per app
+  std::vector<double> app_affinities;       // open propensity per app
+};
+
+MpuUserExtras draw_mpu_extras(std::size_t num_apps, Rng& rng) {
+  MpuUserExtras extras;
+  extras.app_arrival_weights.resize(num_apps);
+  extras.app_affinities.resize(num_apps);
+  double total = 0;
+  for (auto& w : extras.app_arrival_weights) {
+    w = rng.exponential(1.0) + 0.02;
+    total += w;
+  }
+  for (auto& w : extras.app_arrival_weights) w /= total;
+  for (auto& a : extras.app_affinities) a = rng.normal(0.0, 1.0);
+  return extras;
+}
+
+UserLog generate_mpu_user(std::uint64_t user_id, std::uint64_t seed,
+                          const MpuConfig& config, double bias) {
+  Rng rng(seed);
+  const std::int64_t start = kEpochStart;
+  const std::int64_t end = start + static_cast<std::int64_t>(config.days) * 86400;
+  UserTraits traits = draw_traits(rng, config.never_access_fraction,
+                                  /*base_sigma=*/0.9, config.mean_events_per_day,
+                                  config.activity_sigma, start, end);
+  traits.recency_tau = 3600.0 * std::clamp(rng.lognormal(1.2, 0.5), 0.5, 24.0);
+  MpuUserExtras extras = draw_mpu_extras(config.num_apps, rng);
+
+  UserLog log;
+  log.user_id = user_id;
+  std::int64_t last_access = -1;
+  std::uint32_t last_opened_app = 0;
+  for (std::int64_t t : draw_session_times(traits, start, config.days, rng)) {
+    const bool hot = is_hot(traits, t);
+    const auto app = static_cast<std::uint32_t>(rng.categorical(
+        {extras.app_arrival_weights.data(), extras.app_arrival_weights.size()}));
+    // Screen state: more likely unlocked near the user's active hours.
+    const double active = circadian_factor(traits, hour_of_day(t) + 0.5) /
+                          std::exp(traits.circadian_strength);
+    const double p_unlocked = std::clamp(0.15 + 0.5 * active + (hot ? 0.1 : 0.0),
+                                         0.02, 0.9);
+    const double p_on = 0.25;
+    std::uint32_t screen;  // 0 = off, 1 = on (locked), 2 = unlocked
+    const double u = rng.uniform();
+    if (u < p_unlocked) {
+      screen = 2;
+    } else if (u < p_unlocked + p_on) {
+      screen = 1;
+    } else {
+      screen = 0;
+    }
+
+    double logit = bias + traits.base_logit;
+    logit += hot ? 0.8 * traits.hot_bonus : 0.0;
+    logit += extras.app_affinities[app];
+    logit += screen == 2 ? 1.0 : (screen == 1 ? 0.2 : -0.6);
+    logit += (app == last_opened_app) ? 0.7 : 0.0;
+    // Interaction: a notification from the app already in hand while the
+    // phone is unlocked is near-certain to be opened.
+    if (screen == 2 && app == last_opened_app) logit += 0.9;
+    logit += access_circadian(traits, t);
+    logit += recency_term(traits, t, last_access);
+    logit += rng.normal(0.0, 0.6);
+
+    Session s;
+    s.timestamp = t;
+    s.context[0] = app;
+    s.context[1] = screen;
+    s.context[2] = last_opened_app;
+    s.access = rng.bernoulli(pp::sigmoid(logit)) ? 1 : 0;
+    if (s.access) {
+      last_access = t;
+      last_opened_app = app;
+    }
+    log.sessions.push_back(s);
+  }
+  return log;
+}
+
+/// Deterministic per-user seed derivation: user i always gets the same
+/// stream regardless of population size, which keeps the calibration
+/// sample consistent with the final population.
+std::uint64_t user_seed(std::uint64_t dataset_seed, std::uint64_t user_id) {
+  std::uint64_t s = dataset_seed ^ (0xd1342543de82ef95ull * (user_id + 1));
+  return splitmix64(s);
+}
+
+}  // namespace
+
+Dataset generate_mobile_tab(const MobileTabConfig& config) {
+  Dataset dataset;
+  dataset.name = "MobileTab";
+  dataset.schema.fields = {
+      {"unread", 100, /*hashed=*/false, /*ordinal=*/true},
+      {"active_tab", kNumTabs, false, false},
+  };
+  dataset.start_time = kEpochStart;
+  dataset.end_time = kEpochStart + static_cast<std::int64_t>(config.days) * 86400;
+  dataset.session_length = 20 * 60;
+  dataset.update_latency = 60;
+
+  const std::size_t sample =
+      std::min<std::size_t>(config.num_users, 1500);
+  const double bias = calibrate_bias(
+      [&](double b) {
+        std::size_t sessions = 0, accesses = 0;
+        for (std::size_t u = 0; u < sample; ++u) {
+          UserLog log =
+              generate_mobile_tab_user(u, user_seed(config.seed, u), config, b);
+          sessions += log.sessions.size();
+          accesses += log.access_count();
+        }
+        return sessions == 0 ? 0.0
+                             : static_cast<double>(accesses) /
+                                   static_cast<double>(sessions);
+      },
+      config.target_positive_rate);
+
+  dataset.users.reserve(config.num_users);
+  for (std::size_t u = 0; u < config.num_users; ++u) {
+    dataset.users.push_back(
+        generate_mobile_tab_user(u, user_seed(config.seed, u), config, bias));
+  }
+  return dataset;
+}
+
+Dataset generate_timeshift(const TimeshiftConfig& config) {
+  Dataset dataset;
+  dataset.name = "Timeshift";
+  dataset.schema.fields = {
+      {"is_peak", 2, false},
+  };
+  dataset.start_time = kEpochStart;
+  dataset.end_time = kEpochStart + static_cast<std::int64_t>(config.days) * 86400;
+  dataset.session_length = 20 * 60;
+  dataset.update_latency = 60;
+  dataset.timeshifted = true;
+  dataset.peak.start_hour = config.peak_start_hour;
+  dataset.peak.end_hour = config.peak_end_hour;
+
+  const std::size_t sample =
+      std::min<std::size_t>(config.num_users, 1500);
+  const double bias = calibrate_bias(
+      [&](double b) {
+        // Rate of the derived per-(user, day) peak labels.
+        std::size_t labels = 0, positives = 0;
+        for (std::size_t u = 0; u < sample; ++u) {
+          UserLog log =
+              generate_timeshift_user(u, user_seed(config.seed, u), config, b);
+          std::vector<bool> day_access(static_cast<std::size_t>(config.days),
+                                       false);
+          for (const auto& s : log.sessions) {
+            if (dataset.peak.contains(s.timestamp) && s.access) {
+              day_access[static_cast<std::size_t>(
+                  day_index(s.timestamp, dataset.start_time))] = true;
+            }
+          }
+          labels += day_access.size();
+          for (bool a : day_access) positives += a ? 1 : 0;
+        }
+        return labels == 0 ? 0.0
+                           : static_cast<double>(positives) /
+                                 static_cast<double>(labels);
+      },
+      config.target_positive_rate);
+
+  dataset.users.reserve(config.num_users);
+  for (std::size_t u = 0; u < config.num_users; ++u) {
+    dataset.users.push_back(
+        generate_timeshift_user(u, user_seed(config.seed, u), config, bias));
+  }
+  return dataset;
+}
+
+Dataset generate_mpu(const MpuConfig& config) {
+  Dataset dataset;
+  dataset.name = "MPU";
+  const auto apps = static_cast<std::uint32_t>(config.num_apps);
+  dataset.schema.fields = {
+      {"app_id", apps, false},
+      {"screen_state", 3, false},
+      {"last_opened_app", apps, false},
+  };
+  dataset.start_time = kEpochStart;
+  dataset.end_time = kEpochStart + static_cast<std::int64_t>(config.days) * 86400;
+  dataset.session_length = 10 * 60;
+  dataset.update_latency = 60;
+
+  const std::size_t sample = std::min<std::size_t>(config.num_users, 150);
+  const double bias = calibrate_bias(
+      [&](double b) {
+        std::size_t sessions = 0, accesses = 0;
+        for (std::size_t u = 0; u < sample; ++u) {
+          UserLog log =
+              generate_mpu_user(u, user_seed(config.seed, u), config, b);
+          sessions += log.sessions.size();
+          accesses += log.access_count();
+        }
+        return sessions == 0 ? 0.0
+                             : static_cast<double>(accesses) /
+                                   static_cast<double>(sessions);
+      },
+      config.target_positive_rate);
+
+  dataset.users.reserve(config.num_users);
+  for (std::size_t u = 0; u < config.num_users; ++u) {
+    dataset.users.push_back(
+        generate_mpu_user(u, user_seed(config.seed, u), config, bias));
+  }
+  return dataset;
+}
+
+double peak_label_positive_rate(const Dataset& dataset) {
+  std::size_t labels = 0, positives = 0;
+  const int days = dataset.days();
+  for (const auto& user : dataset.users) {
+    std::vector<bool> day_access(static_cast<std::size_t>(days), false);
+    for (const auto& s : user.sessions) {
+      if (dataset.peak.contains(s.timestamp) && s.access) {
+        const int d = day_index(s.timestamp, dataset.start_time);
+        if (d >= 0 && d < days) day_access[static_cast<std::size_t>(d)] = true;
+      }
+    }
+    labels += day_access.size();
+    for (bool a : day_access) positives += a ? 1 : 0;
+  }
+  return labels == 0 ? 0.0
+                     : static_cast<double>(positives) /
+                           static_cast<double>(labels);
+}
+
+}  // namespace pp::data

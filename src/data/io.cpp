@@ -1,0 +1,103 @@
+#include "data/io.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace pp::data {
+
+namespace {
+constexpr std::uint32_t kMagic = 0x50504431;  // "PPD1"
+}
+
+void serialize_dataset(const Dataset& dataset, BinaryWriter& writer) {
+  writer.write_u32(kMagic);
+  writer.write_string(dataset.name);
+  writer.write_u64(dataset.schema.fields.size());
+  for (const auto& f : dataset.schema.fields) {
+    writer.write_string(f.name);
+    writer.write_u32(f.cardinality);
+    writer.write_u32(f.hashed ? 1 : 0);
+    writer.write_u32(f.ordinal ? 1 : 0);
+  }
+  writer.write_i64(dataset.start_time);
+  writer.write_i64(dataset.end_time);
+  writer.write_i64(dataset.session_length);
+  writer.write_i64(dataset.update_latency);
+  writer.write_u32(dataset.timeshifted ? 1 : 0);
+  writer.write_u32(static_cast<std::uint32_t>(dataset.peak.start_hour));
+  writer.write_u32(static_cast<std::uint32_t>(dataset.peak.end_hour));
+  writer.write_u64(dataset.users.size());
+  for (const auto& u : dataset.users) {
+    writer.write_u64(u.user_id);
+    writer.write_vector(u.sessions);
+  }
+}
+
+Dataset deserialize_dataset(BinaryReader& reader) {
+  if (reader.read_u32() != kMagic) {
+    throw std::runtime_error("deserialize_dataset: bad magic");
+  }
+  Dataset dataset;
+  dataset.name = reader.read_string();
+  const std::uint64_t num_fields = reader.read_u64();
+  for (std::uint64_t i = 0; i < num_fields; ++i) {
+    CategoricalField f;
+    f.name = reader.read_string();
+    f.cardinality = reader.read_u32();
+    f.hashed = reader.read_u32() != 0;
+    f.ordinal = reader.read_u32() != 0;
+    dataset.schema.fields.push_back(std::move(f));
+  }
+  dataset.start_time = reader.read_i64();
+  dataset.end_time = reader.read_i64();
+  dataset.session_length = reader.read_i64();
+  dataset.update_latency = reader.read_i64();
+  dataset.timeshifted = reader.read_u32() != 0;
+  dataset.peak.start_hour = static_cast<int>(reader.read_u32());
+  dataset.peak.end_hour = static_cast<int>(reader.read_u32());
+  const std::uint64_t num_users = reader.read_u64();
+  dataset.users.reserve(num_users);
+  for (std::uint64_t i = 0; i < num_users; ++i) {
+    UserLog log;
+    log.user_id = reader.read_u64();
+    log.sessions = reader.read_vector<Session>();
+    dataset.users.push_back(std::move(log));
+  }
+  return dataset;
+}
+
+void save_dataset(const Dataset& dataset, const std::string& path) {
+  BinaryWriter writer;
+  serialize_dataset(dataset, writer);
+  writer.save_file(path);
+}
+
+Dataset load_dataset(const std::string& path) {
+  BinaryReader reader = BinaryReader::from_file(path);
+  return deserialize_dataset(reader);
+}
+
+std::string user_log_to_csv(const Dataset& dataset, std::size_t user_index,
+                            std::size_t max_rows) {
+  if (user_index >= dataset.users.size()) {
+    throw std::out_of_range("user_log_to_csv: user index out of range");
+  }
+  std::ostringstream out;
+  out << "timestamp,access_flag";
+  for (const auto& f : dataset.schema.fields) out << "," << f.name;
+  out << "\n";
+  const auto& sessions = dataset.users[user_index].sessions;
+  std::size_t rows = sessions.size();
+  if (max_rows > 0) rows = std::min(rows, max_rows);
+  for (std::size_t i = 0; i < rows; ++i) {
+    const Session& s = sessions[i];
+    out << s.timestamp << "," << static_cast<int>(s.access);
+    for (std::size_t f = 0; f < dataset.schema.size(); ++f) {
+      out << "," << s.context[f];
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace pp::data

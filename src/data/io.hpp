@@ -1,0 +1,22 @@
+// Dataset persistence: compact binary round-trip plus CSV export of a
+// single user's access log (the format of the paper's Table 1).
+#pragma once
+
+#include <string>
+
+#include "data/dataset.hpp"
+#include "util/serialize.hpp"
+
+namespace pp::data {
+
+void serialize_dataset(const Dataset& dataset, BinaryWriter& writer);
+Dataset deserialize_dataset(BinaryReader& reader);
+
+void save_dataset(const Dataset& dataset, const std::string& path);
+Dataset load_dataset(const std::string& path);
+
+/// CSV rows "timestamp,access,<field...>" for one user (Table 1 layout).
+std::string user_log_to_csv(const Dataset& dataset, std::size_t user_index,
+                            std::size_t max_rows = 0);
+
+}  // namespace pp::data

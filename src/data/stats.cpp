@@ -1,0 +1,74 @@
+#include "data/stats.hpp"
+
+#include <algorithm>
+
+namespace pp::data {
+
+DatasetStats compute_stats(const Dataset& dataset) {
+  DatasetStats stats;
+  stats.num_users = dataset.users.size();
+  std::size_t zero_users = 0;
+  for (const auto& u : dataset.users) {
+    stats.num_sessions += u.sessions.size();
+    const std::size_t accesses = u.access_count();
+    stats.num_accesses += accesses;
+    if (accesses == 0) ++zero_users;
+    stats.max_sessions_per_user =
+        std::max(stats.max_sessions_per_user, u.sessions.size());
+  }
+  if (stats.num_sessions > 0) {
+    stats.positive_rate = static_cast<double>(stats.num_accesses) /
+                          static_cast<double>(stats.num_sessions);
+  }
+  if (stats.num_users > 0) {
+    stats.zero_access_fraction =
+        static_cast<double>(zero_users) / static_cast<double>(stats.num_users);
+    stats.mean_sessions_per_user =
+        static_cast<double>(stats.num_sessions) /
+        static_cast<double>(stats.num_users);
+  }
+  return stats;
+}
+
+std::vector<double> access_rate_cdf(const Dataset& dataset) {
+  std::vector<double> rates;
+  rates.reserve(dataset.users.size());
+  for (const auto& u : dataset.users) rates.push_back(u.access_rate());
+  std::sort(rates.begin(), rates.end());
+  return rates;
+}
+
+std::vector<std::pair<double, double>> access_rate_cdf_series(
+    const Dataset& dataset, std::size_t points) {
+  const std::vector<double> rates = access_rate_cdf(dataset);
+  std::vector<std::pair<double, double>> series;
+  series.reserve(points);
+  for (std::size_t i = 0; i < points; ++i) {
+    const double x =
+        points <= 1 ? 1.0
+                    : static_cast<double>(i) / static_cast<double>(points - 1);
+    const auto it = std::upper_bound(rates.begin(), rates.end(), x);
+    const double fraction =
+        rates.empty() ? 0.0
+                      : static_cast<double>(it - rates.begin()) /
+                            static_cast<double>(rates.size());
+    series.emplace_back(x, fraction);
+  }
+  return series;
+}
+
+SessionHistogram session_count_histogram(const Dataset& dataset,
+                                         std::size_t bin_width,
+                                         std::size_t cap) {
+  SessionHistogram hist;
+  hist.bin_width = bin_width;
+  hist.cap = cap;
+  hist.bins.assign(cap / bin_width + 1, 0);
+  for (const auto& u : dataset.users) {
+    const std::size_t count = std::min(u.sessions.size(), cap);
+    ++hist.bins[count / bin_width];
+  }
+  return hist;
+}
+
+}  // namespace pp::data

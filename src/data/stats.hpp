@@ -1,0 +1,46 @@
+// Dataset summary statistics: everything needed to print Table 2, Figure 1
+// (CDF of per-user access rates) and Figure 5 (session-count histogram).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "data/dataset.hpp"
+
+namespace pp::data {
+
+struct DatasetStats {
+  std::size_t num_users = 0;
+  std::size_t num_sessions = 0;
+  std::size_t num_accesses = 0;
+  double positive_rate = 0;
+  /// Fraction of users with zero recorded accesses (36% / 42% in Fig 1).
+  double zero_access_fraction = 0;
+  double mean_sessions_per_user = 0;
+  std::size_t max_sessions_per_user = 0;
+};
+
+DatasetStats compute_stats(const Dataset& dataset);
+
+/// Per-user access rates sorted ascending — the x-axis sweep of Figure 1.
+std::vector<double> access_rate_cdf(const Dataset& dataset);
+
+/// Samples the CDF at `points` evenly spaced access rates in [0, 1];
+/// returns fraction of users with access rate <= x (Figure 1 series).
+std::vector<std::pair<double, double>> access_rate_cdf_series(
+    const Dataset& dataset, std::size_t points = 21);
+
+/// Histogram of per-user session counts with fixed-width bins, counts
+/// capped at `cap` (Figure 5 uses cap = 20000).
+struct SessionHistogram {
+  std::size_t bin_width = 0;
+  std::size_t cap = 0;
+  /// bins[i] = number of users with count in [i*bin_width, (i+1)*bin_width).
+  std::vector<std::size_t> bins;
+};
+
+SessionHistogram session_count_histogram(const Dataset& dataset,
+                                         std::size_t bin_width,
+                                         std::size_t cap);
+
+}  // namespace pp::data

@@ -1,0 +1,196 @@
+#include "eval/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+#include "util/math.hpp"
+
+namespace pp::eval {
+
+namespace {
+void check_inputs(std::span<const double> scores,
+                  std::span<const float> labels) {
+  if (scores.size() != labels.size()) {
+    throw std::invalid_argument("metrics: scores/labels size mismatch");
+  }
+  if (scores.empty()) {
+    throw std::invalid_argument("metrics: empty input");
+  }
+}
+
+/// Indices sorted by score descending (ties kept together).
+std::vector<std::size_t> order_by_score_desc(std::span<const double> scores) {
+  std::vector<std::size_t> order(scores.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return scores[a] > scores[b];
+                   });
+  return order;
+}
+}  // namespace
+
+std::vector<PrPoint> precision_recall_curve(std::span<const double> scores,
+                                            std::span<const float> labels) {
+  check_inputs(scores, labels);
+  const auto order = order_by_score_desc(scores);
+  double total_positives = 0;
+  for (float y : labels) total_positives += y;
+
+  // Sweep thresholds from the highest score downwards; emit one operating
+  // point per distinct score value (classify positive when score >=
+  // threshold). Collected descending-threshold first, then reversed to the
+  // sklearn ordering (increasing threshold).
+  std::vector<PrPoint> reversed;
+  double tp = 0, fp = 0;
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    tp += labels[order[i]];
+    fp += 1.0 - labels[order[i]];
+    const bool last_of_tie =
+        i + 1 == order.size() || scores[order[i + 1]] != scores[order[i]];
+    if (last_of_tie) {
+      PrPoint point;
+      point.threshold = scores[order[i]];
+      point.precision = tp / (tp + fp);
+      point.recall = total_positives > 0 ? tp / total_positives : 0.0;
+      reversed.push_back(point);
+    }
+  }
+  std::vector<PrPoint> curve(reversed.rbegin(), reversed.rend());
+  curve.push_back(
+      {1.0, 0.0, std::numeric_limits<double>::infinity()});
+  return curve;
+}
+
+double pr_auc(std::span<const double> scores, std::span<const float> labels) {
+  const auto curve = precision_recall_curve(scores, labels);
+  // Points run from high recall to recall 0; integrate over recall.
+  double area = 0;
+  for (std::size_t i = 0; i + 1 < curve.size(); ++i) {
+    const double dr = curve[i].recall - curve[i + 1].recall;
+    area += dr * 0.5 * (curve[i].precision + curve[i + 1].precision);
+  }
+  return area;
+}
+
+double average_precision(std::span<const double> scores,
+                         std::span<const float> labels) {
+  const auto curve = precision_recall_curve(scores, labels);
+  double ap = 0;
+  for (std::size_t i = 0; i + 1 < curve.size(); ++i) {
+    const double dr = curve[i].recall - curve[i + 1].recall;
+    ap += dr * curve[i].precision;
+  }
+  return ap;
+}
+
+double recall_at_precision(std::span<const double> scores,
+                           std::span<const float> labels,
+                           double min_precision) {
+  double best = 0;
+  for (const auto& point : precision_recall_curve(scores, labels)) {
+    if (point.precision >= min_precision) {
+      best = std::max(best, point.recall);
+    }
+  }
+  return best;
+}
+
+double threshold_for_precision(std::span<const double> scores,
+                               std::span<const float> labels,
+                               double target_precision) {
+  double best_recall = -1;
+  double best_threshold = std::numeric_limits<double>::infinity();
+  for (const auto& point : precision_recall_curve(scores, labels)) {
+    if (point.precision >= target_precision && point.recall > best_recall) {
+      best_recall = point.recall;
+      best_threshold = point.threshold;
+    }
+  }
+  return best_threshold;
+}
+
+double log_loss(std::span<const double> scores,
+                std::span<const float> labels) {
+  check_inputs(scores, labels);
+  double total = 0;
+  for (std::size_t i = 0; i < scores.size(); ++i) {
+    total += bce_from_prob(scores[i], labels[i]);
+  }
+  return total / static_cast<double>(scores.size());
+}
+
+double roc_auc(std::span<const double> scores,
+               std::span<const float> labels) {
+  check_inputs(scores, labels);
+  // Mann-Whitney U from midranks (handles ties exactly).
+  std::vector<std::size_t> order(scores.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return scores[a] < scores[b];
+  });
+  double positives = 0, negatives = 0;
+  for (float y : labels) {
+    positives += y;
+    negatives += 1.0 - y;
+  }
+  if (positives == 0 || negatives == 0) return 0.5;
+  double rank_sum_positive = 0;
+  std::size_t i = 0;
+  while (i < order.size()) {
+    std::size_t j = i;
+    while (j + 1 < order.size() &&
+           scores[order[j + 1]] == scores[order[i]]) {
+      ++j;
+    }
+    const double midrank = 0.5 * (static_cast<double>(i + 1) +
+                                  static_cast<double>(j + 1));
+    for (std::size_t k = i; k <= j; ++k) {
+      if (labels[order[k]] > 0.5f) rank_sum_positive += midrank;
+    }
+    i = j + 1;
+  }
+  const double u =
+      rank_sum_positive - positives * (positives + 1.0) / 2.0;
+  return u / (positives * negatives);
+}
+
+double ConfusionSummary::precision() const {
+  const auto denom = true_positives + false_positives;
+  return denom == 0 ? 1.0
+                    : static_cast<double>(true_positives) /
+                          static_cast<double>(denom);
+}
+
+double ConfusionSummary::recall() const {
+  const auto denom = true_positives + false_negatives;
+  return denom == 0 ? 0.0
+                    : static_cast<double>(true_positives) /
+                          static_cast<double>(denom);
+}
+
+ConfusionSummary confusion_at_threshold(std::span<const double> scores,
+                                        std::span<const float> labels,
+                                        double threshold) {
+  check_inputs(scores, labels);
+  ConfusionSummary summary;
+  for (std::size_t i = 0; i < scores.size(); ++i) {
+    const bool predicted = scores[i] >= threshold;
+    const bool actual = labels[i] > 0.5f;
+    if (predicted && actual) {
+      ++summary.true_positives;
+    } else if (predicted && !actual) {
+      ++summary.false_positives;
+    } else if (!predicted && actual) {
+      ++summary.false_negatives;
+    } else {
+      ++summary.true_negatives;
+    }
+  }
+  return summary;
+}
+
+}  // namespace pp::eval

@@ -1,0 +1,72 @@
+// Evaluation metrics (§8). Precision/recall are the quantities that matter
+// for predictive precompute: precision = fraction of precomputations that
+// were followed by an access (1 - waste), recall = fraction of accesses
+// that were successfully precomputed (latency wins). PR-AUC is the single
+// comparison number (Davis & Goadrich 2006), and recall@precision mirrors
+// the production thresholding policy ("maximize recall while constraining
+// precision").
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace pp::eval {
+
+struct PrPoint {
+  double precision = 1;
+  double recall = 0;
+  /// Score threshold achieving this operating point (predict positive when
+  /// score >= threshold). The final point (recall 0, precision 1) carries
+  /// +inf, matching sklearn's convention of one fewer threshold.
+  double threshold = 0;
+};
+
+/// Full precision-recall curve, sklearn `precision_recall_curve`
+/// compatible: one operating point per distinct score, ordered by
+/// increasing threshold (decreasing recall), terminated with the
+/// (recall=0, precision=1) anchor.
+std::vector<PrPoint> precision_recall_curve(std::span<const double> scores,
+                                            std::span<const float> labels);
+
+/// Area under the PR curve by trapezoidal integration over recall —
+/// sklearn's `auc(recall, precision)`, the paper's Table 3 metric.
+double pr_auc(std::span<const double> scores, std::span<const float> labels);
+
+/// Step-wise average precision (sklearn `average_precision_score`);
+/// reported alongside PR-AUC in some ablations.
+double average_precision(std::span<const double> scores,
+                         std::span<const float> labels);
+
+/// Maximum recall among operating points with precision >= min_precision
+/// (Table 4 uses min_precision = 0.5, the online experiment 0.6).
+double recall_at_precision(std::span<const double> scores,
+                           std::span<const float> labels,
+                           double min_precision);
+
+/// Score threshold that maximizes recall subject to precision >=
+/// target_precision. Returns +inf when no point satisfies the constraint.
+double threshold_for_precision(std::span<const double> scores,
+                               std::span<const float> labels,
+                               double target_precision);
+
+/// Mean binary cross-entropy of probability scores.
+double log_loss(std::span<const double> scores, std::span<const float> labels);
+
+/// Mann-Whitney ROC-AUC with tie handling.
+double roc_auc(std::span<const double> scores, std::span<const float> labels);
+
+/// Precision/recall/counts at one fixed threshold (score >= threshold).
+struct ConfusionSummary {
+  std::size_t true_positives = 0;
+  std::size_t false_positives = 0;
+  std::size_t false_negatives = 0;
+  std::size_t true_negatives = 0;
+  double precision() const;
+  double recall() const;
+};
+ConfusionSummary confusion_at_threshold(std::span<const double> scores,
+                                        std::span<const float> labels,
+                                        double threshold);
+
+}  // namespace pp::eval

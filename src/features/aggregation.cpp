@@ -1,0 +1,120 @@
+#include "features/aggregation.hpp"
+
+#include <stdexcept>
+
+#include "features/encoders.hpp"
+
+namespace pp::features {
+
+std::vector<ContextSubset> all_subsets(std::size_t num_fields) {
+  if (num_fields > data::kMaxContextFields) {
+    throw std::invalid_argument("all_subsets: too many context fields");
+  }
+  std::vector<ContextSubset> subsets;
+  subsets.reserve(1u << num_fields);
+  for (ContextSubset m = 0; m < (1u << num_fields); ++m) subsets.push_back(m);
+  return subsets;
+}
+
+std::vector<std::int64_t> default_windows() {
+  return {28 * 86400ll, 7 * 86400ll, 86400ll, 3600ll};
+}
+
+UserAggregator::UserAggregator(const data::ContextSchema* schema,
+                               std::vector<std::int64_t> windows)
+    : schema_(schema),
+      windows_(std::move(windows)),
+      subsets_(all_subsets(schema->size())),
+      heads_(windows_.size(), 0),
+      tables_(windows_.size()) {}
+
+std::uint64_t UserAggregator::subset_key(
+    ContextSubset mask, std::span<const std::uint32_t> context) const {
+  // Exact mixed-radix packing of the selected field values, disambiguated
+  // by the mask in the low bits. Cardinalities are small enough (<= a few
+  // hundred, <= 4 fields) that this never overflows 60 bits.
+  std::uint64_t key = 1;
+  for (std::size_t f = 0; f < schema_->size(); ++f) {
+    if ((mask >> f) & 1u) {
+      std::uint32_t value = context[f];
+      const auto& field = schema_->fields[f];
+      if (field.hashed) value = hash_mod(value, field.cardinality);
+      key = key * (field.cardinality + 1) + (value + 1);
+    }
+  }
+  return (key << data::kMaxContextFields) | mask;
+}
+
+void UserAggregator::observe(const data::Session& session) {
+  Event event{session.timestamp, session.context, session.access};
+  events_.push_back(event);
+  for (const ContextSubset mask : subsets_) {
+    const std::uint64_t key = subset_key(mask, event.context);
+    for (std::size_t w = 0; w < windows_.size(); ++w) {
+      WindowCounts& cell = tables_[w][key];
+      ++cell.sessions;
+      cell.accesses += event.access;
+    }
+    last_session_[key] = event.timestamp;
+    if (event.access) last_access_[key] = event.timestamp;
+  }
+}
+
+void UserAggregator::evict(std::int64_t t) {
+  // Advance each window head past expired events, decrementing counters.
+  std::size_t min_head = base_index_ + events_.size();
+  for (std::size_t w = 0; w < windows_.size(); ++w) {
+    const std::int64_t cutoff = t - windows_[w];
+    while (heads_[w] < base_index_ + events_.size()) {
+      const Event& event = events_[heads_[w] - base_index_];
+      if (event.timestamp > cutoff) break;
+      for (const ContextSubset mask : subsets_) {
+        const std::uint64_t key = subset_key(mask, event.context);
+        auto it = tables_[w].find(key);
+        if (it != tables_[w].end()) {
+          it->second.sessions -= 1;
+          it->second.accesses -= event.access;
+          if (it->second.sessions == 0) tables_[w].erase(it);
+        }
+      }
+      ++heads_[w];
+    }
+    min_head = std::min(min_head, heads_[w]);
+  }
+  // Drop events no window can still see.
+  while (base_index_ < min_head && !events_.empty()) {
+    events_.pop_front();
+    ++base_index_;
+  }
+}
+
+void UserAggregator::query(std::int64_t t,
+                           std::span<const std::uint32_t> context,
+                           AggregateSnapshot& out) {
+  evict(t);
+  const std::size_t ns = subsets_.size();
+  out.counts.assign(windows_.size() * ns, WindowCounts{});
+  out.last_session_elapsed.assign(ns, -1);
+  out.last_access_elapsed.assign(ns, -1);
+  for (std::size_t s = 0; s < ns; ++s) {
+    const std::uint64_t key = subset_key(subsets_[s], context);
+    for (std::size_t w = 0; w < windows_.size(); ++w) {
+      auto it = tables_[w].find(key);
+      if (it != tables_[w].end()) out.counts[w * ns + s] = it->second;
+    }
+    if (auto it = last_session_.find(key); it != last_session_.end()) {
+      out.last_session_elapsed[s] = t - it->second;
+    }
+    if (auto it = last_access_.find(key); it != last_access_.end()) {
+      out.last_access_elapsed[s] = t - it->second;
+    }
+  }
+}
+
+std::size_t UserAggregator::live_key_count() const {
+  std::size_t n = 0;
+  for (const auto& table : tables_) n += table.size();
+  return n + last_session_.size() + last_access_.size();
+}
+
+}  // namespace pp::features

@@ -1,0 +1,107 @@
+// Streaming time-window aggregation engine (§5.2): for every
+// (time window) x (matching subset of context) combination it tracks the
+// number of sessions, number of accesses, and their ratio, plus the time
+// elapsed since the last session/access with a matching context subset.
+//
+// This is exactly the feature family the paper says requires "specialized
+// infrastructure to remain efficient at scale" — the serving-side cost of
+// keeping it live is what pp::serving::AggregationService instruments.
+// Here it is implemented as an exact per-user sliding-window structure:
+// a shared event ring with one head pointer and one counter table per
+// window, so each query/observe is O(#subsets x #windows).
+//
+// Visibility lag: the caller controls when a session becomes visible to
+// the aggregates. In production both the context and the access flag of a
+// session are emitted only when its fixed window closes (lag delta =
+// session length + epsilon, §6.1), so UserFeatureExtractor feeds sessions
+// into the aggregator only once they are delta old.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "data/dataset.hpp"
+
+namespace pp::features {
+
+/// Bitmask over schema fields: bit i set means field i must match the
+/// query context. Mask 0 is the unconditional ("global") subset.
+using ContextSubset = std::uint32_t;
+
+/// All 2^n subsets for n context fields (n <= kMaxContextFields).
+std::vector<ContextSubset> all_subsets(std::size_t num_fields);
+
+/// Default windows from the paper: 28 days, 7 days, 1 day, 1 hour.
+std::vector<std::int64_t> default_windows();
+
+/// Counts for one (window, subset-key) cell.
+struct WindowCounts {
+  std::uint32_t sessions = 0;
+  std::uint32_t accesses = 0;
+};
+
+/// Aggregate features for one query, laid out as:
+///   counts[w * num_subsets + s] for window w, subset s
+///   last_session_elapsed[s], last_access_elapsed[s]  (-1 when never seen)
+struct AggregateSnapshot {
+  std::vector<WindowCounts> counts;
+  std::vector<std::int64_t> last_session_elapsed;
+  std::vector<std::int64_t> last_access_elapsed;
+};
+
+/// Exact sliding-window aggregator for a single user's session stream.
+/// observe() must be called with non-decreasing timestamps; query() with a
+/// timestamp >= every observed one (standard forward-in-time replay).
+class UserAggregator {
+ public:
+  UserAggregator(const data::ContextSchema* schema,
+                 std::vector<std::int64_t> windows = default_windows());
+
+  /// Adds a session to every window and updates last-seen tables.
+  void observe(const data::Session& session);
+
+  /// Fills `out` with the aggregates visible at time t for the given
+  /// query context. Expired events are evicted lazily here.
+  void query(std::int64_t t, std::span<const std::uint32_t> context,
+             AggregateSnapshot& out);
+
+  std::size_t num_subsets() const { return subsets_.size(); }
+  std::size_t num_windows() const { return windows_.size(); }
+  const std::vector<ContextSubset>& subsets() const { return subsets_; }
+  const std::vector<std::int64_t>& windows() const { return windows_; }
+
+  /// Number of live (window, key) counter cells — the "thousands of unique
+  /// keys per user" the paper attributes the serving cost to (§9).
+  std::size_t live_key_count() const;
+
+ private:
+  /// Exact packed key for (subset, values projected onto subset).
+  std::uint64_t subset_key(ContextSubset mask,
+                           std::span<const std::uint32_t> context) const;
+  void evict(std::int64_t t);
+
+  const data::ContextSchema* schema_;
+  std::vector<std::int64_t> windows_;  // descending not required; as given
+  std::vector<ContextSubset> subsets_;
+
+  struct Event {
+    std::int64_t timestamp;
+    std::array<std::uint32_t, data::kMaxContextFields> context;
+    std::uint8_t access;
+  };
+  std::deque<Event> events_;
+  /// Absolute index of events_.front() (events are never re-ordered).
+  std::size_t base_index_ = 0;
+  /// Per-window absolute index of the first event still inside the window.
+  std::vector<std::size_t> heads_;
+  /// Per-window counter tables keyed by subset_key.
+  std::vector<std::unordered_map<std::uint64_t, WindowCounts>> tables_;
+  /// Last session / last access timestamps keyed by subset_key.
+  std::unordered_map<std::uint64_t, std::int64_t> last_session_;
+  std::unordered_map<std::uint64_t, std::int64_t> last_access_;
+};
+
+}  // namespace pp::features

@@ -1,0 +1,197 @@
+#include "features/examples.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace pp::features {
+
+void ExampleBatch::add_row(const SparseRow& row, float label,
+                           std::int64_t timestamp, std::uint32_t user) {
+  for (const auto& [col, value] : row) {
+    indices.push_back(col);
+    values.push_back(value);
+  }
+  row_offsets.push_back(indices.size());
+  labels.push_back(label);
+  timestamps.push_back(timestamp);
+  user_row.push_back(user);
+}
+
+void ExampleBatch::append(const ExampleBatch& other) {
+  const std::size_t base = indices.size();
+  indices.insert(indices.end(), other.indices.begin(), other.indices.end());
+  values.insert(values.end(), other.values.begin(), other.values.end());
+  for (std::size_t i = 1; i < other.row_offsets.size(); ++i) {
+    row_offsets.push_back(base + other.row_offsets[i]);
+  }
+  labels.insert(labels.end(), other.labels.begin(), other.labels.end());
+  timestamps.insert(timestamps.end(), other.timestamps.begin(),
+                    other.timestamps.end());
+  user_row.insert(user_row.end(), other.user_row.begin(),
+                  other.user_row.end());
+}
+
+double ExampleBatch::positive_rate() const {
+  if (labels.empty()) return 0;
+  double total = 0;
+  for (float y : labels) total += y;
+  return total / static_cast<double>(labels.size());
+}
+
+void ExampleBatch::densify_row(std::size_t i, std::span<float> out) const {
+  std::fill(out.begin(), out.begin() + dimension, 0.0f);
+  const auto cols = row_indices(i);
+  const auto vals = row_values(i);
+  for (std::size_t j = 0; j < cols.size(); ++j) out[cols[j]] = vals[j];
+}
+
+namespace {
+
+/// Runs per-user extraction (possibly in parallel) and concatenates the
+/// per-user batches in user order so output is deterministic.
+template <typename PerUserFn>
+ExampleBatch build_parallel(const data::Dataset& dataset,
+                            std::span<const std::size_t> user_indices,
+                            const FeaturePipeline& pipeline,
+                            std::size_t num_threads, PerUserFn&& per_user) {
+  std::vector<ExampleBatch> partial(user_indices.size());
+  auto run_one = [&](std::size_t i) {
+    partial[i].dimension = pipeline.dimension();
+    per_user(dataset.users[user_indices[i]], static_cast<std::uint32_t>(i),
+             partial[i]);
+  };
+  if (num_threads > 1 && user_indices.size() > 1) {
+    ThreadPool pool(num_threads);
+    pool.parallel_for(user_indices.size(), run_one);
+  } else {
+    for (std::size_t i = 0; i < user_indices.size(); ++i) run_one(i);
+  }
+  ExampleBatch out;
+  out.dimension = pipeline.dimension();
+  std::size_t total_rows = 0, total_nnz = 0;
+  for (const auto& b : partial) {
+    total_rows += b.size();
+    total_nnz += b.indices.size();
+  }
+  out.row_offsets.reserve(total_rows + 1);
+  out.indices.reserve(total_nnz);
+  out.values.reserve(total_nnz);
+  out.labels.reserve(total_rows);
+  out.timestamps.reserve(total_rows);
+  out.user_row.reserve(total_rows);
+  for (const auto& b : partial) out.append(b);
+  return out;
+}
+
+}  // namespace
+
+ExampleBatch build_session_examples(const data::Dataset& dataset,
+                                    std::span<const std::size_t> user_indices,
+                                    const FeaturePipeline& pipeline,
+                                    std::int64_t emit_from,
+                                    std::int64_t emit_to,
+                                    std::size_t num_threads) {
+  const std::int64_t end = emit_to > 0 ? emit_to : dataset.end_time;
+  const std::int64_t delta = dataset.delta();
+  return build_parallel(
+      dataset, user_indices, pipeline, num_threads,
+      [&](const data::UserLog& user, std::uint32_t user_pos,
+          ExampleBatch& out) {
+        UserFeatureExtractor extractor(pipeline, delta);
+        SparseRow row;
+        for (const auto& session : user.sessions) {
+          if (session.timestamp >= emit_from && session.timestamp < end) {
+            extractor.extract(session.timestamp, session.context, row);
+            out.add_row(row, static_cast<float>(session.access),
+                        session.timestamp, user_pos);
+          }
+          extractor.push(session);
+        }
+      });
+}
+
+ExampleBatch build_timeshift_examples(
+    const data::Dataset& dataset, std::span<const std::size_t> user_indices,
+    const FeaturePipeline& pipeline, std::int64_t emit_from,
+    std::int64_t emit_to, std::size_t num_threads) {
+  const std::int64_t end = emit_to > 0 ? emit_to : dataset.end_time;
+  const std::int64_t delta = dataset.delta();
+  const int days = dataset.days();
+  // Query context for the peak-window prediction: is_peak = 1. The
+  // schema's first field is the peak flag for timeshift datasets.
+  return build_parallel(
+      dataset, user_indices, pipeline, num_threads,
+      [&](const data::UserLog& user, std::uint32_t user_pos,
+          ExampleBatch& out) {
+        UserFeatureExtractor extractor(pipeline, delta);
+        SparseRow row;
+        std::array<std::uint32_t, data::kMaxContextFields> query_ctx{};
+        query_ctx[0] = 1;
+        std::size_t next_session = 0;
+        for (int d = 0; d < days; ++d) {
+          const std::int64_t day_begin =
+              dataset.start_time + static_cast<std::int64_t>(d) * 86400;
+          const std::int64_t window_start =
+              dataset.peak.start_on_day(day_begin);
+          const std::int64_t window_end =
+              day_begin +
+              static_cast<std::int64_t>(dataset.peak.end_hour) * 3600;
+          // Feed history up to this day's prediction point. Sessions at or
+          // after it stay queued and are consumed on a later day.
+          while (next_session < user.sessions.size() &&
+                 user.sessions[next_session].timestamp < window_start) {
+            extractor.push(user.sessions[next_session]);
+            ++next_session;
+          }
+          if (window_start < emit_from || window_start >= end) continue;
+          extractor.extract(window_start, query_ctx, row);
+          // Label: any access inside [window_start, window_end).
+          float label = 0.0f;
+          for (std::size_t j = next_session; j < user.sessions.size(); ++j) {
+            const auto& s = user.sessions[j];
+            if (s.timestamp >= window_end) break;
+            if (s.access) {
+              label = 1.0f;
+              break;
+            }
+          }
+          out.add_row(row, label, window_start, user_pos);
+        }
+      });
+}
+
+UserSplit split_users(std::size_t num_users, double test_fraction,
+                      std::uint64_t seed) {
+  std::vector<std::size_t> order(num_users);
+  std::iota(order.begin(), order.end(), 0);
+  Rng rng(seed);
+  rng.shuffle(order);
+  const auto test_count = static_cast<std::size_t>(
+      std::max<double>(1.0, test_fraction * static_cast<double>(num_users)));
+  UserSplit split;
+  split.test.assign(order.begin(), order.begin() + test_count);
+  split.train.assign(order.begin() + test_count, order.end());
+  std::sort(split.train.begin(), split.train.end());
+  std::sort(split.test.begin(), split.test.end());
+  return split;
+}
+
+std::vector<std::vector<std::size_t>> kfold_users(std::size_t num_users,
+                                                  std::size_t k,
+                                                  std::uint64_t seed) {
+  std::vector<std::size_t> order(num_users);
+  std::iota(order.begin(), order.end(), 0);
+  Rng rng(seed);
+  rng.shuffle(order);
+  std::vector<std::vector<std::size_t>> folds(k);
+  for (std::size_t i = 0; i < num_users; ++i) {
+    folds[i % k].push_back(order[i]);
+  }
+  for (auto& fold : folds) std::sort(fold.begin(), fold.end());
+  return folds;
+}
+
+}  // namespace pp::features

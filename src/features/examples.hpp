@@ -1,0 +1,81 @@
+// Example construction: turns access logs into sparse (features, label)
+// batches for the baseline models, replaying each user forward in time so
+// features only ever see history (with visibility lag delta).
+//
+// Session problems (MobileTab, MPU) emit one example per session; the
+// timeshifted problem (§3.2.1) emits one example per (user, day) labelled
+// by "any access within the day's peak window", predicted from the peak
+// window's start with a synthetic is_peak context.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "features/pipeline.hpp"
+
+namespace pp::features {
+
+/// CSR-style sparse example batch.
+struct ExampleBatch {
+  std::size_t dimension = 0;
+  std::vector<std::size_t> row_offsets{0};
+  std::vector<std::uint32_t> indices;
+  std::vector<float> values;
+  std::vector<float> labels;
+  std::vector<std::int64_t> timestamps;
+  /// Position of the example's user within the user_indices span the
+  /// builder was given (NOT the dataset-wide index).
+  std::vector<std::uint32_t> user_row;
+
+  std::size_t size() const { return labels.size(); }
+  std::span<const std::uint32_t> row_indices(std::size_t i) const {
+    return {indices.data() + row_offsets[i],
+            row_offsets[i + 1] - row_offsets[i]};
+  }
+  std::span<const float> row_values(std::size_t i) const {
+    return {values.data() + row_offsets[i],
+            row_offsets[i + 1] - row_offsets[i]};
+  }
+  void add_row(const SparseRow& row, float label, std::int64_t timestamp,
+               std::uint32_t user);
+  void append(const ExampleBatch& other);
+  double positive_rate() const;
+  /// Densifies row i into out (size >= dimension, zero-filled first).
+  void densify_row(std::size_t i, std::span<float> out) const;
+};
+
+/// One example per session of each selected user, emitting only sessions
+/// with emit_from <= timestamp < emit_to (pass emit_to = 0 for "until the
+/// end"). Features see all prior sessions of the user, lagged by delta.
+/// num_threads > 1 parallelizes across users.
+ExampleBatch build_session_examples(const data::Dataset& dataset,
+                                    std::span<const std::size_t> user_indices,
+                                    const FeaturePipeline& pipeline,
+                                    std::int64_t emit_from = 0,
+                                    std::int64_t emit_to = 0,
+                                    std::size_t num_threads = 1);
+
+/// Timeshift examples: one per (user, day) with the label defined on the
+/// peak window and prediction at the window start (eq. 3 setting).
+ExampleBatch build_timeshift_examples(
+    const data::Dataset& dataset, std::span<const std::size_t> user_indices,
+    const FeaturePipeline& pipeline, std::int64_t emit_from = 0,
+    std::int64_t emit_to = 0, std::size_t num_threads = 1);
+
+/// Convenience: split user indices into train/test by a deterministic
+/// shuffle (90/10 in the paper, §5.3).
+struct UserSplit {
+  std::vector<std::size_t> train;
+  std::vector<std::size_t> test;
+};
+UserSplit split_users(std::size_t num_users, double test_fraction,
+                      std::uint64_t seed);
+
+/// k-fold partition of users (k = 4 for MPU in §7).
+std::vector<std::vector<std::size_t>> kfold_users(std::size_t num_users,
+                                                  std::size_t k,
+                                                  std::uint64_t seed);
+
+}  // namespace pp::features

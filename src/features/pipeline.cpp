@@ -1,0 +1,175 @@
+#include "features/pipeline.hpp"
+
+#include <cmath>
+
+namespace pp::features {
+
+namespace {
+/// Sentinel for "never happened": 60 days, past every window.
+constexpr std::int64_t kNeverElapsed = 60ll * 86400;
+
+std::string window_name(std::int64_t seconds) {
+  if (seconds % 86400 == 0) return std::to_string(seconds / 86400) + "d";
+  if (seconds % 3600 == 0) return std::to_string(seconds / 3600) + "h";
+  return std::to_string(seconds) + "s";
+}
+}  // namespace
+
+FeaturePipeline::FeaturePipeline(const data::ContextSchema& schema,
+                                 FeatureSelection selection,
+                                 FeatureEncoding encoding,
+                                 std::vector<std::int64_t> windows)
+    : schema_(&schema),
+      selection_(selection),
+      encoding_(encoding),
+      windows_(std::move(windows)),
+      num_subsets_(std::size_t{1} << schema.size()) {
+  std::size_t offset = 0;
+  auto add_block = [&](std::string name, std::size_t width) {
+    blocks_.push_back({std::move(name), offset, width});
+    offset += width;
+  };
+
+  if (selection_.contextual) {
+    ctx_offset_ = offset;
+    std::size_t ctx_width = 0;
+    for (const auto& field : schema.fields) {
+      ctx_width += (field.ordinal && !encoding_.one_hot_ordinal)
+                       ? 1
+                       : field.cardinality;
+    }
+    add_block("context", ctx_width);
+    time_offset_ = offset;
+    add_block("time_of_day", encoding_.one_hot_time ? kTimeOfDayWidth : 2);
+  }
+  if (selection_.elapsed) {
+    elapsed_offset_ = offset;
+    const std::size_t per_feature =
+        encoding_.one_hot_elapsed
+            ? static_cast<std::size_t>(bucketizer_.num_buckets())
+            : 1;
+    add_block("elapsed", num_subsets_ * 2 * per_feature);
+  }
+  if (selection_.aggregations) {
+    agg_offset_ = offset;
+    add_block("aggregations", windows_.size() * num_subsets_ * 3);
+  }
+  dimension_ = offset;
+}
+
+void FeaturePipeline::encode_static(std::int64_t t,
+                                    std::span<const std::uint32_t> context,
+                                    SparseRow& out) const {
+  if (!selection_.contextual) return;
+  // Context fields: one sparse entry per field (one-hot slot, or a single
+  // numeric column for ordinal fields under the GBDT encoding).
+  std::size_t offset = ctx_offset_;
+  for (std::size_t f = 0; f < schema_->size(); ++f) {
+    const auto& field = schema_->fields[f];
+    std::uint32_t value = context[f];
+    if (field.hashed) value = hash_mod(value, field.cardinality);
+    value = std::min(value, field.cardinality - 1);
+    if (field.ordinal && !encoding_.one_hot_ordinal) {
+      if (value > 0) {
+        out.emplace_back(static_cast<std::uint32_t>(offset),
+                         static_cast<float>(value));
+      }
+      offset += 1;
+    } else {
+      out.emplace_back(static_cast<std::uint32_t>(offset + value), 1.0f);
+      offset += field.cardinality;
+    }
+  }
+  // Time of day / day of week.
+  const int hour = data::hour_of_day(t);
+  const int dow = data::day_of_week(t);
+  if (encoding_.one_hot_time) {
+    out.emplace_back(static_cast<std::uint32_t>(time_offset_ + hour), 1.0f);
+    out.emplace_back(static_cast<std::uint32_t>(time_offset_ + 24 + dow),
+                     1.0f);
+  } else {
+    out.emplace_back(static_cast<std::uint32_t>(time_offset_),
+                     static_cast<float>(hour));
+    out.emplace_back(static_cast<std::uint32_t>(time_offset_ + 1),
+                     static_cast<float>(dow));
+  }
+}
+
+void FeaturePipeline::encode_history(std::int64_t /*t*/,
+                                     const AggregateSnapshot& snapshot,
+                                     SparseRow& out) const {
+  if (selection_.elapsed) {
+    const auto buckets =
+        static_cast<std::size_t>(bucketizer_.num_buckets());
+    for (std::size_t s = 0; s < num_subsets_; ++s) {
+      for (int which = 0; which < 2; ++which) {
+        const std::int64_t elapsed = which == 0
+                                         ? snapshot.last_session_elapsed[s]
+                                         : snapshot.last_access_elapsed[s];
+        const std::size_t feature_index = s * 2 + which;
+        if (encoding_.one_hot_elapsed) {
+          // "Never" leaves the whole one-hot group zero — a distinct
+          // pattern the linear model can learn a default weight for.
+          if (elapsed >= 0) {
+            const std::size_t col = elapsed_offset_ +
+                                    feature_index * buckets +
+                                    static_cast<std::size_t>(
+                                        bucketizer_.bucket(elapsed));
+            out.emplace_back(static_cast<std::uint32_t>(col), 1.0f);
+          }
+        } else {
+          const std::int64_t value = elapsed >= 0 ? elapsed : kNeverElapsed;
+          out.emplace_back(
+              static_cast<std::uint32_t>(elapsed_offset_ + feature_index),
+              static_cast<float>(std::log1p(static_cast<double>(value))));
+        }
+      }
+    }
+  }
+  if (selection_.aggregations) {
+    const std::size_t ns = num_subsets_;
+    for (std::size_t w = 0; w < windows_.size(); ++w) {
+      for (std::size_t s = 0; s < ns; ++s) {
+        const WindowCounts& cell = snapshot.counts[w * ns + s];
+        if (cell.sessions == 0) continue;  // all-zero cell stays implicit
+        const std::size_t base = agg_offset_ + (w * ns + s) * 3;
+        out.emplace_back(static_cast<std::uint32_t>(base),
+                         static_cast<float>(std::log1p(cell.sessions)));
+        if (cell.accesses > 0) {
+          out.emplace_back(static_cast<std::uint32_t>(base + 1),
+                           static_cast<float>(std::log1p(cell.accesses)));
+          out.emplace_back(static_cast<std::uint32_t>(base + 2),
+                           static_cast<float>(cell.accesses) /
+                               static_cast<float>(cell.sessions));
+        }
+      }
+    }
+  }
+}
+
+UserFeatureExtractor::UserFeatureExtractor(const FeaturePipeline& pipeline,
+                                           std::int64_t delta)
+    : pipeline_(&pipeline),
+      delta_(delta),
+      aggregator_(&pipeline.schema(), pipeline.windows()) {}
+
+void UserFeatureExtractor::extract(std::int64_t t,
+                                   std::span<const std::uint32_t> context,
+                                   SparseRow& out) {
+  while (!pending_.empty() && pending_.front().timestamp <= t - delta_) {
+    aggregator_.observe(pending_.front());
+    pending_.pop_front();
+  }
+  out.clear();
+  pipeline_->encode_static(t, context, out);
+  if (pipeline_->selection().elapsed || pipeline_->selection().aggregations) {
+    aggregator_.query(t, context, snapshot_);
+    pipeline_->encode_history(t, snapshot_, out);
+  }
+}
+
+void UserFeatureExtractor::push(const data::Session& session) {
+  pending_.push_back(session);
+}
+
+}  // namespace pp::features

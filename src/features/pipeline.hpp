@@ -1,0 +1,124 @@
+// FeaturePipeline: assembles the model-ready feature vector for the
+// traditional baselines (§5.2-5.4), with the block switches used by the
+// Table 5 ablation (C = contextual, E = time elapsed, A = aggregations)
+// and the encoding differences between LR (everything one-hot) and GBDT
+// (numeric time / elapsed features).
+//
+// UserFeatureExtractor replays one user's sessions forward in time with
+// the production visibility lag delta: a session only influences features
+// once it is delta old (its window has closed and the pipeline has caught
+// up, §6.1) — the same information constraint the RNN operates under.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "features/aggregation.hpp"
+#include "features/encoders.hpp"
+
+namespace pp::features {
+
+/// Feature-family switches (Table 5 rows: C, E+C, A+E+C).
+struct FeatureSelection {
+  bool contextual = true;
+  bool elapsed = true;
+  bool aggregations = true;
+};
+
+/// Per-model encoding choices (§5.3 vs §5.4).
+struct FeatureEncoding {
+  /// One-hot hour-of-day / day-of-week (LR) instead of numeric (GBDT).
+  bool one_hot_time = false;
+  /// Bucketize elapsed seconds with T() and one-hot (LR) instead of
+  /// log1p-numeric (GBDT).
+  bool one_hot_elapsed = false;
+  /// One-hot ordinal (count-valued) context fields (LR) instead of a
+  /// single numeric column (GBDT).
+  bool one_hot_ordinal = false;
+};
+
+inline FeatureEncoding lr_encoding() { return {true, true, true}; }
+inline FeatureEncoding gbdt_encoding() { return {false, false, false}; }
+
+/// A named contiguous range of feature columns (for debugging and tests).
+struct FeatureBlock {
+  std::string name;
+  std::size_t offset = 0;
+  std::size_t width = 0;
+};
+
+/// Sparse feature row: (column, value) pairs with strictly increasing
+/// columns. One-hot blocks contribute single entries, which keeps LR rows
+/// ~20 nonzeros wide instead of ~600 columns.
+using SparseRow = std::vector<std::pair<std::uint32_t, float>>;
+
+class FeaturePipeline {
+ public:
+  FeaturePipeline(const data::ContextSchema& schema,
+                  FeatureSelection selection = {},
+                  FeatureEncoding encoding = {},
+                  std::vector<std::int64_t> windows = default_windows());
+
+  std::size_t dimension() const { return dimension_; }
+  const std::vector<FeatureBlock>& blocks() const { return blocks_; }
+  const data::ContextSchema& schema() const { return *schema_; }
+  const FeatureSelection& selection() const { return selection_; }
+  const FeatureEncoding& encoding() const { return encoding_; }
+  const std::vector<std::int64_t>& windows() const { return windows_; }
+  std::size_t num_subsets() const { return num_subsets_; }
+
+  /// Encodes the context/time part (no history needed).
+  void encode_static(std::int64_t t, std::span<const std::uint32_t> context,
+                     SparseRow& out) const;
+  /// Encodes the history-dependent part from an aggregate snapshot.
+  void encode_history(std::int64_t t, const AggregateSnapshot& snapshot,
+                      SparseRow& out) const;
+
+ private:
+  friend class UserFeatureExtractor;
+
+  const data::ContextSchema* schema_;
+  FeatureSelection selection_;
+  FeatureEncoding encoding_;
+  std::vector<std::int64_t> windows_;
+  std::size_t num_subsets_;
+  LogBucketizer bucketizer_;
+
+  std::size_t dimension_ = 0;
+  std::vector<FeatureBlock> blocks_;
+  // Precomputed offsets.
+  std::size_t ctx_offset_ = 0;
+  std::size_t time_offset_ = 0;
+  std::size_t elapsed_offset_ = 0;
+  std::size_t agg_offset_ = 0;
+};
+
+/// Forward-in-time feature extraction for one user.
+class UserFeatureExtractor {
+ public:
+  /// `delta` is the visibility lag (Dataset::delta()).
+  UserFeatureExtractor(const FeaturePipeline& pipeline, std::int64_t delta);
+
+  /// Features for a query at time t with the given context. Every session
+  /// previously push()ed with timestamp <= t - delta becomes visible
+  /// first. Timestamps across calls must be non-decreasing.
+  void extract(std::int64_t t, std::span<const std::uint32_t> context,
+               SparseRow& out);
+
+  /// Registers a completed session (becomes visible delta later).
+  void push(const data::Session& session);
+
+  const UserAggregator& aggregator() const { return aggregator_; }
+
+ private:
+  const FeaturePipeline* pipeline_;
+  std::int64_t delta_;
+  UserAggregator aggregator_;
+  std::deque<data::Session> pending_;
+  AggregateSnapshot snapshot_;
+};
+
+}  // namespace pp::features

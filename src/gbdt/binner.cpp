@@ -1,0 +1,106 @@
+#include "gbdt/binner.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace pp::gbdt {
+
+Binner::Binner(const features::ExampleBatch& batch, int max_bins) {
+  if (max_bins < 2 || max_bins > 256) {
+    throw std::invalid_argument("Binner: max_bins must be in [2, 256]");
+  }
+  const std::size_t d = batch.dimension;
+  const std::size_t n = batch.size();
+  edges_.resize(d);
+
+  // Collect per-feature nonzero values from the CSR batch.
+  std::vector<std::vector<float>> nonzeros(d);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto cols = batch.row_indices(i);
+    const auto vals = batch.row_values(i);
+    for (std::size_t j = 0; j < cols.size(); ++j) {
+      nonzeros[cols[j]].push_back(vals[j]);
+    }
+  }
+
+  for (std::size_t c = 0; c < d; ++c) {
+    auto& values = nonzeros[c];
+    const std::size_t zeros = n - values.size();
+    std::sort(values.begin(), values.end());
+    values.erase(std::unique(values.begin(), values.end()), values.end());
+
+    // Distinct value count (including the implicit zero when present).
+    const bool has_zero =
+        zeros > 0 && !std::binary_search(values.begin(), values.end(), 0.0f);
+    std::vector<float> distinct;
+    distinct.reserve(values.size() + 1);
+    if (has_zero) {
+      // Merge 0 into sorted order.
+      const auto it = std::lower_bound(values.begin(), values.end(), 0.0f);
+      distinct.assign(values.begin(), it);
+      distinct.push_back(0.0f);
+      distinct.insert(distinct.end(), it, values.end());
+    } else {
+      distinct = values;
+    }
+
+    auto& edges = edges_[c];
+    if (distinct.size() <= 1) {
+      // Constant feature: single bin, no edges.
+      continue;
+    }
+    if (static_cast<int>(distinct.size()) <= max_bins) {
+      // One bin per distinct value; edges at midpoints.
+      edges.reserve(distinct.size() - 1);
+      for (std::size_t i = 0; i + 1 < distinct.size(); ++i) {
+        edges.push_back(0.5f * (distinct[i] + distinct[i + 1]));
+      }
+    } else {
+      // Quantile cuts over the distinct values (a practical approximation
+      // of weighted quantiles that is exact for the heavy discrete mass
+      // at 0 because 0 is its own distinct value).
+      edges.reserve(static_cast<std::size_t>(max_bins) - 1);
+      for (int b = 1; b < max_bins; ++b) {
+        const std::size_t idx =
+            static_cast<std::size_t>(static_cast<double>(b) *
+                                     static_cast<double>(distinct.size()) /
+                                     max_bins);
+        const float edge = distinct[std::min(idx, distinct.size() - 1)];
+        if (edges.empty() || edge > edges.back()) edges.push_back(edge);
+      }
+    }
+  }
+}
+
+std::uint8_t Binner::bin_value(std::size_t feature, float value) const {
+  const auto& edges = edges_[feature];
+  // First bin whose upper edge admits the value: values <= edges[b] go to
+  // bin b, the remainder to the last bin.
+  const auto it = std::lower_bound(edges.begin(), edges.end(), value);
+  return static_cast<std::uint8_t>(it - edges.begin());
+}
+
+BinnedMatrix Binner::apply(const features::ExampleBatch& batch) const {
+  if (batch.dimension != edges_.size()) {
+    throw std::invalid_argument("Binner::apply: dimension mismatch");
+  }
+  BinnedMatrix out(batch.size(), edges_.size());
+  // Precompute the bin of 0.0 per feature for implicit CSR zeros.
+  std::vector<std::uint8_t> zero_bins(edges_.size());
+  for (std::size_t c = 0; c < edges_.size(); ++c) {
+    zero_bins[c] = bin_value(c, 0.0f);
+  }
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    for (std::size_t c = 0; c < edges_.size(); ++c) {
+      out.set_bin(i, c, zero_bins[c]);
+    }
+    const auto cols = batch.row_indices(i);
+    const auto vals = batch.row_values(i);
+    for (std::size_t j = 0; j < cols.size(); ++j) {
+      out.set_bin(i, cols[j], bin_value(cols[j], vals[j]));
+    }
+  }
+  return out;
+}
+
+}  // namespace pp::gbdt

@@ -1,0 +1,65 @@
+// Quantile feature binning for histogram-based gradient boosting
+// (XGBoost 'hist' / LightGBM style). Continuous features are discretized
+// into at most max_bins buckets once, so each split search scans 256
+// histogram cells instead of sorting raw values.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "features/examples.hpp"
+
+namespace pp::gbdt {
+
+/// Row-major matrix of bin indices plus the per-feature upper edges that
+/// map raw values back onto bins.
+class BinnedMatrix {
+ public:
+  BinnedMatrix() = default;
+  BinnedMatrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), bins_(rows * cols, 0) {}
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::uint8_t bin(std::size_t r, std::size_t c) const {
+    return bins_[r * cols_ + c];
+  }
+  void set_bin(std::size_t r, std::size_t c, std::uint8_t b) {
+    bins_[r * cols_ + c] = b;
+  }
+  const std::uint8_t* row_data(std::size_t r) const {
+    return bins_.data() + r * cols_;
+  }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<std::uint8_t> bins_;
+};
+
+/// Learns per-feature quantile cut points from a training batch and maps
+/// batches (or single raw values) onto bin indices.
+class Binner {
+ public:
+  /// Builds cut points from the batch. Implicit CSR zeros participate in
+  /// the quantile estimation (they dominate sparse one-hot features).
+  Binner(const features::ExampleBatch& batch, int max_bins = 256);
+
+  std::size_t num_features() const { return edges_.size(); }
+  int num_bins(std::size_t feature) const {
+    return static_cast<int>(edges_[feature].size()) + 1;
+  }
+  /// Upper bin edges for a feature: bin b holds values <= edges[b]; the
+  /// last bin holds the remainder.
+  const std::vector<float>& edges(std::size_t feature) const {
+    return edges_[feature];
+  }
+
+  std::uint8_t bin_value(std::size_t feature, float value) const;
+  BinnedMatrix apply(const features::ExampleBatch& batch) const;
+
+ private:
+  std::vector<std::vector<float>> edges_;
+};
+
+}  // namespace pp::gbdt

@@ -1,0 +1,171 @@
+#include "gbdt/booster.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "util/math.hpp"
+
+namespace pp::gbdt {
+
+namespace {
+double mean_logistic_loss(std::span<const double> logits,
+                          std::span<const float> labels) {
+  double total = 0;
+  for (std::size_t i = 0; i < logits.size(); ++i) {
+    total += bce_from_logit(logits[i], labels[i]);
+  }
+  return logits.empty() ? 0 : total / static_cast<double>(logits.size());
+}
+}  // namespace
+
+TrainReport Booster::train(const features::ExampleBatch& train_batch,
+                           const features::ExampleBatch* valid_batch,
+                           const BoosterConfig& config) {
+  TrainReport report;
+  const std::size_t n = train_batch.size();
+  num_features_ = train_batch.dimension;
+  learning_rate_ = config.learning_rate;
+  base_logit_ = pp::logit(config.base_score);
+  trees_.clear();
+
+  Binner binner(train_batch, config.max_bins);
+  const BinnedMatrix x = binner.apply(train_batch);
+  std::optional<BinnedMatrix> xv;
+  if (valid_batch != nullptr) xv = binner.apply(*valid_batch);
+
+  std::vector<double> logits(n, base_logit_);
+  std::vector<double> valid_logits(
+      valid_batch != nullptr ? valid_batch->size() : 0, base_logit_);
+  std::vector<float> gradients(n), hessians(n);
+  std::vector<std::uint32_t> all_samples(n);
+  std::iota(all_samples.begin(), all_samples.end(), 0u);
+
+  double best_valid = std::numeric_limits<double>::infinity();
+  int best_round = 0;
+  int rounds_since_best = 0;
+
+  for (int round = 0; round < config.num_rounds; ++round) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const double p = pp::sigmoid(logits[i]);
+      gradients[i] = static_cast<float>(p - train_batch.labels[i]);
+      hessians[i] = static_cast<float>(std::max(p * (1.0 - p), 1e-16));
+    }
+    Tree tree =
+        Tree::fit(x, binner, gradients, hessians, all_samples, config.tree);
+    for (std::size_t i = 0; i < n; ++i) {
+      logits[i] += config.learning_rate * tree.predict_binned(x.row_data(i));
+    }
+    trees_.push_back(std::move(tree));
+    report.train_loss_per_round.push_back(
+        mean_logistic_loss(logits, train_batch.labels));
+
+    if (valid_batch != nullptr) {
+      const Tree& t = trees_.back();
+      for (std::size_t i = 0; i < valid_logits.size(); ++i) {
+        valid_logits[i] +=
+            config.learning_rate * t.predict_binned(xv->row_data(i));
+      }
+      const double valid_loss =
+          mean_logistic_loss(valid_logits, valid_batch->labels);
+      report.valid_loss_per_round.push_back(valid_loss);
+      if (valid_loss < best_valid - 1e-9) {
+        best_valid = valid_loss;
+        best_round = round + 1;
+        rounds_since_best = 0;
+      } else if (config.early_stopping_rounds > 0 &&
+                 ++rounds_since_best >= config.early_stopping_rounds) {
+        break;
+      }
+    }
+  }
+
+  if (valid_batch != nullptr && config.early_stopping_rounds > 0) {
+    trees_.resize(static_cast<std::size_t>(std::max(best_round, 1)));
+    report.best_round = static_cast<int>(trees_.size());
+    report.best_valid_loss = best_valid;
+  } else {
+    report.best_round = static_cast<int>(trees_.size());
+    report.best_valid_loss = report.valid_loss_per_round.empty()
+                                 ? 0.0
+                                 : report.valid_loss_per_round.back();
+  }
+  return report;
+}
+
+double Booster::predict_proba(std::span<const float> dense_row) const {
+  double logit = base_logit_;
+  for (const Tree& tree : trees_) {
+    logit += learning_rate_ * tree.predict_raw(dense_row);
+  }
+  return pp::sigmoid(logit);
+}
+
+std::vector<double> Booster::predict_batch(
+    const features::ExampleBatch& batch) const {
+  std::vector<double> out(batch.size());
+  std::vector<float> dense(batch.dimension, 0.0f);
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    batch.densify_row(i, dense);
+    out[i] = predict_proba(dense);
+  }
+  return out;
+}
+
+std::vector<double> Booster::feature_importance() const {
+  std::vector<double> gain(num_features_, 0.0);
+  for (const Tree& tree : trees_) tree.accumulate_gain(gain);
+  return gain;
+}
+
+double Booster::mean_tree_depth() const {
+  if (trees_.empty()) return 0;
+  double total = 0;
+  for (const Tree& tree : trees_) total += tree.depth();
+  return total / static_cast<double>(trees_.size());
+}
+
+void Booster::serialize(BinaryWriter& writer) const {
+  writer.write_f64(base_logit_);
+  writer.write_u64(num_features_);
+  writer.write_f64(learning_rate_);
+  writer.write_u64(trees_.size());
+  for (const Tree& tree : trees_) tree.serialize(writer);
+}
+
+Booster Booster::deserialize(BinaryReader& reader) {
+  Booster booster;
+  booster.base_logit_ = reader.read_f64();
+  booster.num_features_ = reader.read_u64();
+  booster.learning_rate_ = reader.read_f64();
+  const std::uint64_t count = reader.read_u64();
+  booster.trees_.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    booster.trees_.push_back(Tree::deserialize(reader));
+  }
+  return booster;
+}
+
+DepthSearchResult search_tree_depth(const features::ExampleBatch& train_batch,
+                                    const features::ExampleBatch& valid_batch,
+                                    BoosterConfig config, int min_depth,
+                                    int max_depth) {
+  DepthSearchResult result;
+  double best_loss = std::numeric_limits<double>::infinity();
+  for (int depth = min_depth; depth <= max_depth; ++depth) {
+    config.tree.max_depth = depth;
+    Booster booster;
+    const TrainReport report =
+        booster.train(train_batch, &valid_batch, config);
+    const double loss = report.best_valid_loss;
+    result.losses.emplace_back(depth, loss);
+    if (loss < best_loss) {
+      best_loss = loss;
+      result.best_depth = depth;
+    }
+  }
+  return result;
+}
+
+}  // namespace pp::gbdt

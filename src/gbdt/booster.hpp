@@ -1,0 +1,79 @@
+// Gradient-boosted decision tree ensemble with logistic loss — the
+// strongest traditional baseline in the paper (§5.4, trained with XGBoost
+// 0.90 there). Supports validation-based early stopping and the paper's
+// exhaustive tree-depth search on a held-out user split.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "gbdt/tree.hpp"
+
+namespace pp::gbdt {
+
+struct BoosterConfig {
+  int num_rounds = 100;
+  double learning_rate = 0.3;  // XGBoost default eta
+  TreeConfig tree;
+  int max_bins = 256;
+  /// Stop when validation log loss has not improved for this many rounds
+  /// (0 disables). Kept trees are truncated at the best round.
+  int early_stopping_rounds = 0;
+  /// Initial prediction as a probability.
+  double base_score = 0.5;
+};
+
+struct TrainReport {
+  std::vector<double> train_loss_per_round;
+  std::vector<double> valid_loss_per_round;
+  int best_round = 0;  // rounds actually kept
+  double best_valid_loss = 0;
+};
+
+class Booster {
+ public:
+  /// Trains on (batch, labels from batch). When `valid` is provided it is
+  /// binned with the training binner and drives early stopping.
+  TrainReport train(const features::ExampleBatch& train_batch,
+                    const features::ExampleBatch* valid_batch,
+                    const BoosterConfig& config);
+
+  /// P(y=1) for one dense raw-feature row.
+  double predict_proba(std::span<const float> dense_row) const;
+  /// P(y=1) for every row of a sparse batch.
+  std::vector<double> predict_batch(const features::ExampleBatch& batch) const;
+
+  std::size_t num_trees() const { return trees_.size(); }
+  const std::vector<Tree>& trees() const { return trees_; }
+  double base_logit() const { return base_logit_; }
+  std::size_t num_features() const { return num_features_; }
+
+  /// Gain-based feature importance, length = feature dimension.
+  std::vector<double> feature_importance() const;
+
+  /// Average number of node visits per prediction — the serving compute
+  /// proxy used by the Section 9 cost comparison.
+  double mean_tree_depth() const;
+
+  void serialize(BinaryWriter& writer) const;
+  static Booster deserialize(BinaryReader& reader);
+
+ private:
+  double base_logit_ = 0;
+  std::size_t num_features_ = 0;
+  double learning_rate_ = 0.3;
+  std::vector<Tree> trees_;
+};
+
+/// §5.4: exhaustive search over tree depths, minimizing validation log
+/// loss. Returns the best depth and the per-depth validation losses.
+struct DepthSearchResult {
+  int best_depth = 0;
+  std::vector<std::pair<int, double>> losses;  // (depth, valid loss)
+};
+DepthSearchResult search_tree_depth(const features::ExampleBatch& train_batch,
+                                    const features::ExampleBatch& valid_batch,
+                                    BoosterConfig config, int min_depth = 1,
+                                    int max_depth = 10);
+
+}  // namespace pp::gbdt

@@ -1,0 +1,290 @@
+#include "gbdt/tree.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace pp::gbdt {
+
+namespace {
+
+/// (sum_g, sum_h) histogram cell.
+struct Cell {
+  double g = 0;
+  double h = 0;
+};
+
+/// Per-node histogram: cols x 256 cells, flattened.
+struct Histogram {
+  std::vector<Cell> cells;
+  explicit Histogram(std::size_t cols) : cells(cols * 256) {}
+  Cell* feature(std::size_t c) { return cells.data() + c * 256; }
+  const Cell* feature(std::size_t c) const { return cells.data() + c * 256; }
+
+  void build(const BinnedMatrix& x, std::span<const float> g,
+             std::span<const float> h,
+             std::span<const std::uint32_t> samples) {
+    for (const std::uint32_t i : samples) {
+      const std::uint8_t* bins = x.row_data(i);
+      const double gi = g[i];
+      const double hi = h[i];
+      for (std::size_t c = 0; c < x.cols(); ++c) {
+        Cell& cell = cells[c * 256 + bins[c]];
+        cell.g += gi;
+        cell.h += hi;
+      }
+    }
+  }
+
+  /// this = parent - other (sibling subtraction).
+  void subtract_from(const Histogram& parent, const Histogram& other) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      cells[i].g = parent.cells[i].g - other.cells[i].g;
+      cells[i].h = parent.cells[i].h - other.cells[i].h;
+    }
+  }
+};
+
+struct SplitCandidate {
+  double gain = 0;
+  std::int32_t feature = -1;
+  std::uint8_t bin_threshold = 0;
+  double left_g = 0, left_h = 0;
+};
+
+double leaf_objective(double g, double h, double lambda) {
+  return g * g / (h + lambda);
+}
+
+/// Best split for one node from its histogram.
+SplitCandidate find_best_split(const Histogram& hist, std::size_t cols,
+                               const Binner& binner, double total_g,
+                               double total_h, const TreeConfig& config) {
+  SplitCandidate best;
+  const double parent_obj = leaf_objective(total_g, total_h, config.lambda);
+  for (std::size_t c = 0; c < cols; ++c) {
+    const int bins = binner.num_bins(c);
+    if (bins < 2) continue;
+    const Cell* cells = hist.feature(c);
+    double gl = 0, hl = 0;
+    // Split candidates sit between consecutive bins: left = bins [0, b].
+    for (int b = 0; b + 1 < bins; ++b) {
+      gl += cells[b].g;
+      hl += cells[b].h;
+      const double gr = total_g - gl;
+      const double hr = total_h - hl;
+      if (hl < config.min_child_weight || hr < config.min_child_weight) {
+        continue;
+      }
+      const double gain = 0.5 * (leaf_objective(gl, hl, config.lambda) +
+                                 leaf_objective(gr, hr, config.lambda) -
+                                 parent_obj) -
+                          config.gamma;
+      if (gain > best.gain) {
+        best.gain = gain;
+        best.feature = static_cast<std::int32_t>(c);
+        best.bin_threshold = static_cast<std::uint8_t>(b);
+        best.left_g = gl;
+        best.left_h = hl;
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+Tree Tree::fit(const BinnedMatrix& x, const Binner& binner,
+               std::span<const float> gradients,
+               std::span<const float> hessians,
+               std::span<const std::uint32_t> sample_indices,
+               const TreeConfig& config) {
+  Tree tree;
+
+  struct WorkItem {
+    std::int32_t node;
+    int depth;
+    std::vector<std::uint32_t> samples;
+    Histogram hist;
+    double g, h;
+  };
+
+  auto make_leaf = [&](std::int32_t node, double g, double h) {
+    tree.nodes_[node].feature = -1;
+    tree.nodes_[node].weight =
+        static_cast<float>(-g / (h + config.lambda));
+  };
+
+  // Root.
+  tree.nodes_.emplace_back();
+  tree.split_gains_.push_back(0);
+  double root_g = 0, root_h = 0;
+  for (const std::uint32_t i : sample_indices) {
+    root_g += gradients[i];
+    root_h += hessians[i];
+  }
+
+  std::vector<WorkItem> stack;
+  {
+    WorkItem root{0, 0,
+                  std::vector<std::uint32_t>(sample_indices.begin(),
+                                             sample_indices.end()),
+                  Histogram(x.cols()), root_g, root_h};
+    root.hist.build(x, gradients, hessians, root.samples);
+    stack.push_back(std::move(root));
+  }
+
+  while (!stack.empty()) {
+    WorkItem item = std::move(stack.back());
+    stack.pop_back();
+
+    if (item.depth >= config.max_depth || item.samples.size() < 2) {
+      make_leaf(item.node, item.g, item.h);
+      continue;
+    }
+    const SplitCandidate split = find_best_split(
+        item.hist, x.cols(), binner, item.g, item.h, config);
+    if (split.feature < 0 || split.gain <= 0) {
+      make_leaf(item.node, item.g, item.h);
+      continue;
+    }
+
+    // Materialize the split.
+    TreeNode& node = tree.nodes_[item.node];
+    node.feature = split.feature;
+    node.bin_threshold = split.bin_threshold;
+    const auto& edges = binner.edges(static_cast<std::size_t>(split.feature));
+    node.threshold = edges[split.bin_threshold];
+    tree.split_gains_[item.node] = split.gain;
+
+    std::vector<std::uint32_t> left_samples, right_samples;
+    left_samples.reserve(item.samples.size());
+    right_samples.reserve(item.samples.size());
+    for (const std::uint32_t i : item.samples) {
+      if (x.bin(i, static_cast<std::size_t>(split.feature)) <=
+          split.bin_threshold) {
+        left_samples.push_back(i);
+      } else {
+        right_samples.push_back(i);
+      }
+    }
+
+    const auto left_id = static_cast<std::int32_t>(tree.nodes_.size());
+    tree.nodes_.emplace_back();
+    tree.split_gains_.push_back(0);
+    const auto right_id = static_cast<std::int32_t>(tree.nodes_.size());
+    tree.nodes_.emplace_back();
+    tree.split_gains_.push_back(0);
+    tree.nodes_[item.node].left = left_id;
+    tree.nodes_[item.node].right = right_id;
+
+    // Build the smaller child's histogram by scanning; derive the larger
+    // by subtraction from the parent's.
+    const bool left_smaller = left_samples.size() <= right_samples.size();
+    WorkItem small{left_smaller ? left_id : right_id, item.depth + 1,
+                   left_smaller ? std::move(left_samples)
+                                : std::move(right_samples),
+                   Histogram(x.cols()),
+                   left_smaller ? split.left_g : item.g - split.left_g,
+                   left_smaller ? split.left_h : item.h - split.left_h};
+    small.hist.build(x, gradients, hessians, small.samples);
+    WorkItem large{left_smaller ? right_id : left_id, item.depth + 1,
+                   left_smaller ? std::move(right_samples)
+                                : std::move(left_samples),
+                   Histogram(x.cols()),
+                   left_smaller ? item.g - split.left_g : split.left_g,
+                   left_smaller ? item.h - split.left_h : split.left_h};
+    large.hist.subtract_from(item.hist, small.hist);
+    stack.push_back(std::move(small));
+    stack.push_back(std::move(large));
+  }
+  return tree;
+}
+
+float Tree::predict_raw(std::span<const float> dense_row) const {
+  std::int32_t node = 0;
+  while (nodes_[static_cast<std::size_t>(node)].feature >= 0) {
+    const TreeNode& n = nodes_[static_cast<std::size_t>(node)];
+    node = dense_row[static_cast<std::size_t>(n.feature)] <= n.threshold
+               ? n.left
+               : n.right;
+  }
+  return nodes_[static_cast<std::size_t>(node)].weight;
+}
+
+float Tree::predict_binned(const std::uint8_t* bins) const {
+  std::int32_t node = 0;
+  while (nodes_[static_cast<std::size_t>(node)].feature >= 0) {
+    const TreeNode& n = nodes_[static_cast<std::size_t>(node)];
+    node = bins[static_cast<std::size_t>(n.feature)] <= n.bin_threshold
+               ? n.left
+               : n.right;
+  }
+  return nodes_[static_cast<std::size_t>(node)].weight;
+}
+
+int Tree::depth() const {
+  // Iterative depth computation over the explicit child links.
+  int max_depth = 0;
+  std::vector<std::pair<std::int32_t, int>> stack{{0, 0}};
+  while (!stack.empty()) {
+    const auto [node, d] = stack.back();
+    stack.pop_back();
+    max_depth = std::max(max_depth, d);
+    const TreeNode& n = nodes_[static_cast<std::size_t>(node)];
+    if (n.feature >= 0) {
+      stack.push_back({n.left, d + 1});
+      stack.push_back({n.right, d + 1});
+    }
+  }
+  return max_depth;
+}
+
+std::size_t Tree::leaf_count() const {
+  std::size_t leaves = 0;
+  for (const auto& n : nodes_) leaves += n.feature < 0 ? 1 : 0;
+  return leaves;
+}
+
+void Tree::accumulate_gain(std::vector<double>& per_feature_gain) const {
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].feature >= 0) {
+      per_feature_gain[static_cast<std::size_t>(nodes_[i].feature)] +=
+          split_gains_[i];
+    }
+  }
+}
+
+void Tree::serialize(BinaryWriter& writer) const {
+  writer.write_u64(nodes_.size());
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const TreeNode& n = nodes_[i];
+    writer.write_pod(n.feature);
+    writer.write_pod(n.bin_threshold);
+    writer.write_f32(n.threshold);
+    writer.write_pod(n.left);
+    writer.write_pod(n.right);
+    writer.write_f32(n.weight);
+    writer.write_f64(split_gains_[i]);
+  }
+}
+
+Tree Tree::deserialize(BinaryReader& reader) {
+  Tree tree;
+  const std::uint64_t count = reader.read_u64();
+  tree.nodes_.resize(count);
+  tree.split_gains_.resize(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    TreeNode& n = tree.nodes_[i];
+    n.feature = reader.read_pod<std::int32_t>();
+    n.bin_threshold = reader.read_pod<std::uint8_t>();
+    n.threshold = reader.read_f32();
+    n.left = reader.read_pod<std::int32_t>();
+    n.right = reader.read_pod<std::int32_t>();
+    n.weight = reader.read_f32();
+    tree.split_gains_[i] = reader.read_f64();
+  }
+  return tree;
+}
+
+}  // namespace pp::gbdt

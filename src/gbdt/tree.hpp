@@ -1,0 +1,66 @@
+// Single regression tree trained on second-order gradients over binned
+// features (the XGBoost objective): split gain
+//   1/2 [ GL^2/(HL+lambda) + GR^2/(HR+lambda) - G^2/(H+lambda) ] - gamma
+// and leaf weight -G/(H+lambda). Histograms are built per node with the
+// smaller-child-scan / larger-child-subtraction trick.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "gbdt/binner.hpp"
+#include "util/serialize.hpp"
+
+namespace pp::gbdt {
+
+struct TreeConfig {
+  int max_depth = 6;
+  double lambda = 1.0;            // L2 regularization on leaf weights
+  double gamma = 0.0;             // minimum gain to split
+  double min_child_weight = 1.0;  // minimum hessian sum per child
+};
+
+struct TreeNode {
+  /// -1 marks a leaf.
+  std::int32_t feature = -1;
+  /// Training-time split: go left when bin <= bin_threshold.
+  std::uint8_t bin_threshold = 0;
+  /// Serving-time split on raw values: go left when value <= threshold.
+  float threshold = 0;
+  std::int32_t left = -1;
+  std::int32_t right = -1;
+  float weight = 0;  // leaf output (before learning-rate shrinkage)
+};
+
+class Tree {
+ public:
+  /// Fits a tree to gradients/hessians over the binned matrix, restricted
+  /// to `sample_indices` (row subsampling hook). `binner` supplies raw
+  /// split values for serving.
+  static Tree fit(const BinnedMatrix& x, const Binner& binner,
+                  std::span<const float> gradients,
+                  std::span<const float> hessians,
+                  std::span<const std::uint32_t> sample_indices,
+                  const TreeConfig& config);
+
+  /// Prediction from a dense raw-feature row.
+  float predict_raw(std::span<const float> dense_row) const;
+  /// Prediction from a binned row (training-time fast path).
+  float predict_binned(const std::uint8_t* bins) const;
+
+  const std::vector<TreeNode>& nodes() const { return nodes_; }
+  int depth() const;
+  std::size_t leaf_count() const;
+
+  /// Total split gain attributed to each feature (gain importance).
+  void accumulate_gain(std::vector<double>& per_feature_gain) const;
+
+  void serialize(BinaryWriter& writer) const;
+  static Tree deserialize(BinaryReader& reader);
+
+ private:
+  std::vector<TreeNode> nodes_;
+  std::vector<double> split_gains_;  // aligned with nodes_, 0 for leaves
+};
+
+}  // namespace pp::gbdt

@@ -1,0 +1,26 @@
+#include "models/gbdt_model.hpp"
+
+namespace pp::models {
+
+GbdtFitSummary GbdtModel::fit(const features::ExampleBatch& train,
+                              const features::ExampleBatch& valid,
+                              const GbdtModelConfig& config) {
+  GbdtFitSummary summary;
+  gbdt::BoosterConfig booster_config = config.booster;
+  if (config.depth_search) {
+    const gbdt::DepthSearchResult search = gbdt::search_tree_depth(
+        train, valid, booster_config, config.min_depth, config.max_depth);
+    summary.chosen_depth = search.best_depth;
+    summary.depth_losses = search.losses;
+    booster_config.tree.max_depth = search.best_depth;
+  } else {
+    summary.chosen_depth = booster_config.tree.max_depth;
+  }
+  const gbdt::TrainReport report =
+      booster_.train(train, &valid, booster_config);
+  summary.trees = report.best_round;
+  summary.valid_loss = report.best_valid_loss;
+  return summary;
+}
+
+}  // namespace pp::models

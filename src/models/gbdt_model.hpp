@@ -1,0 +1,52 @@
+// GBDT baseline (§5.4): wraps the pp::gbdt Booster with the paper's
+// training recipe — numeric feature encoding, a held-out user validation
+// split, and an exhaustive tree-depth search minimizing validation log
+// loss.
+#pragma once
+
+#include <optional>
+
+#include "gbdt/booster.hpp"
+
+namespace pp::models {
+
+struct GbdtModelConfig {
+  gbdt::BoosterConfig booster{.num_rounds = 60,
+                              .learning_rate = 0.3,
+                              .tree = {.max_depth = 6},
+                              .early_stopping_rounds = 8};
+  /// Run the §5.4 exhaustive depth search on the validation set.
+  bool depth_search = true;
+  int min_depth = 2;
+  int max_depth = 7;
+};
+
+struct GbdtFitSummary {
+  int chosen_depth = 0;
+  int trees = 0;
+  double valid_loss = 0;
+  std::vector<std::pair<int, double>> depth_losses;
+};
+
+class GbdtModel {
+ public:
+  /// valid drives the depth search and early stopping; it must come from
+  /// users disjoint with train (the paper splits 10% of training users).
+  GbdtFitSummary fit(const features::ExampleBatch& train,
+                     const features::ExampleBatch& valid,
+                     const GbdtModelConfig& config = {});
+
+  std::vector<double> predict(const features::ExampleBatch& batch) const {
+    return booster_.predict_batch(batch);
+  }
+  double predict_row(std::span<const float> dense_row) const {
+    return booster_.predict_proba(dense_row);
+  }
+
+  const gbdt::Booster& booster() const { return booster_; }
+
+ private:
+  gbdt::Booster booster_;
+};
+
+}  // namespace pp::models

@@ -1,0 +1,112 @@
+#include "models/logistic_regression.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/math.hpp"
+#include "util/rng.hpp"
+
+namespace pp::models {
+
+std::vector<double> LogisticRegressionModel::fit(
+    const features::ExampleBatch& train, const LrConfig& config) {
+  const std::size_t n = train.size();
+  const std::size_t d = train.dimension;
+  weights_.assign(d, 0.0f);
+  bias_ = 0;
+
+  // Adam state (dense; d is at most ~1k for these pipelines).
+  std::vector<float> m(d + 1, 0.0f), v(d + 1, 0.0f);
+  std::vector<double> grad(d + 1, 0.0);
+  std::vector<std::uint32_t> touched;
+  const double beta1 = 0.9, beta2 = 0.999, eps = 1e-8;
+  std::size_t t = 0;
+
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  Rng rng(config.seed);
+
+  std::vector<double> epoch_losses;
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    rng.shuffle(order);
+    double epoch_loss = 0;
+    for (std::size_t begin = 0; begin < n; begin += config.batch_size) {
+      const std::size_t end = std::min(begin + config.batch_size, n);
+      const double inv_batch = 1.0 / static_cast<double>(end - begin);
+      touched.clear();
+      double bias_grad = 0;
+      for (std::size_t bi = begin; bi < end; ++bi) {
+        const std::size_t i = order[bi];
+        const auto cols = train.row_indices(i);
+        const auto vals = train.row_values(i);
+        double z = bias_;
+        for (std::size_t j = 0; j < cols.size(); ++j) {
+          z += weights_[cols[j]] * vals[j];
+        }
+        const double residual = sigmoid(z) - train.labels[i];
+        epoch_loss += bce_from_logit(z, train.labels[i]);
+        for (std::size_t j = 0; j < cols.size(); ++j) {
+          if (grad[cols[j]] == 0.0) touched.push_back(cols[j]);
+          grad[cols[j]] += residual * vals[j];
+        }
+        bias_grad += residual;
+      }
+      // Adam over touched coordinates plus bias. L2 applied decoupled so
+      // untouched coordinates do not need per-step decay (their gradient
+      // is exactly the regularizer, folded in lazily at epoch end).
+      ++t;
+      const double bc1 = 1.0 - std::pow(beta1, static_cast<double>(t));
+      const double bc2 = 1.0 - std::pow(beta2, static_cast<double>(t));
+      auto adam_update = [&](std::size_t idx, double g, float& w) {
+        m[idx] = static_cast<float>(beta1 * m[idx] + (1 - beta1) * g);
+        v[idx] = static_cast<float>(beta2 * v[idx] + (1 - beta2) * g * g);
+        const double m_hat = m[idx] / bc1;
+        const double v_hat = v[idx] / bc2;
+        w -= static_cast<float>(config.learning_rate * m_hat /
+                                (std::sqrt(v_hat) + eps));
+      };
+      for (const std::uint32_t c : touched) {
+        const double g = grad[c] * inv_batch + config.l2 * weights_[c];
+        adam_update(c, g, weights_[c]);
+        grad[c] = 0.0;
+      }
+      adam_update(d, bias_grad * inv_batch, bias_);
+    }
+    epoch_losses.push_back(epoch_loss / static_cast<double>(n));
+  }
+  return epoch_losses;
+}
+
+double LogisticRegressionModel::predict_row(
+    std::span<const std::uint32_t> cols, std::span<const float> vals) const {
+  double z = bias_;
+  for (std::size_t j = 0; j < cols.size(); ++j) {
+    z += weights_[cols[j]] * vals[j];
+  }
+  return sigmoid(z);
+}
+
+std::vector<double> LogisticRegressionModel::predict(
+    const features::ExampleBatch& batch) const {
+  std::vector<double> out(batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    out[i] = predict_row(batch.row_indices(i), batch.row_values(i));
+  }
+  return out;
+}
+
+void LogisticRegressionModel::serialize(BinaryWriter& writer) const {
+  writer.write_vector(weights_);
+  writer.write_f32(bias_);
+}
+
+LogisticRegressionModel LogisticRegressionModel::deserialize(
+    BinaryReader& reader) {
+  LogisticRegressionModel model;
+  model.weights_ = reader.read_vector<float>();
+  model.bias_ = reader.read_f32();
+  return model;
+}
+
+}  // namespace pp::models

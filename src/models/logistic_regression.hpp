@@ -1,0 +1,44 @@
+// Logistic regression baseline (§5.3) on the fully one-hot feature vector.
+// The paper uses scikit-learn's saga solver; here the same convex objective
+// (L2-regularized log loss) is minimized with minibatch Adam directly on
+// the sparse rows, which converges to the same optimum within tolerance.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "features/examples.hpp"
+#include "util/serialize.hpp"
+
+namespace pp::models {
+
+struct LrConfig {
+  int epochs = 4;
+  double learning_rate = 0.05;
+  double l2 = 1e-6;
+  std::size_t batch_size = 256;
+  std::uint64_t seed = 7;
+};
+
+class LogisticRegressionModel {
+ public:
+  /// Trains on the batch; returns the mean training log loss per epoch.
+  std::vector<double> fit(const features::ExampleBatch& train,
+                          const LrConfig& config = {});
+
+  std::vector<double> predict(const features::ExampleBatch& batch) const;
+  double predict_row(std::span<const std::uint32_t> cols,
+                     std::span<const float> vals) const;
+
+  const std::vector<float>& weights() const { return weights_; }
+  float bias() const { return bias_; }
+
+  void serialize(BinaryWriter& writer) const;
+  static LogisticRegressionModel deserialize(BinaryReader& reader);
+
+ private:
+  std::vector<float> weights_;
+  float bias_ = 0;
+};
+
+}  // namespace pp::models

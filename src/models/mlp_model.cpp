@@ -1,0 +1,72 @@
+#include "models/mlp_model.hpp"
+
+#include <numeric>
+
+#include "autograd/ops.hpp"
+#include "nn/optimizer.hpp"
+#include "util/math.hpp"
+
+namespace pp::models {
+
+using namespace autograd;
+
+std::vector<double> MlpModel::fit(const features::ExampleBatch& train,
+                                  const MlpModelConfig& config) {
+  config_ = config;
+  Rng rng(config.seed);
+  nn::MlpConfig net_config;
+  net_config.input_size = train.dimension;
+  net_config.hidden_sizes = config.hidden_sizes;
+  net_config.output_size = 1;
+  net_config.dropout = config.dropout;
+  network_ = std::make_unique<nn::Mlp>(net_config, rng);
+  network_->set_training(true);
+
+  nn::Adam optimizer(network_->parameters(),
+                     {.learning_rate = config.learning_rate});
+
+  const std::size_t n = train.size();
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+
+  std::vector<double> epoch_losses;
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    rng.shuffle(order);
+    double epoch_loss = 0;
+    for (std::size_t begin = 0; begin < n; begin += config.batch_size) {
+      const std::size_t end = std::min(begin + config.batch_size, n);
+      const std::size_t batch = end - begin;
+      Matrix x(batch, train.dimension);
+      Matrix y(batch, 1);
+      Matrix w(batch, 1, 1.0f / static_cast<float>(batch));
+      for (std::size_t b = 0; b < batch; ++b) {
+        train.densify_row(order[begin + b], x.row(b));
+        y.at(b, 0) = train.labels[order[begin + b]];
+      }
+      Variable logits = network_->forward(Variable(std::move(x)), rng);
+      Variable loss = bce_with_logits_sum(logits, y, w);
+      epoch_loss += loss.value()[0] * static_cast<double>(batch);
+      optimizer.zero_grad();
+      backward(loss);
+      optimizer.step();
+    }
+    epoch_losses.push_back(epoch_loss / static_cast<double>(n));
+  }
+  network_->set_training(false);
+  return epoch_losses;
+}
+
+std::vector<double> MlpModel::predict(
+    const features::ExampleBatch& batch) const {
+  std::vector<double> out(batch.size());
+  Matrix x(1, batch.dimension);
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    batch.densify_row(i, x.row(0));
+    Variable logit = network_->forward(Variable(x), inference_rng_);
+    out[i] = sigmoid(logit.value()[0]);
+    detach_graph(logit);
+  }
+  return out;
+}
+
+}  // namespace pp::models

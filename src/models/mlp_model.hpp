@@ -1,0 +1,36 @@
+// Plain feed-forward network on the engineered features — the "simple
+// neural network architectures (e.g. a multi-layer perceptron)" the paper
+// tried and could not push past GBDT (§5.4). Kept as an ablation baseline.
+#pragma once
+
+#include <memory>
+
+#include "features/examples.hpp"
+#include "nn/mlp.hpp"
+
+namespace pp::models {
+
+struct MlpModelConfig {
+  std::vector<std::size_t> hidden_sizes{64};
+  float dropout = 0.2f;
+  int epochs = 3;
+  double learning_rate = 1e-3;
+  std::size_t batch_size = 128;
+  std::uint64_t seed = 11;
+};
+
+class MlpModel {
+ public:
+  /// Returns the mean training log loss per epoch.
+  std::vector<double> fit(const features::ExampleBatch& train,
+                          const MlpModelConfig& config = {});
+
+  std::vector<double> predict(const features::ExampleBatch& batch) const;
+
+ private:
+  MlpModelConfig config_;
+  std::unique_ptr<nn::Mlp> network_;
+  mutable Rng inference_rng_{0};  // dropout disabled at inference; unused
+};
+
+}  // namespace pp::models

@@ -1,0 +1,95 @@
+#include "models/percentage.hpp"
+
+#include <vector>
+
+namespace pp::models {
+
+void PercentageModel::fit(const data::Dataset& dataset,
+                          std::span<const std::size_t> train_users) {
+  double positives = 0, total = 0;
+  if (!dataset.timeshifted) {
+    for (const std::size_t u : train_users) {
+      const auto& user = dataset.users[u];
+      total += static_cast<double>(user.sessions.size());
+      positives += static_cast<double>(user.access_count());
+    }
+  } else {
+    const int days = dataset.days();
+    for (const std::size_t u : train_users) {
+      const auto& user = dataset.users[u];
+      std::vector<bool> day_access(static_cast<std::size_t>(days), false);
+      for (const auto& s : user.sessions) {
+        if (s.access && dataset.peak.contains(s.timestamp)) {
+          const int d = data::day_index(s.timestamp, dataset.start_time);
+          if (d >= 0 && d < days) {
+            day_access[static_cast<std::size_t>(d)] = true;
+          }
+        }
+      }
+      total += static_cast<double>(days);
+      for (const bool a : day_access) positives += a ? 1.0 : 0.0;
+    }
+  }
+  alpha_ = total > 0 ? positives / total : 0.1;
+}
+
+ScoredSeries PercentageModel::score(const data::Dataset& dataset,
+                                    std::span<const std::size_t> users,
+                                    std::int64_t emit_from,
+                                    std::int64_t emit_to) const {
+  return dataset.timeshifted
+             ? score_timeshift(dataset, users, emit_from, emit_to)
+             : score_sessions(dataset, users, emit_from, emit_to);
+}
+
+ScoredSeries PercentageModel::score_sessions(
+    const data::Dataset& dataset, std::span<const std::size_t> users,
+    std::int64_t emit_from, std::int64_t emit_to) const {
+  ScoredSeries out;
+  for (const std::size_t u : users) {
+    double accesses = 0, n = 0;
+    for (const auto& s : dataset.users[u].sessions) {
+      n += 1;
+      const double score = (alpha_ + accesses) / n;
+      if (s.timestamp >= emit_from &&
+          (emit_to == 0 || s.timestamp < emit_to)) {
+        out.append(score, static_cast<float>(s.access), s.timestamp);
+      }
+      accesses += s.access;
+    }
+  }
+  return out;
+}
+
+ScoredSeries PercentageModel::score_timeshift(
+    const data::Dataset& dataset, std::span<const std::size_t> users,
+    std::int64_t emit_from, std::int64_t emit_to) const {
+  ScoredSeries out;
+  const int days = dataset.days();
+  for (const std::size_t u : users) {
+    const auto& user = dataset.users[u];
+    std::vector<bool> day_access(static_cast<std::size_t>(days), false);
+    for (const auto& s : user.sessions) {
+      if (s.access && dataset.peak.contains(s.timestamp)) {
+        const int d = data::day_index(s.timestamp, dataset.start_time);
+        if (d >= 0 && d < days) day_access[static_cast<std::size_t>(d)] = true;
+      }
+    }
+    double positives = 0;
+    for (int d = 0; d < days; ++d) {
+      const std::int64_t window_start = dataset.peak.start_on_day(
+          dataset.start_time + static_cast<std::int64_t>(d) * 86400);
+      const double score = (alpha_ + positives) / static_cast<double>(d + 1);
+      if (window_start >= emit_from &&
+          (emit_to == 0 || window_start < emit_to)) {
+        out.append(score,
+                   day_access[static_cast<std::size_t>(d)] ? 1.0f : 0.0f,
+                   window_start);
+      }
+      positives += day_access[static_cast<std::size_t>(d)] ? 1.0 : 0.0;
+    }
+  }
+  return out;
+}
+
+}  // namespace pp::models

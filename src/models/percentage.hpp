@@ -1,0 +1,48 @@
+// Percentage-based baseline (§5.1): the per-user historical access rate,
+// seeded with the global rate alpha:
+//   P(A_n) = (alpha + sum_{i<n} A_i) / n
+// For the timeshifted problem the sum runs over per-day peak-access labels
+// instead of sessions. A "universal model" that needs no training beyond
+// measuring alpha.
+#pragma once
+
+#include <span>
+
+#include "data/dataset.hpp"
+#include "train/rnn_trainer.hpp"
+
+namespace pp::models {
+
+using train::ScoredSeries;
+
+class PercentageModel {
+ public:
+  /// Measures alpha on the training users (session-level rate, or per-day
+  /// peak rate when the dataset is timeshifted).
+  void fit(const data::Dataset& dataset,
+           std::span<const std::size_t> train_users);
+
+  /// Replays users forward, emitting the running estimate before every
+  /// session (or every peak day); keeps predictions within
+  /// [emit_from, emit_to) (0 = open end).
+  ScoredSeries score(const data::Dataset& dataset,
+                     std::span<const std::size_t> users,
+                     std::int64_t emit_from = 0,
+                     std::int64_t emit_to = 0) const;
+
+  double alpha() const { return alpha_; }
+
+ private:
+  ScoredSeries score_sessions(const data::Dataset& dataset,
+                              std::span<const std::size_t> users,
+                              std::int64_t emit_from,
+                              std::int64_t emit_to) const;
+  ScoredSeries score_timeshift(const data::Dataset& dataset,
+                               std::span<const std::size_t> users,
+                               std::int64_t emit_from,
+                               std::int64_t emit_to) const;
+
+  double alpha_ = 0.1;
+};
+
+}  // namespace pp::models

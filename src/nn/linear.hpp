@@ -1,0 +1,34 @@
+// Fully-connected layer y = x W + b with W stored [in x out] so the forward
+// pass is a single row-major matmul over [batch x in] inputs.
+#pragma once
+
+#include "autograd/ops.hpp"
+#include "nn/module.hpp"
+#include "util/rng.hpp"
+
+namespace pp::nn {
+
+class Linear : public Module {
+ public:
+  Linear(std::size_t in_features, std::size_t out_features, Rng& rng,
+         std::string name = "linear");
+
+  /// x: [batch x in] -> [batch x out].
+  Variable forward(const Variable& x) const;
+
+  /// Tape-free forward over raw matrices (serving path).
+  tensor::Matrix infer(const tensor::Matrix& x) const;
+
+  std::size_t in_features() const { return in_; }
+  std::size_t out_features() const { return out_; }
+  const Variable& weight() const { return weight_; }
+  const Variable& bias() const { return bias_; }
+
+ private:
+  std::size_t in_;
+  std::size_t out_;
+  Variable weight_;  // [in x out]
+  Variable bias_;    // [1 x out]
+};
+
+}  // namespace pp::nn

@@ -1,0 +1,31 @@
+#include "nn/mlp.hpp"
+
+namespace pp::nn {
+
+using namespace autograd;
+
+Mlp::Mlp(const MlpConfig& config, Rng& rng) : config_(config) {
+  std::size_t in = config.input_size;
+  for (std::size_t i = 0; i < config.hidden_sizes.size(); ++i) {
+    layers_.push_back(std::make_unique<Linear>(
+        in, config.hidden_sizes[i], rng, "hidden" + std::to_string(i)));
+    register_submodule("hidden" + std::to_string(i), *layers_.back());
+    in = config.hidden_sizes[i];
+  }
+  layers_.push_back(
+      std::make_unique<Linear>(in, config.output_size, rng, "output"));
+  register_submodule("output", *layers_.back());
+}
+
+Variable Mlp::forward(const Variable& x, Rng& rng) const {
+  Variable h = x;
+  for (std::size_t i = 0; i + 1 < layers_.size(); ++i) {
+    h = layers_[i]->forward(h);
+    // Matches the paper's Fig. 3 ordering: linear -> dropout -> relu.
+    h = dropout(h, config_.dropout, rng, training());
+    h = relu(h);
+  }
+  return layers_.back()->forward(h);
+}
+
+}  // namespace pp::nn

@@ -1,0 +1,36 @@
+// Feed-forward multilayer perceptron used both as the "simple neural
+// network" baseline of §5.4 and as a generic building block.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "nn/linear.hpp"
+
+namespace pp::nn {
+
+struct MlpConfig {
+  std::size_t input_size = 0;
+  /// Hidden layer widths; each is followed by dropout (if >0) and ReLU.
+  std::vector<std::size_t> hidden_sizes;
+  std::size_t output_size = 1;
+  float dropout = 0.0f;
+};
+
+class Mlp : public Module {
+ public:
+  Mlp(const MlpConfig& config, Rng& rng);
+
+  /// x: [batch x input] -> [batch x output] (raw logits, no activation).
+  /// Dropout is applied only when training() is true; `rng` drives the
+  /// dropout masks.
+  Variable forward(const Variable& x, Rng& rng) const;
+
+  const MlpConfig& config() const { return config_; }
+
+ private:
+  MlpConfig config_;
+  std::vector<std::unique_ptr<Linear>> layers_;
+};
+
+}  // namespace pp::nn

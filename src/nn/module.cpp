@@ -1,0 +1,129 @@
+#include "nn/module.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace pp::nn {
+
+std::vector<Variable> Module::parameters() const {
+  std::vector<Variable> all = params_;
+  for (const Module* child : children_) {
+    auto sub = child->parameters();
+    all.insert(all.end(), sub.begin(), sub.end());
+  }
+  return all;
+}
+
+std::vector<std::string> Module::parameter_names() const {
+  std::vector<std::string> all = names_;
+  for (std::size_t c = 0; c < children_.size(); ++c) {
+    for (const auto& n : children_[c]->parameter_names()) {
+      all.push_back(child_names_[c] + "." + n);
+    }
+  }
+  return all;
+}
+
+std::size_t Module::parameter_count() const {
+  std::size_t total = 0;
+  for (const auto& p : parameters()) total += p.value().size();
+  return total;
+}
+
+void Module::zero_grad() {
+  for (auto& p : parameters()) p.zero_grad();
+}
+
+void Module::set_training(bool training) {
+  training_ = training;
+  for (Module* child : children_) child->set_training(training);
+}
+
+void Module::copy_parameters_from(const Module& other) {
+  auto dst = parameters();
+  auto src = other.parameters();
+  if (src.size() != dst.size()) {
+    throw std::invalid_argument("copy_parameters_from: layout mismatch");
+  }
+  for (std::size_t i = 0; i < dst.size(); ++i) {
+    if (!dst[i].value().same_shape(src[i].value())) {
+      throw std::invalid_argument("copy_parameters_from: shape mismatch");
+    }
+    dst[i].mutable_value() = src[i].value();
+  }
+}
+
+void Module::accumulate_grads_into(Module& master) const {
+  auto src = parameters();
+  auto dst = master.parameters();
+  if (src.size() != dst.size()) {
+    throw std::invalid_argument("accumulate_grads_into: layout mismatch");
+  }
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    if (!src[i].has_grad()) continue;
+    dst[i].mutable_grad().add_inplace(src[i].grad());
+  }
+}
+
+void Module::serialize(BinaryWriter& writer) const {
+  auto params = parameters();
+  auto names = parameter_names();
+  writer.write_u64(params.size());
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    writer.write_string(names[i]);
+    params[i].value().serialize(writer);
+  }
+}
+
+void Module::deserialize(BinaryReader& reader) {
+  auto params = parameters();
+  auto names = parameter_names();
+  const std::uint64_t n = reader.read_u64();
+  if (n != params.size()) {
+    throw std::runtime_error("Module::deserialize: parameter count mismatch");
+  }
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    const std::string name = reader.read_string();
+    if (name != names[i]) {
+      throw std::runtime_error("Module::deserialize: expected parameter " +
+                               names[i] + ", found " + name);
+    }
+    Matrix value = Matrix::deserialize(reader);
+    if (!value.same_shape(params[i].value())) {
+      throw std::runtime_error("Module::deserialize: shape mismatch for " +
+                               name);
+    }
+    params[i].mutable_value() = std::move(value);
+  }
+}
+
+Variable Module::register_parameter(std::string name, Matrix value) {
+  params_.emplace_back(std::move(value), /*requires_grad=*/true);
+  names_.push_back(std::move(name));
+  return params_.back();
+}
+
+void Module::register_submodule(std::string name, Module& child) {
+  children_.push_back(&child);
+  child_names_.push_back(std::move(name));
+}
+
+double clip_grad_norm(const std::vector<Variable>& params, double max_norm) {
+  double sq = 0;
+  for (const auto& p : params) {
+    if (!p.has_grad()) continue;
+    const double n = p.grad().norm();
+    sq += n * n;
+  }
+  const double norm = std::sqrt(sq);
+  if (norm > max_norm && norm > 0) {
+    const float scale = static_cast<float>(max_norm / norm);
+    for (const auto& p : params) {
+      if (!p.has_grad()) continue;
+      const_cast<Variable&>(p).mutable_grad().scale_inplace(scale);
+    }
+  }
+  return norm;
+}
+
+}  // namespace pp::nn

@@ -1,0 +1,72 @@
+// Base class for neural network building blocks: owns named trainable
+// parameters, exposes them (recursively, through registered submodules) to
+// optimizers, and (de)serializes weights.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "autograd/variable.hpp"
+#include "util/serialize.hpp"
+
+namespace pp::nn {
+
+using autograd::Variable;
+using tensor::Matrix;
+
+class Module {
+ public:
+  virtual ~Module() = default;
+
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+
+  /// All trainable parameters: own first, then submodules in registration
+  /// order. The order is deterministic, which copy_parameters_from,
+  /// accumulate_grads_into, and serialization all rely on.
+  std::vector<Variable> parameters() const;
+  /// Fully-qualified parameter names, aligned with parameters().
+  std::vector<std::string> parameter_names() const;
+
+  /// Total trainable element count.
+  std::size_t parameter_count() const;
+
+  void zero_grad();
+
+  /// Training mode toggles dropout (recursively); inference graphs skip it.
+  void set_training(bool training);
+  bool training() const { return training_; }
+
+  /// Copies parameter *values* from another instance with an identical
+  /// parameter layout (used to sync per-thread model replicas).
+  void copy_parameters_from(const Module& other);
+
+  /// Adds this module's parameter gradients into `master`'s gradients
+  /// (same layout); used to reduce replica gradients after a minibatch.
+  void accumulate_grads_into(Module& master) const;
+
+  void serialize(BinaryWriter& writer) const;
+  void deserialize(BinaryReader& reader);
+
+ protected:
+  Module() = default;
+
+  /// Registers a trainable parameter; returns the graph leaf.
+  Variable register_parameter(std::string name, Matrix value);
+  /// Registers a child whose parameters are exposed through this module.
+  /// The child must outlive this module (normally it is a data member).
+  void register_submodule(std::string name, Module& child);
+
+ private:
+  std::vector<Variable> params_;
+  std::vector<std::string> names_;
+  std::vector<Module*> children_;
+  std::vector<std::string> child_names_;
+  bool training_ = true;
+};
+
+/// Global gradient-norm clipping across a parameter set; returns the norm
+/// before clipping. No-op when the norm is below max_norm.
+double clip_grad_norm(const std::vector<Variable>& params, double max_norm);
+
+}  // namespace pp::nn

@@ -1,0 +1,68 @@
+#include "nn/optimizer.hpp"
+
+#include <cmath>
+
+namespace pp::nn {
+
+Adam::Adam(std::vector<Variable> params, AdamConfig config)
+    : Optimizer(std::move(params)), config_(config) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const auto& p : params_) {
+    m_.emplace_back(Matrix::zeros(p.rows(), p.cols()));
+    v_.emplace_back(Matrix::zeros(p.rows(), p.cols()));
+  }
+}
+
+void Adam::step() {
+  ++t_;
+  const double bc1 = 1.0 - std::pow(config_.beta1, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(config_.beta2, static_cast<double>(t_));
+  const float b1 = static_cast<float>(config_.beta1);
+  const float b2 = static_cast<float>(config_.beta2);
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    if (!params_[i].has_grad()) continue;
+    const Matrix& g = params_[i].grad();
+    Matrix& value = params_[i].mutable_value();
+    Matrix& m = m_[i];
+    Matrix& v = v_[i];
+    for (std::size_t j = 0; j < g.size(); ++j) {
+      m[j] = b1 * m[j] + (1.0f - b1) * g[j];
+      v[j] = b2 * v[j] + (1.0f - b2) * g[j] * g[j];
+      const double m_hat = m[j] / bc1;
+      const double v_hat = v[j] / bc2;
+      double update =
+          config_.learning_rate * m_hat / (std::sqrt(v_hat) + config_.epsilon);
+      if (config_.weight_decay > 0) {
+        update += config_.learning_rate * config_.weight_decay * value[j];
+      }
+      value[j] -= static_cast<float>(update);
+    }
+  }
+}
+
+Sgd::Sgd(std::vector<Variable> params, SgdConfig config)
+    : Optimizer(std::move(params)), config_(config) {
+  velocity_.reserve(params_.size());
+  for (const auto& p : params_) {
+    velocity_.emplace_back(Matrix::zeros(p.rows(), p.cols()));
+  }
+}
+
+void Sgd::step() {
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    if (!params_[i].has_grad()) continue;
+    const Matrix& g = params_[i].grad();
+    Matrix& value = params_[i].mutable_value();
+    Matrix& vel = velocity_[i];
+    for (std::size_t j = 0; j < g.size(); ++j) {
+      double grad = g[j];
+      if (config_.weight_decay > 0) grad += config_.weight_decay * value[j];
+      vel[j] = static_cast<float>(config_.momentum * vel[j] +
+                                  config_.learning_rate * grad);
+      value[j] -= vel[j];
+    }
+  }
+}
+
+}  // namespace pp::nn

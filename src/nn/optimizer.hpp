@@ -1,0 +1,73 @@
+// First-order optimizers. The paper trains with Adam at lr=1e-3 (§7); SGD
+// with momentum is provided for comparison and tests.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "autograd/variable.hpp"
+
+namespace pp::nn {
+
+using autograd::Variable;
+using tensor::Matrix;
+
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<Variable> params)
+      : params_(std::move(params)) {}
+  virtual ~Optimizer() = default;
+
+  /// Applies one update from the accumulated gradients. Parameters without
+  /// gradients are skipped.
+  virtual void step() = 0;
+
+  void zero_grad() {
+    for (auto& p : params_) p.zero_grad();
+  }
+
+  const std::vector<Variable>& params() const { return params_; }
+
+ protected:
+  std::vector<Variable> params_;
+};
+
+struct AdamConfig {
+  double learning_rate = 1e-3;
+  double beta1 = 0.9;
+  double beta2 = 0.999;
+  double epsilon = 1e-8;
+  double weight_decay = 0.0;  // decoupled (AdamW-style) when > 0
+};
+
+class Adam final : public Optimizer {
+ public:
+  Adam(std::vector<Variable> params, AdamConfig config = {});
+  void step() override;
+
+  std::size_t step_count() const { return t_; }
+
+ private:
+  AdamConfig config_;
+  std::size_t t_ = 0;
+  std::vector<Matrix> m_;  // first-moment estimates, aligned with params_
+  std::vector<Matrix> v_;  // second-moment estimates
+};
+
+struct SgdConfig {
+  double learning_rate = 1e-2;
+  double momentum = 0.0;
+  double weight_decay = 0.0;
+};
+
+class Sgd final : public Optimizer {
+ public:
+  Sgd(std::vector<Variable> params, SgdConfig config = {});
+  void step() override;
+
+ private:
+  SgdConfig config_;
+  std::vector<Matrix> velocity_;
+};
+
+}  // namespace pp::nn

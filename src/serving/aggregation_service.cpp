@@ -1,0 +1,99 @@
+#include "serving/aggregation_service.hpp"
+
+#include <cstring>
+
+namespace pp::serving {
+
+namespace {
+std::vector<std::uint8_t> counter_bytes(std::uint32_t sessions,
+                                        std::uint32_t accesses) {
+  std::vector<std::uint8_t> bytes(8);
+  std::memcpy(bytes.data(), &sessions, 4);
+  std::memcpy(bytes.data() + 4, &accesses, 4);
+  return bytes;
+}
+}  // namespace
+
+AggregationService::AggregationService(
+    const features::FeaturePipeline& pipeline, KvStore& store)
+    : pipeline_(&pipeline), store_(&store) {}
+
+features::UserAggregator& AggregationService::aggregator_for(
+    std::uint64_t user_id) {
+  auto it = aggregators_.find(user_id);
+  if (it == aggregators_.end()) {
+    it = aggregators_
+             .emplace(user_id, std::make_unique<features::UserAggregator>(
+                                   &pipeline_->schema(), pipeline_->windows()))
+             .first;
+  }
+  return *it->second;
+}
+
+void AggregationService::serve_features(
+    std::uint64_t user_id, std::int64_t t,
+    std::span<const std::uint32_t> context, features::SparseRow& out) {
+  features::UserAggregator& agg = aggregator_for(user_id);
+  agg.query(t, context, snapshot_);
+  // Mirror the KV traffic: one lookup per (window x subset) counter cell
+  // plus one per last-session/last-access key pair (stored together).
+  const std::string prefix = "agg:" + std::to_string(user_id) + ":";
+  for (std::size_t w = 0; w < agg.num_windows(); ++w) {
+    for (std::size_t s = 0; s < agg.num_subsets(); ++s) {
+      (void)store_->get(prefix + std::to_string(w) + ":" +
+                        std::to_string(s));
+    }
+  }
+  for (std::size_t s = 0; s < agg.num_subsets(); ++s) {
+    (void)store_->get(prefix + "last:" + std::to_string(s));
+  }
+  out.clear();
+  pipeline_->encode_static(t, context, out);
+  pipeline_->encode_history(t, snapshot_, out);
+}
+
+void AggregationService::apply_session(std::uint64_t user_id,
+                                       const data::Session& session) {
+  features::UserAggregator& agg = aggregator_for(user_id);
+  agg.observe(session);
+  // Mirror counter writes: every (window x subset) cell this session
+  // touches, plus the last-seen keys.
+  const std::string prefix = "agg:" + std::to_string(user_id) + ":";
+  for (std::size_t w = 0; w < agg.num_windows(); ++w) {
+    for (std::size_t s = 0; s < agg.num_subsets(); ++s) {
+      store_->put(prefix + std::to_string(w) + ":" + std::to_string(s) + ":" +
+                      std::to_string(session.context[0]),
+                  counter_bytes(1, session.access));
+    }
+  }
+  for (std::size_t s = 0; s < agg.num_subsets(); ++s) {
+    store_->put(prefix + "last:" + std::to_string(s),
+                counter_bytes(static_cast<std::uint32_t>(session.timestamp &
+                                                         0xffffffffu),
+                              session.access));
+  }
+}
+
+std::size_t AggregationService::live_keys(std::uint64_t user_id) const {
+  const auto it = aggregators_.find(user_id);
+  return it == aggregators_.end() ? 0 : it->second->live_key_count();
+}
+
+std::size_t AggregationService::total_live_keys() const {
+  std::size_t total = 0;
+  for (const auto& [id, agg] : aggregators_) total += agg->live_key_count();
+  return total;
+}
+
+std::size_t AggregationService::storage_bytes() const {
+  return total_live_keys() * 16;
+}
+
+std::size_t AggregationService::lookups_per_prediction() const {
+  const std::size_t subsets = std::size_t{1} << pipeline_->schema().size();
+  return pipeline_->windows().size() * subsets + subsets;
+}
+
+KvStats AggregationService::kv_stats() const { return store_->stats(); }
+
+}  // namespace pp::serving

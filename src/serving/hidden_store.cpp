@@ -1,0 +1,96 @@
+#include "serving/hidden_store.hpp"
+
+#include <cmath>
+
+#include "util/serialize.hpp"
+
+namespace pp::serving {
+
+namespace {
+
+void encode_matrix(const tensor::Matrix& m, StateCodec codec,
+                   BinaryWriter& writer) {
+  writer.write_u32(static_cast<std::uint32_t>(m.rows()));
+  writer.write_u32(static_cast<std::uint32_t>(m.cols()));
+  if (codec == StateCodec::kFloat32) {
+    for (std::size_t i = 0; i < m.size(); ++i) writer.write_f32(m[i]);
+    return;
+  }
+  // int8 per-tensor affine: v ≈ scale * q with q in [-127, 127].
+  const float max_abs = m.max_abs();
+  const float scale = max_abs > 0 ? max_abs / 127.0f : 1.0f;
+  writer.write_f32(scale);
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    const float q = std::round(m[i] / scale);
+    writer.write_pod(static_cast<std::int8_t>(
+        std::clamp(q, -127.0f, 127.0f)));
+  }
+}
+
+tensor::Matrix decode_matrix(StateCodec codec, BinaryReader& reader) {
+  const std::uint32_t rows = reader.read_u32();
+  const std::uint32_t cols = reader.read_u32();
+  tensor::Matrix m(rows, cols);
+  if (codec == StateCodec::kFloat32) {
+    for (std::size_t i = 0; i < m.size(); ++i) m[i] = reader.read_f32();
+    return m;
+  }
+  const float scale = reader.read_f32();
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    m[i] = scale * static_cast<float>(reader.read_pod<std::int8_t>());
+  }
+  return m;
+}
+
+}  // namespace
+
+std::string HiddenStateStore::key(std::uint64_t user_id) const {
+  return "h:" + std::to_string(user_id);
+}
+
+void HiddenStateStore::put(std::uint64_t user_id, const StoredState& state) {
+  BinaryWriter writer;
+  writer.write_i64(state.last_update_time);
+  writer.write_u32(state.updates);
+  writer.write_u32(static_cast<std::uint32_t>(state.state.layers.size()));
+  for (const auto& layer : state.state.layers) {
+    writer.write_u32(static_cast<std::uint32_t>(layer.size()));
+    for (const auto& part : layer) encode_matrix(part, codec_, writer);
+  }
+  store_->put(key(user_id), writer.take());
+}
+
+std::optional<StoredState> HiddenStateStore::get(
+    std::uint64_t user_id, const train::RnnNetwork& network) const {
+  auto bytes = store_->get(key(user_id));
+  if (!bytes.has_value()) return std::nullopt;
+  BinaryReader reader(std::move(*bytes));
+  StoredState state;
+  state.last_update_time = reader.read_i64();
+  state.updates = reader.read_u32();
+  const std::uint32_t layers = reader.read_u32();
+  state.state.layers.resize(layers);
+  for (std::uint32_t l = 0; l < layers; ++l) {
+    const std::uint32_t parts = reader.read_u32();
+    state.state.layers[l].reserve(parts);
+    for (std::uint32_t p = 0; p < parts; ++p) {
+      state.state.layers[l].push_back(decode_matrix(codec_, reader));
+    }
+  }
+  (void)network;
+  return state;
+}
+
+std::size_t HiddenStateStore::encoded_bytes(
+    const train::RnnNetwork& network) const {
+  const auto& cfg = network.config();
+  const std::size_t parts = cfg.cell == nn::CellType::kLstm ? 2 : 1;
+  const std::size_t per_value = codec_ == StateCodec::kFloat32 ? 4 : 1;
+  const std::size_t header = 8 + 4 + 4;
+  const std::size_t per_matrix =
+      8 + (codec_ == StateCodec::kInt8 ? 4 : 0) + cfg.hidden_size * per_value;
+  return header +
+         static_cast<std::size_t>(cfg.num_layers) * (4 + parts * per_matrix);
+}
+
+}  // namespace pp::serving

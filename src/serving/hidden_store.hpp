@@ -1,0 +1,53 @@
+// Per-user hidden-state persistence (§9): "the most recent hidden state
+// for each user (a 128-element floating point vector) and session
+// timestamp are stored in a real-time data store similar to Redis."
+//
+// Supports two codecs: float32 (512 bytes at d=128, the paper's default)
+// and int8 per-tensor affine quantization ("neural network quantization
+// methods can also be applied to store single bytes instead of
+// floating-point numbers for each dimension", §9).
+#pragma once
+
+#include <optional>
+
+#include "serving/kv_store.hpp"
+#include "train/rnn_network.hpp"
+
+namespace pp::serving {
+
+enum class StateCodec { kFloat32, kInt8 };
+
+struct StoredState {
+  train::InferenceState state;
+  /// Timestamp t_k of the last session folded into the state (needed for
+  /// the T(t - t_k) prediction input).
+  std::int64_t last_update_time = 0;
+  /// Number of sessions folded in (k); 0 = cold start.
+  std::uint32_t updates = 0;
+};
+
+class HiddenStateStore {
+ public:
+  HiddenStateStore(KvStore& store, StateCodec codec = StateCodec::kFloat32)
+      : store_(&store), codec_(codec) {}
+
+  void put(std::uint64_t user_id, const StoredState& state);
+  /// Returns the stored state, or std::nullopt for a cold user. `network`
+  /// supplies the expected state geometry.
+  std::optional<StoredState> get(std::uint64_t user_id,
+                                 const train::RnnNetwork& network) const;
+
+  /// Serialized size of one state (the per-user storage footprint).
+  std::size_t encoded_bytes(const train::RnnNetwork& network) const;
+
+  StateCodec codec() const { return codec_; }
+  KvStore& store() { return *store_; }
+
+ private:
+  std::string key(std::uint64_t user_id) const;
+
+  KvStore* store_;
+  StateCodec codec_;
+};
+
+}  // namespace pp::serving

@@ -1,0 +1,60 @@
+#include "serving/kv_store.hpp"
+
+namespace pp::serving {
+
+std::optional<std::vector<std::uint8_t>> KvStore::get(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.lookups;
+  const auto it = map_.find(key);
+  if (it == map_.end()) return std::nullopt;
+  ++stats_.hits;
+  stats_.bytes_read += it->second.size();
+  return it->second;
+}
+
+void KvStore::put(const std::string& key, std::vector<std::uint8_t> value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.writes;
+  stats_.bytes_written += value.size();
+  auto [it, inserted] = map_.try_emplace(key);
+  if (!inserted) value_bytes_ -= it->second.size();
+  value_bytes_ += value.size();
+  it->second = std::move(value);
+}
+
+bool KvStore::erase(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = map_.find(key);
+  if (it == map_.end()) return false;
+  ++stats_.deletes;
+  value_bytes_ -= it->second.size();
+  map_.erase(it);
+  return true;
+}
+
+bool KvStore::contains(const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return map_.count(key) > 0;
+}
+
+std::size_t KvStore::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return map_.size();
+}
+
+std::size_t KvStore::value_bytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return value_bytes_;
+}
+
+KvStats KvStore::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+void KvStore::reset_stats() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  stats_ = KvStats{};
+}
+
+}  // namespace pp::serving

@@ -1,0 +1,47 @@
+// In-memory key-value store standing in for the "real-time data store
+// similar to Redis" of §9. Fully instrumented: every get/put is counted
+// with its byte volume, because the paper's 10x serving-cost claim is
+// about exactly these numbers (1 hidden-state lookup vs ~20 aggregation
+// lookups backed by thousands of live keys per user).
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace pp::serving {
+
+struct KvStats {
+  std::size_t lookups = 0;
+  std::size_t hits = 0;
+  std::size_t writes = 0;
+  std::size_t deletes = 0;
+  std::size_t bytes_read = 0;
+  std::size_t bytes_written = 0;
+};
+
+class KvStore {
+ public:
+  std::optional<std::vector<std::uint8_t>> get(const std::string& key);
+  void put(const std::string& key, std::vector<std::uint8_t> value);
+  bool erase(const std::string& key);
+  bool contains(const std::string& key) const;
+
+  std::size_t size() const;
+  /// Total bytes of stored values (storage footprint, §9).
+  std::size_t value_bytes() const;
+
+  KvStats stats() const;
+  void reset_stats();
+
+ private:
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, std::vector<std::uint8_t>> map_;
+  std::size_t value_bytes_ = 0;
+  KvStats stats_;
+};
+
+}  // namespace pp::serving

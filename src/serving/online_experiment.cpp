@@ -1,0 +1,82 @@
+#include "serving/online_experiment.hpp"
+
+#include <algorithm>
+
+namespace pp::serving {
+
+namespace {
+PolicyOutcome collect(PrecomputeService& service) {
+  service.flush();
+  PolicyOutcome outcome;
+  const OnlineMetrics& metrics = service.metrics();
+  outcome.daily_pr_auc = metrics.daily_pr_auc_series();
+  outcome.predictions = metrics.predictions();
+  outcome.prefetches = metrics.prefetches();
+  outcome.successful_prefetches = metrics.successful_prefetches();
+  outcome.accesses = metrics.accesses();
+  outcome.precision = metrics.precision();
+  outcome.recall = metrics.recall();
+  outcome.costs = service.policy().cost_summary();
+  outcome.joiner = service.joiner_stats();
+  return outcome;
+}
+}  // namespace
+
+OnlineExperimentResult run_online_experiment(
+    const data::Dataset& cohort, std::span<const std::size_t> users,
+    const models::RnnModel& rnn_model, const models::GbdtModel& gbdt_model,
+    const features::FeaturePipeline& gbdt_pipeline,
+    const OnlineExperimentConfig& config) {
+  // Time-ordered merge of all selected users' sessions.
+  struct Item {
+    std::int64_t t;
+    std::size_t user;
+    const data::Session* session;
+  };
+  std::vector<Item> stream;
+  for (const std::size_t u : users) {
+    for (const auto& s : cohort.users[u].sessions) {
+      stream.push_back({s.timestamp, u, &s});
+    }
+  }
+  std::sort(stream.begin(), stream.end(),
+            [](const Item& a, const Item& b) { return a.t < b.t; });
+
+  KvStore rnn_kv;
+  HiddenStateStore hidden_store(rnn_kv, config.rnn_codec);
+  RnnPolicy rnn_policy(rnn_model, hidden_store);
+  PrecomputeService rnn_service(rnn_policy, config.rnn_threshold,
+                                cohort.session_length, config.grace,
+                                cohort.start_time);
+
+  KvStore gbdt_kv;
+  AggregationService aggregation(gbdt_pipeline, gbdt_kv);
+  GbdtPolicy gbdt_policy(gbdt_model, gbdt_pipeline, aggregation);
+  PrecomputeService gbdt_service(gbdt_policy, config.gbdt_threshold,
+                                 cohort.session_length, config.grace,
+                                 cohort.start_time);
+
+  std::uint64_t next_session_id = 1;
+  for (const Item& item : stream) {
+    const std::uint64_t session_id = next_session_id++;
+    const std::uint64_t user_id = cohort.users[item.user].user_id;
+    rnn_service.on_session_start(session_id, user_id, item.t,
+                                 item.session->context);
+    gbdt_service.on_session_start(session_id, user_id, item.t,
+                                  item.session->context);
+    if (item.session->access) {
+      // The access lands midway through the session window.
+      const std::int64_t access_time = item.t + cohort.session_length / 2;
+      rnn_service.on_access(session_id, access_time);
+      gbdt_service.on_access(session_id, access_time);
+    }
+  }
+
+  OnlineExperimentResult result;
+  result.sessions = stream.size();
+  result.rnn = collect(rnn_service);
+  result.gbdt = collect(gbdt_service);
+  return result;
+}
+
+}  // namespace pp::serving

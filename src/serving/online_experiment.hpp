@@ -1,0 +1,49 @@
+// Online A/B replay (§9 / Figure 7): a cohort of users with empty serving
+// state is replayed day by day through two production pipelines — the RNN
+// policy (hidden-state store) and the GBDT policy (aggregation service).
+// Both see the same session stream; per-day PR-AUC traces the cold-start
+// warmup, and the prefetch ledgers give the "successful prefetch" /
+// serving-cost comparison.
+#pragma once
+
+#include <span>
+
+#include "serving/precompute_service.hpp"
+
+namespace pp::serving {
+
+struct PolicyOutcome {
+  std::vector<double> daily_pr_auc;
+  std::size_t predictions = 0;
+  std::size_t prefetches = 0;
+  std::size_t successful_prefetches = 0;
+  std::size_t accesses = 0;
+  double precision = 0;
+  double recall = 0;
+  ServingCostSummary costs;
+  JoinerStats joiner;
+};
+
+struct OnlineExperimentResult {
+  PolicyOutcome rnn;
+  PolicyOutcome gbdt;
+  std::size_t sessions = 0;
+};
+
+struct OnlineExperimentConfig {
+  double rnn_threshold = 0.5;
+  double gbdt_threshold = 0.5;
+  /// Stream grace period ε added to the session-length timer.
+  std::int64_t grace = 60;
+  StateCodec rnn_codec = StateCodec::kFloat32;
+};
+
+/// Replays the selected users' sessions (time-ordered across users)
+/// through both serving stacks. Models must already be trained.
+OnlineExperimentResult run_online_experiment(
+    const data::Dataset& cohort, std::span<const std::size_t> users,
+    const models::RnnModel& rnn_model, const models::GbdtModel& gbdt_model,
+    const features::FeaturePipeline& gbdt_pipeline,
+    const OnlineExperimentConfig& config);
+
+}  // namespace pp::serving

@@ -1,0 +1,223 @@
+#include "serving/precompute_service.hpp"
+
+#include <cmath>
+#include <cstring>
+
+#include "eval/metrics.hpp"
+#include "train/sequence.hpp"
+#include "util/math.hpp"
+
+namespace pp::serving {
+
+// --------------------------------------------------------------- RnnPolicy
+
+RnnPolicy::RnnPolicy(const models::RnnModel& model, HiddenStateStore& store)
+    : model_(&model),
+      store_(&store),
+      bucketizer_(
+          static_cast<int>(model.network().config().time_buckets)) {}
+
+double RnnPolicy::score_session(std::uint64_t user_id, std::int64_t t,
+                                std::span<const std::uint32_t> context) {
+  const train::RnnNetwork& net = model_->network();
+  const auto& seq_cfg = model_->sequence_config();
+  const std::size_t fw = net.config().feature_size;
+  const std::size_t tb = net.config().time_buckets;
+
+  // One KV lookup: the user's hidden state + t_k (§9).
+  const auto stored = store_->get(user_id, net);
+
+  tensor::Matrix row(1, fw + tb);
+  if (seq_cfg.context_at_predict && fw > 0) {
+    train::encode_step_features(model_->schema(), seq_cfg.feature_mode, t,
+                                context, row.row(0));
+  }
+  const std::int64_t gap =
+      stored.has_value() && stored->updates > 0
+          ? t - stored->last_update_time
+          : 0;
+  bucketizer_.encode(gap, row.row(0).subspan(fw, tb));
+
+  double logit;
+  if (stored.has_value()) {
+    logit = net.infer_logit(stored->state.hidden(), row);
+  } else {
+    const train::InferenceState cold = net.infer_initial_state();
+    logit = net.infer_logit(cold.hidden(), row);
+  }
+  ++costs_.predictions;
+  costs_.model_flops += net.predict_flops();
+  return pp::sigmoid(logit);
+}
+
+void RnnPolicy::on_session_complete(const JoinedSession& joined) {
+  const train::RnnNetwork& net = model_->network();
+  const auto& seq_cfg = model_->sequence_config();
+  const std::size_t fw = net.config().feature_size;
+  const std::size_t tb = net.config().time_buckets;
+
+  StoredState state;
+  if (auto stored = store_->get(joined.user_id, net); stored.has_value()) {
+    state = std::move(*stored);
+  } else {
+    state.state = net.infer_initial_state();
+  }
+
+  tensor::Matrix row(1, fw + tb + 1);
+  if (fw > 0) {
+    train::encode_step_features(model_->schema(), seq_cfg.feature_mode,
+                                joined.session_start, joined.context,
+                                row.row(0));
+  }
+  const std::int64_t dt = state.updates > 0
+                              ? joined.session_start - state.last_update_time
+                              : 0;
+  bucketizer_.encode(dt, row.row(0).subspan(fw, tb));
+  row.row(0)[fw + tb] = joined.access ? 1.0f : 0.0f;
+
+  net.infer_update(state.state, row);
+  state.last_update_time = joined.session_start;
+  state.updates += 1;
+  store_->put(joined.user_id, state);
+  ++costs_.state_updates;
+  costs_.model_flops += net.update_flops();
+}
+
+ServingCostSummary RnnPolicy::cost_summary() const {
+  ServingCostSummary summary = costs_;
+  summary.kv = store_->store().stats();
+  summary.storage_bytes = store_->store().value_bytes();
+  summary.live_keys = store_->store().size();
+  return summary;
+}
+
+// -------------------------------------------------------------- GbdtPolicy
+
+GbdtPolicy::GbdtPolicy(const models::GbdtModel& model,
+                       const features::FeaturePipeline& pipeline,
+                       AggregationService& aggregation)
+    : model_(&model),
+      pipeline_(&pipeline),
+      aggregation_(&aggregation),
+      dense_(pipeline.dimension(), 0.0f) {}
+
+double GbdtPolicy::score_session(std::uint64_t user_id, std::int64_t t,
+                                 std::span<const std::uint32_t> context) {
+  aggregation_->serve_features(user_id, t, context, row_);
+  std::fill(dense_.begin(), dense_.end(), 0.0f);
+  for (const auto& [col, value] : row_) dense_[col] = value;
+  const double p = model_->predict_row(dense_);
+  ++costs_.predictions;
+  // Tree-walk cost: one comparison per level per tree.
+  costs_.model_flops += static_cast<std::size_t>(
+      model_->booster().mean_tree_depth() *
+      static_cast<double>(model_->booster().num_trees()));
+  return p;
+}
+
+void GbdtPolicy::on_session_complete(const JoinedSession& joined) {
+  data::Session session;
+  session.timestamp = joined.session_start;
+  session.context = joined.context;
+  session.access = joined.access ? 1 : 0;
+  aggregation_->apply_session(joined.user_id, session);
+  ++costs_.state_updates;
+}
+
+ServingCostSummary GbdtPolicy::cost_summary() const {
+  ServingCostSummary summary = costs_;
+  summary.kv = aggregation_->kv_stats();
+  summary.storage_bytes = aggregation_->storage_bytes();
+  summary.live_keys = aggregation_->total_live_keys();
+  return summary;
+}
+
+// ------------------------------------------------------------ OnlineMetrics
+
+void OnlineMetrics::record(std::int64_t t, double score, bool prefetched,
+                           bool access) {
+  const auto day = static_cast<std::size_t>(
+      std::max<std::int64_t>(0, (t - start_time_) / 86400));
+  if (day >= daily_scores_.size()) {
+    daily_scores_.resize(day + 1);
+    daily_labels_.resize(day + 1);
+  }
+  daily_scores_[day].push_back(score);
+  daily_labels_[day].push_back(access ? 1.0f : 0.0f);
+  ++total_predictions_;
+  if (prefetched) ++total_prefetches_;
+  if (access) {
+    ++total_accesses_;
+    if (prefetched) ++successful_;
+  }
+}
+
+double OnlineMetrics::daily_pr_auc(std::size_t day) const {
+  if (day >= daily_scores_.size() || daily_scores_[day].empty()) return 0.0;
+  bool has_positive = false, has_negative = false;
+  for (const float y : daily_labels_[day]) {
+    (y > 0.5f ? has_positive : has_negative) = true;
+  }
+  if (!has_positive || !has_negative) return 0.0;
+  return eval::pr_auc(daily_scores_[day], daily_labels_[day]);
+}
+
+std::vector<double> OnlineMetrics::daily_pr_auc_series() const {
+  std::vector<double> series(days());
+  for (std::size_t d = 0; d < days(); ++d) series[d] = daily_pr_auc(d);
+  return series;
+}
+
+double OnlineMetrics::precision() const {
+  return total_prefetches_ == 0
+             ? 1.0
+             : static_cast<double>(successful_) /
+                   static_cast<double>(total_prefetches_);
+}
+
+double OnlineMetrics::recall() const {
+  return total_accesses_ == 0
+             ? 0.0
+             : static_cast<double>(successful_) /
+                   static_cast<double>(total_accesses_);
+}
+
+// -------------------------------------------------------- PrecomputeService
+
+PrecomputeService::PrecomputeService(PrecomputePolicy& policy,
+                                     double threshold,
+                                     std::int64_t session_length,
+                                     std::int64_t grace,
+                                     std::int64_t metrics_start)
+    : policy_(&policy),
+      threshold_(threshold),
+      joiner_(session_length, grace,
+              [this](const JoinedSession& joined) {
+                const auto it = pending_.find(joined.session_id);
+                if (it != pending_.end()) {
+                  metrics_.record(joined.session_start, it->second.score,
+                                  it->second.prefetched, joined.access);
+                  pending_.erase(it);
+                }
+                policy_->on_session_complete(joined);
+              }),
+      metrics_(metrics_start) {}
+
+bool PrecomputeService::on_session_start(
+    std::uint64_t session_id, std::uint64_t user_id, std::int64_t t,
+    const std::array<std::uint32_t, data::kMaxContextFields>& context) {
+  // Fire due timers first: hidden updates become visible exactly delta
+  // after their session start, matching the offline lag-δ semantics.
+  joiner_.advance_to(t);
+  const double score = policy_->score_session(user_id, t, context);
+  const bool prefetch = score >= threshold_;
+  pending_[session_id] = {score, prefetch};
+  joiner_.on_context(session_id, user_id, t, context);
+  return prefetch;
+}
+
+void PrecomputeService::on_access(std::uint64_t session_id, std::int64_t t) {
+  joiner_.on_access(session_id, t);
+}
+
+}  // namespace pp::serving

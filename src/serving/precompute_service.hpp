@@ -1,0 +1,162 @@
+// The production serving loop of §9: at session start the policy scores
+// the user (RNN: one hidden-state lookup + MLP; GBDT: ~20 aggregation
+// lookups + tree walk), the service triggers precompute when the score
+// clears the threshold, and when the session's window closes the stream
+// joiner delivers the completed (context, access) record back to the
+// policy to update its per-user state.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+
+#include "models/gbdt_model.hpp"
+#include "models/rnn_model.hpp"
+#include "serving/aggregation_service.hpp"
+#include "serving/hidden_store.hpp"
+#include "serving/stream.hpp"
+
+namespace pp::serving {
+
+/// Cost ledger for one serving policy (the §9 comparison).
+struct ServingCostSummary {
+  std::size_t predictions = 0;
+  std::size_t state_updates = 0;
+  std::size_t model_flops = 0;  // multiply-accumulates in model evaluation
+  KvStats kv;
+  std::size_t storage_bytes = 0;
+  std::size_t live_keys = 0;
+
+  double lookups_per_prediction() const {
+    return predictions == 0 ? 0.0
+                            : static_cast<double>(kv.lookups) /
+                                  static_cast<double>(predictions);
+  }
+  double flops_per_prediction() const {
+    return predictions == 0 ? 0.0
+                            : static_cast<double>(model_flops) /
+                                  static_cast<double>(predictions);
+  }
+};
+
+class PrecomputePolicy {
+ public:
+  virtual ~PrecomputePolicy() = default;
+  /// Access-probability estimate at session start.
+  virtual double score_session(std::uint64_t user_id, std::int64_t t,
+                               std::span<const std::uint32_t> context) = 0;
+  /// Completed-session callback from the stream joiner.
+  virtual void on_session_complete(const JoinedSession& joined) = 0;
+  virtual ServingCostSummary cost_summary() const = 0;
+  virtual const char* name() const = 0;
+};
+
+/// RNN serving (§9): hidden state + t_k in the KV store; TorchScript-like
+/// split execution — MLP at session start, GRU at session end.
+class RnnPolicy final : public PrecomputePolicy {
+ public:
+  RnnPolicy(const models::RnnModel& model, HiddenStateStore& store);
+
+  double score_session(std::uint64_t user_id, std::int64_t t,
+                       std::span<const std::uint32_t> context) override;
+  void on_session_complete(const JoinedSession& joined) override;
+  ServingCostSummary cost_summary() const override;
+  const char* name() const override { return "rnn"; }
+
+ private:
+  const models::RnnModel* model_;
+  HiddenStateStore* store_;
+  features::LogBucketizer bucketizer_;
+  ServingCostSummary costs_;
+};
+
+/// GBDT serving (§9): aggregation features from the stream-maintained
+/// KV counters, then a tree-ensemble walk.
+class GbdtPolicy final : public PrecomputePolicy {
+ public:
+  GbdtPolicy(const models::GbdtModel& model,
+             const features::FeaturePipeline& pipeline,
+             AggregationService& aggregation);
+
+  double score_session(std::uint64_t user_id, std::int64_t t,
+                       std::span<const std::uint32_t> context) override;
+  void on_session_complete(const JoinedSession& joined) override;
+  ServingCostSummary cost_summary() const override;
+  const char* name() const override { return "gbdt"; }
+
+ private:
+  const models::GbdtModel* model_;
+  const features::FeaturePipeline* pipeline_;
+  AggregationService* aggregation_;
+  features::SparseRow row_;
+  std::vector<float> dense_;
+  ServingCostSummary costs_;
+};
+
+/// Per-day online quality series (Figure 7) plus prefetch accounting.
+class OnlineMetrics {
+ public:
+  OnlineMetrics(std::int64_t start_time) : start_time_(start_time) {}
+
+  void record(std::int64_t t, double score, bool prefetched, bool access);
+
+  std::size_t days() const { return daily_scores_.size(); }
+  /// PR-AUC of one day's predictions (NaN-free: returns 0 when a day has
+  /// no positives).
+  double daily_pr_auc(std::size_t day) const;
+  std::vector<double> daily_pr_auc_series() const;
+
+  std::size_t predictions() const { return total_predictions_; }
+  std::size_t prefetches() const { return total_prefetches_; }
+  std::size_t successful_prefetches() const { return successful_; }
+  std::size_t accesses() const { return total_accesses_; }
+  /// Fraction of prefetches that were followed by an access.
+  double precision() const;
+  /// Fraction of accesses that had been prefetched.
+  double recall() const;
+
+ private:
+  std::int64_t start_time_;
+  std::vector<std::vector<double>> daily_scores_;
+  std::vector<std::vector<float>> daily_labels_;
+  std::size_t total_predictions_ = 0;
+  std::size_t total_prefetches_ = 0;
+  std::size_t successful_ = 0;
+  std::size_t total_accesses_ = 0;
+};
+
+/// Ties one policy to the stream joiner, a trigger threshold, and metrics.
+class PrecomputeService {
+ public:
+  PrecomputeService(PrecomputePolicy& policy, double threshold,
+                    std::int64_t session_length, std::int64_t grace,
+                    std::int64_t metrics_start);
+
+  /// Session start: scores, decides, and feeds the context event into the
+  /// joiner. Returns the decision.
+  bool on_session_start(std::uint64_t session_id, std::uint64_t user_id,
+                        std::int64_t t,
+                        const std::array<std::uint32_t,
+                                         data::kMaxContextFields>& context);
+  void on_access(std::uint64_t session_id, std::int64_t t);
+  void advance_to(std::int64_t t) { joiner_.advance_to(t); }
+  void flush() { joiner_.flush(); }
+
+  const OnlineMetrics& metrics() const { return metrics_; }
+  const JoinerStats& joiner_stats() const { return joiner_.stats(); }
+  PrecomputePolicy& policy() { return *policy_; }
+  double threshold() const { return threshold_; }
+
+ private:
+  struct PendingScore {
+    double score = 0;
+    bool prefetched = false;
+  };
+
+  PrecomputePolicy* policy_;
+  double threshold_;
+  SessionJoiner joiner_;
+  OnlineMetrics metrics_;
+  std::unordered_map<std::uint64_t, PendingScore> pending_;
+};
+
+}  // namespace pp::serving

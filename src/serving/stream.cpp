@@ -1,0 +1,85 @@
+#include "serving/stream.hpp"
+
+#include <limits>
+
+namespace pp::serving {
+
+SessionJoiner::SessionJoiner(std::int64_t window, std::int64_t grace,
+                             Callback on_joined)
+    : window_(window), grace_(grace), on_joined_(std::move(on_joined)) {}
+
+void SessionJoiner::on_context(
+    std::uint64_t session_id, std::uint64_t user_id,
+    std::int64_t session_start,
+    const std::array<std::uint32_t, data::kMaxContextFields>& context) {
+  ++stats_.contexts;
+  auto [it, inserted] = pending_.try_emplace(session_id);
+  if (it->second.has_context) {
+    ++stats_.duplicate_contexts;
+    return;
+  }
+  it->second.has_context = true;
+  it->second.session.session_id = session_id;
+  it->second.session.user_id = user_id;
+  it->second.session.session_start = session_start;
+  it->second.session.context = context;
+  timers_.emplace(session_start + window_ + grace_, session_id);
+}
+
+void SessionJoiner::on_access(std::uint64_t session_id,
+                              std::int64_t event_time) {
+  ++stats_.accesses;
+  const auto it = pending_.find(session_id);
+  if (it == pending_.end()) {
+    if (fired_.count(session_id) > 0) {
+      ++stats_.late_accesses;
+    } else {
+      // Access before its context: hold it in a context-less slot; if the
+      // context never arrives the slot is dropped as orphan at flush.
+      auto [slot, inserted] = pending_.try_emplace(session_id);
+      if (inserted) {
+        slot->second.session.session_id = session_id;
+        slot->second.session.access = true;
+        // No timer: an orphan slot only fires if its context shows up —
+        // on_context registers the timer.
+        ++stats_.orphan_accesses;
+      } else {
+        ++stats_.duplicate_accesses;
+      }
+    }
+    return;
+  }
+  if (it->second.session.access) {
+    ++stats_.duplicate_accesses;
+    return;
+  }
+  (void)event_time;
+  it->second.session.access = true;
+}
+
+void SessionJoiner::fire(std::int64_t due) {
+  while (!timers_.empty() && timers_.begin()->first <= due) {
+    const auto [fire_time, session_id] = *timers_.begin();
+    timers_.erase(timers_.begin());
+    const auto it = pending_.find(session_id);
+    if (it == pending_.end()) continue;  // already fired (duplicate timer)
+    if (!it->second.has_context) continue;
+    JoinedSession joined = it->second.session;
+    joined.completed_at = fire_time;
+    pending_.erase(it);
+    fired_.emplace(session_id, fire_time);
+    ++stats_.joined;
+    if (on_joined_) on_joined_(joined);
+  }
+  // Bound the fired-session memory (late-access classification window).
+  if (fired_.size() > 100000) fired_.clear();
+}
+
+void SessionJoiner::advance_to(std::int64_t now) { fire(now); }
+
+void SessionJoiner::flush() {
+  fire(std::numeric_limits<std::int64_t>::max());
+  pending_.clear();
+}
+
+}  // namespace pp::serving

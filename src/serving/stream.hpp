@@ -1,0 +1,88 @@
+// Session-ID keyed stream join (§9): context events and access events are
+// "sent to a stream processing system similar to Apache Kafka, tagged by a
+// unique session ID. Events are buffered by session ID, and after a timer
+// corresponding to the session length fires, the context C_i and access
+// flag A_i are computed."
+//
+// This implements exactly that: an event-time timer wheel joins each
+// session's context with an optional access event; when the timer fires
+// the joined record is delivered to the consumer (which updates the RNN
+// hidden state or the aggregation counters). Failure tolerance: duplicate
+// events are ignored, accesses arriving before their context are held,
+// accesses arriving after the timer fired are dropped and counted.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <unordered_map>
+
+#include "data/dataset.hpp"
+
+namespace pp::serving {
+
+struct JoinedSession {
+  std::uint64_t session_id = 0;
+  std::uint64_t user_id = 0;
+  std::int64_t session_start = 0;
+  std::array<std::uint32_t, data::kMaxContextFields> context{};
+  bool access = false;
+  /// Event time at which the join completed (timer fire).
+  std::int64_t completed_at = 0;
+};
+
+struct JoinerStats {
+  std::size_t contexts = 0;
+  std::size_t accesses = 0;
+  std::size_t joined = 0;
+  std::size_t duplicate_contexts = 0;
+  std::size_t duplicate_accesses = 0;
+  std::size_t orphan_accesses = 0;  // access with no context by fire time
+  std::size_t late_accesses = 0;    // access after the timer fired
+};
+
+class SessionJoiner {
+ public:
+  using Callback = std::function<void(const JoinedSession&)>;
+
+  /// `window` is the session length; the timer fires at session_start +
+  /// window + grace (grace models pipeline latency ε).
+  SessionJoiner(std::int64_t window, std::int64_t grace, Callback on_joined);
+
+  /// Context event at session start. Duplicate session IDs are dropped.
+  void on_context(std::uint64_t session_id, std::uint64_t user_id,
+                  std::int64_t session_start,
+                  const std::array<std::uint32_t, data::kMaxContextFields>&
+                      context);
+  /// Access event within the session window.
+  void on_access(std::uint64_t session_id, std::int64_t event_time);
+
+  /// Advances the event-time clock, firing every due timer in order.
+  void advance_to(std::int64_t now);
+  /// Fires everything still buffered (end of replay).
+  void flush();
+
+  const JoinerStats& stats() const { return stats_; }
+  std::size_t buffered() const { return pending_.size(); }
+
+ private:
+  struct Pending {
+    JoinedSession session;
+    bool has_context = false;
+  };
+
+  void fire(std::int64_t due);
+
+  std::int64_t window_;
+  std::int64_t grace_;
+  Callback on_joined_;
+  std::unordered_map<std::uint64_t, Pending> pending_;
+  /// Timers ordered by fire time; value = session id.
+  std::multimap<std::int64_t, std::uint64_t> timers_;
+  /// Sessions already fired (to classify late accesses); bounded FIFO.
+  std::unordered_map<std::uint64_t, std::int64_t> fired_;
+  JoinerStats stats_;
+};
+
+}  // namespace pp::serving

@@ -1,0 +1,132 @@
+#include "train/rnn_network.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/math.hpp"
+
+namespace pp::train {
+
+using namespace autograd;
+
+RnnNetwork::RnnNetwork(const RnnNetworkConfig& config, Rng& rng)
+    : config_(config) {
+  // feature_size may be 0 (FeatureMode::kNone, the §10.1 reusable model):
+  // the T() time encoding still provides a nonzero input width.
+  if (config.time_buckets == 0 || config.hidden_size == 0 ||
+      config.mlp_hidden == 0 || config.num_layers < 1) {
+    throw std::invalid_argument("RnnNetwork: zero-sized configuration");
+  }
+  std::size_t input = config.update_input_size();
+  for (int l = 0; l < config.num_layers; ++l) {
+    cells_.push_back(
+        nn::make_cell(config.cell, input, config.hidden_size, rng));
+    register_submodule("cell" + std::to_string(l), *cells_.back());
+    input = config.hidden_size;
+  }
+  const std::size_t pred_in = config.predict_input_size();
+  if (config.latent_cross) {
+    latent_ = std::make_unique<nn::Linear>(pred_in, config.hidden_size, rng,
+                                           "latent");
+    register_submodule("latent", *latent_);
+  }
+  w1_ = std::make_unique<nn::Linear>(config.hidden_size + pred_in,
+                                     config.mlp_hidden, rng, "w1");
+  register_submodule("w1", *w1_);
+  w2_ = std::make_unique<nn::Linear>(config.mlp_hidden, 1, rng, "w2");
+  register_submodule("w2", *w2_);
+}
+
+std::vector<nn::CellState> RnnNetwork::graph_initial_state() const {
+  std::vector<nn::CellState> state;
+  state.reserve(cells_.size());
+  for (const auto& cell : cells_) state.push_back(cell->initial_state(1));
+  return state;
+}
+
+std::vector<nn::CellState> RnnNetwork::graph_update(
+    const std::vector<nn::CellState>& state, const Variable& x) const {
+  std::vector<nn::CellState> next;
+  next.reserve(cells_.size());
+  Variable input = x;
+  for (std::size_t l = 0; l < cells_.size(); ++l) {
+    next.push_back(cells_[l]->step(state[l], input));
+    input = next.back().front();
+  }
+  return next;
+}
+
+Variable RnnNetwork::graph_predict_logit(const Variable& h_k,
+                                         const Variable& x, Rng& rng) const {
+  Variable crossed = h_k;
+  if (config_.latent_cross) {
+    // h' = h_k ∘ (1 + L(x))
+    crossed = mul(h_k, add_scalar(latent_->forward(x), 1.0f));
+  }
+  Variable mlp_in = concat_cols(crossed, x);
+  Variable hidden = w1_->forward(mlp_in);
+  hidden = dropout(hidden, config_.dropout, rng, training());
+  hidden = relu(hidden);
+  return w2_->forward(hidden);  // raw logit; sigmoid applied by the caller
+}
+
+InferenceState RnnNetwork::infer_initial_state() const {
+  InferenceState state;
+  state.layers.reserve(cells_.size());
+  for (const auto& cell : cells_) {
+    state.layers.push_back(cell->infer_initial_state(1));
+  }
+  return state;
+}
+
+void RnnNetwork::infer_update(InferenceState& state, const Matrix& x) const {
+  const Matrix* input = &x;
+  Matrix carried;
+  for (std::size_t l = 0; l < cells_.size(); ++l) {
+    cells_[l]->infer_step(state.layers[l], *input);
+    carried = state.layers[l].front();
+    input = &carried;
+  }
+}
+
+double RnnNetwork::infer_logit(const Matrix& h_k, const Matrix& x) const {
+  Matrix crossed = h_k;
+  if (config_.latent_cross) {
+    Matrix factor = latent_->infer(x);
+    for (std::size_t i = 0; i < crossed.size(); ++i) {
+      crossed[i] *= 1.0f + factor[i];
+    }
+  }
+  Matrix mlp_in = Matrix::concat_cols(crossed, x);
+  Matrix hidden = w1_->infer(mlp_in);
+  for (std::size_t i = 0; i < hidden.size(); ++i) {
+    hidden[i] = hidden[i] > 0 ? hidden[i] : 0.0f;
+  }
+  const Matrix logit = w2_->infer(hidden);
+  return logit[0];
+}
+
+std::size_t RnnNetwork::predict_flops() const {
+  const std::size_t pred_in = config_.predict_input_size();
+  const std::size_t h = config_.hidden_size;
+  std::size_t flops = 0;
+  if (config_.latent_cross) flops += pred_in * h + h;
+  flops += (h + pred_in) * config_.mlp_hidden;  // W1
+  flops += config_.mlp_hidden;                  // W2
+  return flops;
+}
+
+std::size_t RnnNetwork::update_flops() const {
+  const std::size_t h = config_.hidden_size;
+  std::size_t input = config_.update_input_size();
+  std::size_t flops = 0;
+  const std::size_t gates =
+      config_.cell == nn::CellType::kGru ? 3 : (config_.cell == nn::CellType::kLstm ? 4 : 1);
+  for (int l = 0; l < config_.num_layers; ++l) {
+    flops += (input + h) * h * gates;
+    input = h;
+  }
+  return flops;
+}
+
+}  // namespace pp::train

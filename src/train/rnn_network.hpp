@@ -1,0 +1,100 @@
+// The paper's RNN architecture (Figure 3 / §6.2):
+//
+//   RNNupdate  — a recurrent cell (GRU by default) consuming
+//                [f_i ; T(Δt_i) ; A_i] and the previous hidden state;
+//   RNNpredict — latent cross h' = h_k ∘ (1 + L(x)) followed by a
+//                one-hidden-layer MLP with dropout(0.2) and ReLU:
+//                logit = b2 + W2 · ReLU(Dropout(b1 + W1 [h' ; x]))
+//                where x = [f_i ; T(t_i − t_k)].
+//
+// Two execution paths are provided and tested for equivalence:
+//  * graph_* methods build autograd graphs (training),
+//  * infer_* methods run raw matrix kernels with no tape (serving); this
+//    is the path whose cost the Section 9 benchmarks measure.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "nn/cells.hpp"
+#include "nn/linear.hpp"
+#include "nn/module.hpp"
+
+namespace pp::train {
+
+using autograd::Variable;
+using tensor::Matrix;
+
+struct RnnNetworkConfig {
+  /// Width of the per-session context feature vector f (one-hot context +
+  /// hour/day-of-week), excluding the time-delta encoding.
+  std::size_t feature_size = 0;
+  /// Width of the T() one-hot time encoding (50 in the paper).
+  std::size_t time_buckets = 50;
+  std::size_t hidden_size = 128;
+  std::size_t mlp_hidden = 128;
+  float dropout = 0.2f;
+  nn::CellType cell = nn::CellType::kGru;
+  /// Stacked recurrent layers (the paper found 1 sufficient).
+  int num_layers = 1;
+  /// Element-wise latent cross of §6.2; disabling it reduces RNNpredict to
+  /// a plain concat-MLP (ablation).
+  bool latent_cross = true;
+
+  std::size_t update_input_size() const {
+    return feature_size + time_buckets + 1;  // + A_i
+  }
+  std::size_t predict_input_size() const {
+    return feature_size + time_buckets;
+  }
+};
+
+/// Raw (tape-free) recurrent state: state_parts() matrices per layer.
+struct InferenceState {
+  std::vector<std::vector<Matrix>> layers;
+  /// The externally visible hidden vector (top layer's h) — the thing the
+  /// serving tier persists per user (512 bytes at d=128, §9).
+  const Matrix& hidden() const { return layers.back().front(); }
+};
+
+class RnnNetwork : public nn::Module {
+ public:
+  RnnNetwork(const RnnNetworkConfig& config, Rng& rng);
+
+  const RnnNetworkConfig& config() const { return config_; }
+
+  // ---- training path (autograd graphs) ----
+  /// One RNNupdate step. `x` is [1 x update_input_size()].
+  std::vector<nn::CellState> graph_update(
+      const std::vector<nn::CellState>& state, const Variable& x) const;
+  /// Zero initial state (one CellState per layer).
+  std::vector<nn::CellState> graph_initial_state() const;
+  /// RNNpredict logit. `h_k` is the exposed hidden [1 x hidden]; `x` is
+  /// [1 x predict_input_size()].
+  Variable graph_predict_logit(const Variable& h_k, const Variable& x,
+                               Rng& rng) const;
+
+  // ---- serving path (no tape) ----
+  InferenceState infer_initial_state() const;
+  void infer_update(InferenceState& state, const Matrix& x) const;
+  double infer_logit(const Matrix& h_k, const Matrix& x) const;
+
+  /// Approximate multiply-accumulate count of one infer_logit call (the
+  /// §9 compute-cost model).
+  std::size_t predict_flops() const;
+  /// Approximate MACs of one infer_update call.
+  std::size_t update_flops() const;
+
+ private:
+  /// Raw one-layer cell step used by infer_update.
+  void infer_cell_step(std::size_t layer, std::vector<Matrix>& state,
+                       const Matrix& x) const;
+
+  RnnNetworkConfig config_;
+  std::vector<std::unique_ptr<nn::RecurrentCell>> cells_;
+  std::unique_ptr<nn::Linear> latent_;  // L of the latent cross
+  std::unique_ptr<nn::Linear> w1_;
+  std::unique_ptr<nn::Linear> w2_;
+};
+
+}  // namespace pp::train

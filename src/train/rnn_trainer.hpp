@@ -1,0 +1,96 @@
+// RNN training (§7): Adam at lr 1e-3, minibatches of 10 users, loss
+// averaged over all prediction/label pairs of the minibatch (masked to the
+// last 21 days), gradient accumulation across users.
+//
+// Two execution strategies reproduce the §7.1 comparison:
+//  * kPerUserThreads (default, the paper's "custom parallelism"): each
+//    worker thread owns a full model replica, evaluates whole users
+//    independently, and replica gradients are reduced into the master
+//    between minibatches. No padding waste on long-tailed histories.
+//  * kPaddedBatch (reference): users of a minibatch are stepped in
+//    lockstep as [B x d] rows, padding every user to the longest history
+//    in the batch.
+//
+// Also provides the tape-free scorer used for offline evaluation and by
+// the serving simulator.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <span>
+
+#include "train/rnn_network.hpp"
+#include "train/sequence.hpp"
+
+namespace pp::train {
+
+enum class BatchStrategy { kPerUserThreads, kPaddedBatch, kSequential };
+
+struct RnnTrainerConfig {
+  int epochs = 1;
+  double learning_rate = 1e-3;
+  std::size_t minibatch_users = 10;
+  /// Worker threads for kPerUserThreads (0 = hardware concurrency).
+  std::size_t num_threads = 0;
+  double grad_clip = 5.0;
+  BatchStrategy strategy = BatchStrategy::kPerUserThreads;
+  SequenceConfig sequence;
+  /// Builds timeshift sequences (eq. 3) instead of session sequences.
+  bool timeshift = false;
+  std::uint64_t seed = 123;
+};
+
+/// Figure 4 series: cumulative sessions processed vs. minibatch loss.
+struct TrainingCurve {
+  std::vector<std::size_t> sessions_processed;
+  std::vector<double> minibatch_loss;
+  /// sessions_processed value at each epoch end (the vertical lines).
+  std::vector<std::size_t> epoch_boundaries;
+  double final_epoch_mean_loss = 0;
+};
+
+class RnnTrainer {
+ public:
+  /// `network` is the master model, updated in place.
+  RnnTrainer(RnnNetwork& network, RnnTrainerConfig config);
+  ~RnnTrainer();
+
+  /// Trains on the given users of the dataset; returns the loss curve.
+  TrainingCurve fit(const data::Dataset& dataset,
+                    std::span<const std::size_t> user_indices);
+
+  const RnnTrainerConfig& config() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Scored predictions for evaluation, aligned with eval:: span inputs.
+struct ScoredSeries {
+  std::vector<double> scores;
+  std::vector<float> labels;
+  std::vector<std::int64_t> timestamps;
+
+  void append(double score, float label, std::int64_t ts) {
+    scores.push_back(score);
+    labels.push_back(label);
+    timestamps.push_back(ts);
+  }
+  void append_series(const ScoredSeries& other);
+  /// Keeps only entries with from <= timestamp < to (to = 0 means open).
+  ScoredSeries filter_time(std::int64_t from, std::int64_t to) const;
+};
+
+/// Tape-free scoring of every prediction of the given users; emits only
+/// predictions with timestamp in [emit_from, emit_to) (emit_to = 0 keeps
+/// all). Replays the lag-δ semantics exactly as in training.
+ScoredSeries score_users(const RnnNetwork& network,
+                         const data::Dataset& dataset,
+                         std::span<const std::size_t> user_indices,
+                         const SequenceConfig& sequence_config,
+                         bool timeshift, std::int64_t emit_from = 0,
+                         std::int64_t emit_to = 0,
+                         std::size_t num_threads = 1);
+
+}  // namespace pp::train

@@ -1,0 +1,165 @@
+#include "train/sequence.hpp"
+
+#include <algorithm>
+
+namespace pp::train {
+
+std::size_t feature_width(const data::ContextSchema& schema,
+                          FeatureMode mode) {
+  switch (mode) {
+    case FeatureMode::kFull:
+      return schema.one_hot_width() + features::kTimeOfDayWidth;
+    case FeatureMode::kTimeOnly:
+      return features::kTimeOfDayWidth;
+    case FeatureMode::kNone:
+      return 0;
+  }
+  return 0;
+}
+
+double UserSequence::total_loss_weight() const {
+  double total = 0;
+  for (float w : loss_weights) total += w;
+  return total;
+}
+
+void encode_step_features(const data::ContextSchema& schema, FeatureMode mode,
+                          std::int64_t t,
+                          std::span<const std::uint32_t> context,
+                          std::span<float> out) {
+  std::size_t offset = 0;
+  if (mode == FeatureMode::kFull) {
+    features::encode_context(schema, context, out);
+    offset = schema.one_hot_width();
+  }
+  if (mode != FeatureMode::kNone) {
+    features::encode_time_of_day(t, out.subspan(offset));
+  }
+}
+
+namespace {
+
+/// Sessions surviving truncation, as a span into the user's log.
+std::span<const data::Session> kept_sessions(const data::UserLog& user,
+                                             std::size_t truncate) {
+  const std::size_t n = user.sessions.size();
+  const std::size_t keep = truncate > 0 ? std::min(n, truncate) : n;
+  return {user.sessions.data() + (n - keep), keep};
+}
+
+}  // namespace
+
+UserSequence build_session_sequence(const data::Dataset& dataset,
+                                    const data::UserLog& user,
+                                    const SequenceConfig& config) {
+  const auto sessions = kept_sessions(user, config.truncate_history);
+  const std::size_t n = sessions.size();
+  const std::size_t fw = feature_width(dataset.schema, config.feature_mode);
+  const std::size_t tb = config.time_buckets;
+  const features::LogBucketizer bucketizer(static_cast<int>(tb));
+  const std::int64_t delta = dataset.delta();
+
+  UserSequence seq;
+  seq.update_inputs = tensor::Matrix(n, fw + tb + 1);
+  seq.predict_inputs = tensor::Matrix(n, fw + tb);
+  seq.h_index.resize(n);
+  seq.labels.resize(n);
+  seq.loss_weights.resize(n);
+  seq.timestamps.resize(n);
+
+  std::uint32_t k = 0;  // updates visible so far (two-pointer over delta)
+  for (std::size_t i = 0; i < n; ++i) {
+    const data::Session& s = sessions[i];
+
+    // ---- update row i: [f_i ; T(Δt_i) ; A_i] ----
+    auto update_row = seq.update_inputs.row(i);
+    encode_step_features(dataset.schema, config.feature_mode, s.timestamp,
+                    s.context, update_row);
+    const std::int64_t dt =
+        i == 0 ? 0 : s.timestamp - sessions[i - 1].timestamp;
+    bucketizer.encode(dt, update_row.subspan(fw, tb));
+    update_row[fw + tb] = static_cast<float>(s.access);
+
+    // ---- prediction for session i ----
+    while (k < i && sessions[k].timestamp <= s.timestamp - delta) ++k;
+    // k now counts sessions with t_j <= t_i - delta (k <= i).
+    seq.h_index[i] = k;
+    auto predict_row = seq.predict_inputs.row(i);
+    if (config.context_at_predict) {
+      encode_step_features(dataset.schema, config.feature_mode, s.timestamp,
+                      s.context, predict_row);
+    }
+    const std::int64_t gap =
+        k == 0 ? 0 : s.timestamp - sessions[k - 1].timestamp;
+    bucketizer.encode(gap, predict_row.subspan(fw, tb));
+
+    seq.labels[i] = static_cast<float>(s.access);
+    seq.loss_weights[i] = s.timestamp >= config.loss_from ? 1.0f : 0.0f;
+    seq.timestamps[i] = s.timestamp;
+  }
+  return seq;
+}
+
+UserSequence build_timeshift_sequence(const data::Dataset& dataset,
+                                      const data::UserLog& user,
+                                      const SequenceConfig& config) {
+  const auto sessions = kept_sessions(user, config.truncate_history);
+  const std::size_t n = sessions.size();
+  const std::size_t fw = feature_width(dataset.schema, config.feature_mode);
+  const std::size_t tb = config.time_buckets;
+  const features::LogBucketizer bucketizer(static_cast<int>(tb));
+  const std::int64_t delta = dataset.delta();
+  const int days = dataset.days();
+
+  UserSequence seq;
+  seq.update_inputs = tensor::Matrix(n, fw + tb + 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    const data::Session& s = sessions[i];
+    auto update_row = seq.update_inputs.row(i);
+    encode_step_features(dataset.schema, config.feature_mode, s.timestamp,
+                    s.context, update_row);
+    const std::int64_t dt =
+        i == 0 ? 0 : s.timestamp - sessions[i - 1].timestamp;
+    bucketizer.encode(dt, update_row.subspan(fw, tb));
+    update_row[fw + tb] = static_cast<float>(s.access);
+  }
+
+  seq.predict_inputs = tensor::Matrix(static_cast<std::size_t>(days), fw + tb);
+  std::uint32_t k = 0;
+  std::size_t label_scan = 0;
+  std::size_t emitted = 0;
+  for (int d = 0; d < days; ++d) {
+    const std::int64_t day_begin =
+        dataset.start_time + static_cast<std::int64_t>(d) * 86400;
+    const std::int64_t window_start = dataset.peak.start_on_day(day_begin);
+    const std::int64_t window_end =
+        day_begin + static_cast<std::int64_t>(dataset.peak.end_hour) * 3600;
+
+    while (k < n && sessions[k].timestamp <= window_start - delta) ++k;
+    auto predict_row = seq.predict_inputs.row(emitted);
+    // Eq. 3: no context at prediction time; only T(start_d - t_k).
+    const std::int64_t gap =
+        k == 0 ? 0 : window_start - sessions[k - 1].timestamp;
+    bucketizer.encode(gap, predict_row.subspan(fw, tb));
+
+    while (label_scan < n && sessions[label_scan].timestamp < window_start) {
+      ++label_scan;
+    }
+    float label = 0.0f;
+    for (std::size_t j = label_scan; j < n; ++j) {
+      if (sessions[j].timestamp >= window_end) break;
+      if (sessions[j].access) {
+        label = 1.0f;
+        break;
+      }
+    }
+    seq.h_index.push_back(k);
+    seq.labels.push_back(label);
+    seq.loss_weights.push_back(window_start >= config.loss_from ? 1.0f : 0.0f);
+    seq.timestamps.push_back(window_start);
+    ++emitted;
+  }
+  return seq;
+}
+
+}  // namespace pp::train

@@ -1,0 +1,45 @@
+// Minimal leveled logger. Benches and examples print their results through
+// the Table facility; the logger is for progress/diagnostic lines only.
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace pp {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Global minimum level; messages below it are dropped. Defaults to kInfo.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Thread-safe write of one formatted line to stderr.
+void log_line(LogLevel level, std::string_view message);
+
+namespace detail {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level) : level_(level) {}
+  ~LogMessage() { log_line(level_, stream_.str()); }
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+
+}  // namespace pp
+
+#define PP_LOG_DEBUG ::pp::detail::LogMessage(::pp::LogLevel::kDebug)
+#define PP_LOG_INFO ::pp::detail::LogMessage(::pp::LogLevel::kInfo)
+#define PP_LOG_WARN ::pp::detail::LogMessage(::pp::LogLevel::kWarn)
+#define PP_LOG_ERROR ::pp::detail::LogMessage(::pp::LogLevel::kError)

@@ -1,0 +1,33 @@
+#include "util/serialize.hpp"
+
+#include <cstdio>
+#include <memory>
+
+namespace pp {
+
+void BinaryWriter::save_file(const std::string& path) const {
+  std::unique_ptr<std::FILE, int (*)(std::FILE*)> f(
+      std::fopen(path.c_str(), "wb"), &std::fclose);
+  if (!f) throw std::runtime_error("cannot open for write: " + path);
+  if (!bytes_.empty() &&
+      std::fwrite(bytes_.data(), 1, bytes_.size(), f.get()) != bytes_.size()) {
+    throw std::runtime_error("short write: " + path);
+  }
+}
+
+BinaryReader BinaryReader::from_file(const std::string& path) {
+  std::unique_ptr<std::FILE, int (*)(std::FILE*)> f(
+      std::fopen(path.c_str(), "rb"), &std::fclose);
+  if (!f) throw std::runtime_error("cannot open for read: " + path);
+  std::fseek(f.get(), 0, SEEK_END);
+  const long size = std::ftell(f.get());
+  std::fseek(f.get(), 0, SEEK_SET);
+  std::vector<std::uint8_t> bytes(static_cast<std::size_t>(size));
+  if (size > 0 && std::fread(bytes.data(), 1, bytes.size(), f.get()) !=
+                      bytes.size()) {
+    throw std::runtime_error("short read: " + path);
+  }
+  return BinaryReader(std::move(bytes));
+}
+
+}  // namespace pp

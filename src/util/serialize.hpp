@@ -1,0 +1,110 @@
+// Tiny binary (de)serialization helpers with explicit little-endian layout.
+// Used for model weights, hidden states, and dataset round-trips.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace pp {
+
+/// Append-only byte sink.
+class BinaryWriter {
+ public:
+  template <typename T>
+  void write_pod(const T& value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const auto* p = reinterpret_cast<const std::uint8_t*>(&value);
+    bytes_.insert(bytes_.end(), p, p + sizeof(T));
+  }
+
+  void write_u32(std::uint32_t v) { write_pod(v); }
+  void write_u64(std::uint64_t v) { write_pod(v); }
+  void write_i64(std::int64_t v) { write_pod(v); }
+  void write_f32(float v) { write_pod(v); }
+  void write_f64(double v) { write_pod(v); }
+
+  void write_string(const std::string& s) {
+    write_u64(s.size());
+    bytes_.insert(bytes_.end(), s.begin(), s.end());
+  }
+
+  template <typename T>
+  void write_vector(const std::vector<T>& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    write_u64(v.size());
+    const auto* p = reinterpret_cast<const std::uint8_t*>(v.data());
+    bytes_.insert(bytes_.end(), p, p + v.size() * sizeof(T));
+  }
+
+  const std::vector<std::uint8_t>& bytes() const { return bytes_; }
+  std::vector<std::uint8_t> take() { return std::move(bytes_); }
+
+  /// Writes the accumulated buffer to a file; throws on I/O failure.
+  void save_file(const std::string& path) const;
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+};
+
+/// Sequential reader over a byte buffer; throws std::runtime_error on
+/// truncated input instead of reading out of bounds.
+class BinaryReader {
+ public:
+  explicit BinaryReader(std::vector<std::uint8_t> bytes)
+      : bytes_(std::move(bytes)) {}
+
+  static BinaryReader from_file(const std::string& path);
+
+  template <typename T>
+  T read_pod() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    require(sizeof(T));
+    T value;
+    std::memcpy(&value, bytes_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return value;
+  }
+
+  std::uint32_t read_u32() { return read_pod<std::uint32_t>(); }
+  std::uint64_t read_u64() { return read_pod<std::uint64_t>(); }
+  std::int64_t read_i64() { return read_pod<std::int64_t>(); }
+  float read_f32() { return read_pod<float>(); }
+  double read_f64() { return read_pod<double>(); }
+
+  std::string read_string() {
+    const std::uint64_t n = read_u64();
+    require(n);
+    std::string s(reinterpret_cast<const char*>(bytes_.data() + pos_), n);
+    pos_ += n;
+    return s;
+  }
+
+  template <typename T>
+  std::vector<T> read_vector() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const std::uint64_t n = read_u64();
+    require(n * sizeof(T));
+    std::vector<T> v(n);
+    std::memcpy(v.data(), bytes_.data() + pos_, n * sizeof(T));
+    pos_ += n * sizeof(T);
+    return v;
+  }
+
+  bool at_end() const { return pos_ == bytes_.size(); }
+  std::size_t remaining() const { return bytes_.size() - pos_; }
+
+ private:
+  void require(std::uint64_t n) const {
+    if (pos_ + n > bytes_.size()) {
+      throw std::runtime_error("BinaryReader: truncated input");
+    }
+  }
+
+  std::vector<std::uint8_t> bytes_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace pp

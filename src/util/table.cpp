@@ -1,0 +1,85 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace pp {
+
+std::string format_double(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+Table& Table::row() {
+  rows_.emplace_back();
+  return *this;
+}
+
+Table& Table::cell(std::string value) {
+  rows_.back().push_back(std::move(value));
+  return *this;
+}
+
+Table& Table::cell(const char* value) { return cell(std::string(value)); }
+
+Table& Table::cell(double value, int precision) {
+  return cell(format_double(value, precision));
+}
+
+Table& Table::cell(long long value) { return cell(std::to_string(value)); }
+
+Table& Table::cell_percent(double fraction, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%+.*f%%", precision, fraction * 100.0);
+  return cell(std::string(buf));
+}
+
+std::string Table::to_string() const {
+  std::vector<std::size_t> widths(header_.size(), 0);
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      const std::string& v = c < row.size() ? row[c] : std::string();
+      out << v << std::string(widths[c] - v.size(), ' ');
+      out << (c + 1 == widths.size() ? "\n" : "  ");
+    }
+  };
+  emit_row(header_);
+  std::size_t total = 0;
+  for (std::size_t w : widths) total += w + 2;
+  out << std::string(total > 2 ? total - 2 : total, '-') << "\n";
+  for (const auto& row : rows_) emit_row(row);
+  return out.str();
+}
+
+std::string Table::to_csv() const {
+  std::ostringstream out;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out << row[c] << (c + 1 == row.size() ? "\n" : ",");
+    }
+  };
+  emit(header_);
+  for (const auto& row : rows_) emit(row);
+  return out.str();
+}
+
+void Table::print(const std::string& caption) const {
+  if (!caption.empty()) std::printf("%s\n", caption.c_str());
+  std::printf("%s\n", to_string().c_str());
+  std::fflush(stdout);
+}
+
+}  // namespace pp

@@ -1,0 +1,49 @@
+// Console table / CSV emitter used by every bench harness to print the rows
+// of the paper's tables and the series of its figures in a uniform format.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace pp {
+
+/// A simple column-aligned table. Cells are strings; numeric helpers format
+/// with a fixed precision so that bench output lines up with the paper's
+/// tables.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Starts a new row. Subsequent add_* calls append cells to it.
+  Table& row();
+  Table& cell(std::string value);
+  Table& cell(const char* value);
+  Table& cell(double value, int precision = 3);
+  Table& cell(long long value);
+  Table& cell(int value) { return cell(static_cast<long long>(value)); }
+  Table& cell(std::size_t value) {
+    return cell(static_cast<long long>(value));
+  }
+  /// Percent with a sign, e.g. +7.81%.
+  Table& cell_percent(double fraction, int precision = 2);
+
+  /// Renders with aligned columns and a separator under the header.
+  std::string to_string() const;
+  /// Comma-separated values (no alignment padding).
+  std::string to_csv() const;
+  /// Prints to_string() to stdout with an optional caption line.
+  void print(const std::string& caption = "") const;
+
+  std::size_t row_count() const { return rows_.size(); }
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed precision (helper shared with Table).
+std::string format_double(double value, int precision);
+
+}  // namespace pp

@@ -1,0 +1,58 @@
+// Fixed-size thread pool used for per-user gradient evaluation (the paper's
+// "custom parallelism", §7.1) and for feature-parallel GBDT split search.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace pp {
+
+class ThreadPool {
+ public:
+  /// Creates a pool with `num_threads` workers (defaults to hardware
+  /// concurrency, at least 1).
+  explicit ThreadPool(std::size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Enqueues a task; the returned future observes its completion (and
+  /// propagates exceptions).
+  template <typename F>
+  std::future<void> submit(F&& task) {
+    auto packaged =
+        std::make_shared<std::packaged_task<void()>>(std::forward<F>(task));
+    std::future<void> result = packaged->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      tasks_.push([packaged] { (*packaged)(); });
+    }
+    cv_.notify_one();
+    return result;
+  }
+
+  /// Runs fn(i) for i in [0, count), blocking until all are done. Work is
+  /// dealt in contiguous chunks to limit scheduling overhead.
+  void parallel_for(std::size_t count,
+                    const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace pp

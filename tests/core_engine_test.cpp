@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/engine.hpp"
+#include "data/generators.hpp"
+#include "eval/metrics.hpp"
+
+namespace pp::core {
+namespace {
+
+data::Dataset small_dataset() {
+  data::MobileTabConfig config;
+  config.num_users = 120;
+  config.days = 10;
+  return data::generate_mobile_tab(config);
+}
+
+class EngineModelKinds : public ::testing::TestWithParam<ModelKind> {};
+
+TEST_P(EngineModelKinds, TrainSelectsThresholdAndServes) {
+  const data::Dataset dataset = small_dataset();
+  EngineConfig config;
+  config.model = GetParam();
+  config.target_precision = 0.4;
+  config.rnn.hidden_size = 10;
+  config.rnn.mlp_hidden = 10;
+  config.rnn.epochs = 2;
+  config.rnn.num_threads = 2;
+  config.rnn.truncate_history = 80;
+  config.gbdt.depth_search = false;
+  config.gbdt.booster.num_rounds = 15;
+  config.lr.epochs = 2;
+
+  PrecomputeEngine engine(config);
+  const TrainReport report = engine.train(dataset);
+  EXPECT_EQ(report.model, GetParam());
+  EXPECT_GT(report.validation_examples, 0u);
+  EXPECT_GT(report.validation_pr_auc, 0.1)
+      << "model " << to_string(GetParam());
+
+  // Serve a few sessions through the online API.
+  const auto& user = dataset.users[0];
+  std::size_t decisions = 0;
+  for (const auto& session : user.sessions) {
+    const double p =
+        engine.score(user.user_id, session.timestamp, session.context);
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+    decisions += engine.should_precompute(user.user_id, session.timestamp,
+                                          session.context)
+                     ? 1
+                     : 0;
+    engine.observe_session(user.user_id, session);
+  }
+  EXPECT_LE(decisions, user.sessions.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, EngineModelKinds,
+                         ::testing::Values(ModelKind::kPercentage,
+                                           ModelKind::kLogisticRegression,
+                                           ModelKind::kGbdt, ModelKind::kRnn),
+                         [](const auto& info) {
+                           return to_string(info.param);
+                         });
+
+TEST(Engine, ThresholdHitsTargetPrecisionOnValidation) {
+  const data::Dataset dataset = small_dataset();
+  EngineConfig config;
+  config.model = ModelKind::kPercentage;
+  config.target_precision = 0.5;
+  PrecomputeEngine engine(config);
+  const TrainReport report = engine.train(dataset);
+  // Feasibility: either a finite threshold meeting the target, or +inf
+  // when unreachable.
+  if (std::isfinite(report.threshold)) {
+    EXPECT_GT(report.validation_recall_at_target, 0.0);
+  }
+}
+
+TEST(Engine, OfflineScoringMatchesEvalWindow) {
+  const data::Dataset dataset = small_dataset();
+  EngineConfig config;
+  config.model = ModelKind::kPercentage;
+  PrecomputeEngine engine(config);
+  engine.train(dataset);
+  std::vector<std::size_t> users{0, 1, 2};
+  const std::int64_t from = dataset.end_time - 3 * 86400;
+  const auto series = engine.score_offline(dataset, users, from);
+  for (const auto ts : series.timestamps) EXPECT_GE(ts, from);
+}
+
+TEST(Engine, TimeshiftedDatasetSupported) {
+  data::TimeshiftConfig ts_config;
+  ts_config.num_users = 80;
+  ts_config.days = 10;
+  const data::Dataset dataset = data::generate_timeshift(ts_config);
+  EngineConfig config;
+  config.model = ModelKind::kRnn;
+  config.target_precision = 0.3;
+  config.rnn.hidden_size = 8;
+  config.rnn.mlp_hidden = 8;
+  config.rnn.epochs = 2;
+  config.rnn.num_threads = 2;
+  PrecomputeEngine engine(config);
+  const TrainReport report = engine.train(dataset);
+  EXPECT_GT(report.validation_examples, 0u);
+}
+
+}  // namespace
+}  // namespace pp::core

@@ -1,0 +1,195 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "data/generators.hpp"
+#include "data/io.hpp"
+#include "data/stats.hpp"
+
+namespace pp::data {
+namespace {
+
+TEST(Generators, MobileTabMatchesPaperStatistics) {
+  MobileTabConfig config;
+  config.num_users = 1500;
+  Dataset dataset = generate_mobile_tab(config);
+  const DatasetStats stats = compute_stats(dataset);
+  EXPECT_EQ(stats.num_users, 1500u);
+  // Calibrated toward the paper's 11.1% positive rate (Table 2).
+  EXPECT_NEAR(stats.positive_rate, 0.111, 0.015);
+  // ~36% of users with zero accesses (Figure 1).
+  EXPECT_NEAR(stats.zero_access_fraction, 0.36, 0.05);
+  EXPECT_GT(stats.mean_sessions_per_user, 30.0);
+}
+
+TEST(Generators, TimeshiftMatchesPaperStatistics) {
+  TimeshiftConfig config;
+  config.num_users = 1500;
+  Dataset dataset = generate_timeshift(config);
+  EXPECT_TRUE(dataset.timeshifted);
+  // The 7.1% positive rate refers to the per-(user, day) peak labels.
+  EXPECT_NEAR(peak_label_positive_rate(dataset), 0.071, 0.012);
+  const DatasetStats stats = compute_stats(dataset);
+  EXPECT_NEAR(stats.zero_access_fraction, 0.42, 0.05);
+}
+
+TEST(Generators, MpuMatchesPaperStatistics) {
+  MpuConfig config;
+  config.num_users = 150;
+  config.mean_events_per_day = 30;
+  Dataset dataset = generate_mpu(config);
+  const DatasetStats stats = compute_stats(dataset);
+  EXPECT_NEAR(stats.positive_rate, 0.397, 0.02);
+  EXPECT_EQ(dataset.session_length, 10 * 60);
+  // Heavy-tailed per-user counts (Figure 5): max well above the mean.
+  EXPECT_GT(static_cast<double>(stats.max_sessions_per_user),
+            3.0 * stats.mean_sessions_per_user);
+}
+
+TEST(Generators, DeterministicForSameSeed) {
+  MobileTabConfig config;
+  config.num_users = 50;
+  config.days = 5;
+  const Dataset a = generate_mobile_tab(config);
+  const Dataset b = generate_mobile_tab(config);
+  ASSERT_EQ(a.users.size(), b.users.size());
+  for (std::size_t u = 0; u < a.users.size(); ++u) {
+    ASSERT_EQ(a.users[u].sessions.size(), b.users[u].sessions.size());
+    for (std::size_t s = 0; s < a.users[u].sessions.size(); ++s) {
+      ASSERT_EQ(a.users[u].sessions[s].timestamp,
+                b.users[u].sessions[s].timestamp);
+      ASSERT_EQ(a.users[u].sessions[s].access, b.users[u].sessions[s].access);
+    }
+  }
+}
+
+TEST(Generators, TimestampsStrictlyIncreasingAndInWindow) {
+  MpuConfig config;
+  config.num_users = 30;
+  config.days = 7;
+  config.mean_events_per_day = 20;
+  const Dataset dataset = generate_mpu(config);
+  for (const auto& user : dataset.users) {
+    for (std::size_t i = 0; i < user.sessions.size(); ++i) {
+      const auto& s = user.sessions[i];
+      ASSERT_GE(s.timestamp, dataset.start_time);
+      ASSERT_LT(s.timestamp, dataset.end_time);
+      if (i > 0) ASSERT_GT(s.timestamp, user.sessions[i - 1].timestamp);
+      // Context values must respect the schema cardinalities.
+      for (std::size_t f = 0; f < dataset.schema.size(); ++f) {
+        ASSERT_LT(s.context[f], dataset.schema.fields[f].cardinality);
+      }
+    }
+  }
+}
+
+TEST(Generators, ContextCorrelatesWithAccess) {
+  // The unread badge must carry real signal: mean unread on access
+  // sessions should exceed mean unread on non-access sessions.
+  MobileTabConfig config;
+  config.num_users = 400;
+  Dataset dataset = generate_mobile_tab(config);
+  double unread_access = 0, n_access = 0, unread_other = 0, n_other = 0;
+  for (const auto& user : dataset.users) {
+    for (const auto& s : user.sessions) {
+      if (s.access) {
+        unread_access += s.context[0];
+        ++n_access;
+      } else {
+        unread_other += s.context[0];
+        ++n_other;
+      }
+    }
+  }
+  EXPECT_GT(unread_access / n_access, unread_other / n_other);
+}
+
+TEST(Stats, AccessRateCdfSeries) {
+  MobileTabConfig config;
+  config.num_users = 300;
+  config.days = 10;
+  Dataset dataset = generate_mobile_tab(config);
+  const auto series = access_rate_cdf_series(dataset, 11);
+  ASSERT_EQ(series.size(), 11u);
+  EXPECT_EQ(series.front().first, 0.0);
+  EXPECT_EQ(series.back().first, 1.0);
+  EXPECT_NEAR(series.back().second, 1.0, 1e-12);
+  // CDF is non-decreasing.
+  for (std::size_t i = 1; i < series.size(); ++i) {
+    EXPECT_GE(series[i].second, series[i - 1].second);
+  }
+}
+
+TEST(Stats, SessionHistogramBinsAllUsers) {
+  MpuConfig config;
+  config.num_users = 60;
+  config.days = 7;
+  config.mean_events_per_day = 15;
+  Dataset dataset = generate_mpu(config);
+  const auto hist = session_count_histogram(dataset, 100, 2000);
+  std::size_t total = 0;
+  for (const auto b : hist.bins) total += b;
+  EXPECT_EQ(total, 60u);
+}
+
+TEST(Io, BinaryRoundTripPreservesEverything) {
+  TimeshiftConfig config;
+  config.num_users = 20;
+  config.days = 6;
+  const Dataset original = generate_timeshift(config);
+  BinaryWriter writer;
+  serialize_dataset(original, writer);
+  BinaryReader reader(writer.take());
+  const Dataset copy = deserialize_dataset(reader);
+  EXPECT_EQ(copy.name, original.name);
+  EXPECT_EQ(copy.timeshifted, original.timeshifted);
+  EXPECT_EQ(copy.peak.start_hour, original.peak.start_hour);
+  EXPECT_EQ(copy.schema.size(), original.schema.size());
+  EXPECT_EQ(copy.schema.fields[0].ordinal, original.schema.fields[0].ordinal);
+  ASSERT_EQ(copy.users.size(), original.users.size());
+  for (std::size_t u = 0; u < copy.users.size(); ++u) {
+    ASSERT_EQ(copy.users[u].sessions.size(),
+              original.users[u].sessions.size());
+  }
+  EXPECT_EQ(copy.total_accesses(), original.total_accesses());
+}
+
+TEST(Io, FileRoundTrip) {
+  MobileTabConfig config;
+  config.num_users = 10;
+  config.days = 3;
+  const Dataset original = generate_mobile_tab(config);
+  const std::string path = ::testing::TempDir() + "/pp_dataset.bin";
+  save_dataset(original, path);
+  const Dataset loaded = load_dataset(path);
+  EXPECT_EQ(loaded.total_sessions(), original.total_sessions());
+  std::remove(path.c_str());
+}
+
+TEST(Io, CsvExportHasTable1Layout) {
+  MobileTabConfig config;
+  config.num_users = 5;
+  config.days = 3;
+  const Dataset dataset = generate_mobile_tab(config);
+  std::size_t user = 0;
+  while (user < dataset.users.size() &&
+         dataset.users[user].sessions.empty()) {
+    ++user;
+  }
+  ASSERT_LT(user, dataset.users.size());
+  const std::string csv = user_log_to_csv(dataset, user, 5);
+  EXPECT_NE(csv.find("timestamp,access_flag,unread,active_tab"),
+            std::string::npos);
+}
+
+TEST(PeakWindow, ContainsRespectsHours) {
+  PeakWindow peak{17, 23};
+  const std::int64_t midnight = 1590969600;
+  EXPECT_FALSE(peak.contains(midnight));
+  EXPECT_TRUE(peak.contains(midnight + 17 * 3600));
+  EXPECT_TRUE(peak.contains(midnight + 22 * 3600 + 3599));
+  EXPECT_FALSE(peak.contains(midnight + 23 * 3600));
+}
+
+}  // namespace
+}  // namespace pp::data

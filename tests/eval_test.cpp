@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "eval/metrics.hpp"
+#include "util/rng.hpp"
+
+namespace pp::eval {
+namespace {
+
+TEST(PrCurve, MatchesHandComputedCase) {
+  // The canonical sklearn example: y = [0,0,1,1], scores = [.1,.4,.35,.8].
+  const std::vector<double> scores{0.1, 0.4, 0.35, 0.8};
+  const std::vector<float> labels{0, 0, 1, 1};
+  const auto curve = precision_recall_curve(scores, labels);
+  // sklearn: precision [0.5, 2/3, 0.5, 1, 1], recall [1, 1, 0.5, 0.5, 0],
+  // thresholds [0.1, 0.35, 0.4, 0.8].
+  ASSERT_EQ(curve.size(), 5u);
+  EXPECT_NEAR(curve[0].precision, 0.5, 1e-12);
+  EXPECT_NEAR(curve[0].recall, 1.0, 1e-12);
+  EXPECT_NEAR(curve[0].threshold, 0.1, 1e-12);
+  EXPECT_NEAR(curve[1].precision, 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(curve[1].recall, 1.0, 1e-12);
+  EXPECT_NEAR(curve[2].precision, 0.5, 1e-12);
+  EXPECT_NEAR(curve[2].recall, 0.5, 1e-12);
+  EXPECT_NEAR(curve[3].precision, 1.0, 1e-12);
+  EXPECT_NEAR(curve[3].recall, 0.5, 1e-12);
+  EXPECT_EQ(curve[4].recall, 0.0);
+  EXPECT_EQ(curve[4].precision, 1.0);
+}
+
+TEST(PrAuc, PerfectRankingGivesOne) {
+  const std::vector<double> scores{0.9, 0.8, 0.2, 0.1};
+  const std::vector<float> labels{1, 1, 0, 0};
+  EXPECT_NEAR(pr_auc(scores, labels), 1.0, 1e-12);
+}
+
+TEST(PrAuc, RandomScoresApproachPositiveRate) {
+  Rng rng(3);
+  std::vector<double> scores;
+  std::vector<float> labels;
+  for (int i = 0; i < 20000; ++i) {
+    scores.push_back(rng.uniform());
+    labels.push_back(rng.bernoulli(0.2) ? 1.0f : 0.0f);
+  }
+  EXPECT_NEAR(pr_auc(scores, labels), 0.2, 0.02);
+}
+
+TEST(PrAuc, TiedScoresHandledAsGroups) {
+  // All scores equal: one operating point at (recall 1, precision = 0.25)
+  // plus the (0, 1) anchor; the trapezoid over that segment is 0.625.
+  const std::vector<double> scores{0.5, 0.5, 0.5, 0.5};
+  const std::vector<float> labels{1, 0, 0, 0};
+  const auto curve = precision_recall_curve(scores, labels);
+  ASSERT_EQ(curve.size(), 2u);
+  EXPECT_NEAR(curve[0].precision, 0.25, 1e-12);
+  EXPECT_NEAR(curve[0].recall, 1.0, 1e-12);
+  EXPECT_NEAR(pr_auc(scores, labels), 0.5 * (0.25 + 1.0), 1e-12);
+}
+
+TEST(AveragePrecision, StepIntegralBelowOrNearTrapezoid) {
+  Rng rng(5);
+  std::vector<double> scores;
+  std::vector<float> labels;
+  for (int i = 0; i < 5000; ++i) {
+    const bool y = rng.bernoulli(0.3);
+    scores.push_back(rng.normal() + (y ? 0.8 : 0.0));
+    labels.push_back(y ? 1.0f : 0.0f);
+  }
+  const double ap = average_precision(scores, labels);
+  const double auc = pr_auc(scores, labels);
+  EXPECT_GT(ap, 0.3);
+  EXPECT_NEAR(ap, auc, 0.05);
+}
+
+TEST(RecallAtPrecision, KnownOperatingPoints) {
+  // Scores sorted: thresholding at 0.8 gives P=1,R=0.5; at 0.35 gives
+  // P=2/3, R=1.
+  const std::vector<double> scores{0.1, 0.4, 0.35, 0.8};
+  const std::vector<float> labels{0, 0, 1, 1};
+  EXPECT_NEAR(recall_at_precision(scores, labels, 0.99), 0.5, 1e-12);
+  EXPECT_NEAR(recall_at_precision(scores, labels, 0.6), 1.0, 1e-12);
+  EXPECT_NEAR(recall_at_precision(scores, labels, 0.4), 1.0, 1e-12);
+}
+
+TEST(ThresholdForPrecision, PicksMaxRecallPoint) {
+  const std::vector<double> scores{0.1, 0.4, 0.35, 0.8};
+  const std::vector<float> labels{0, 0, 1, 1};
+  const double threshold = threshold_for_precision(scores, labels, 0.99);
+  EXPECT_NEAR(threshold, 0.8, 1e-12);
+  // Applying the threshold reproduces the promised precision.
+  const auto summary = confusion_at_threshold(scores, labels, threshold);
+  EXPECT_GE(summary.precision(), 0.99);
+  EXPECT_NEAR(summary.recall(), 0.5, 1e-12);
+}
+
+TEST(ThresholdForPrecision, InfiniteWhenUnreachable) {
+  const std::vector<double> scores{0.5, 0.6};
+  const std::vector<float> labels{0, 0};
+  EXPECT_TRUE(std::isinf(threshold_for_precision(scores, labels, 0.9)));
+}
+
+TEST(LogLoss, MatchesManualComputation) {
+  const std::vector<double> scores{0.9, 0.1};
+  const std::vector<float> labels{1, 0};
+  EXPECT_NEAR(log_loss(scores, labels), -std::log(0.9), 1e-9);
+}
+
+TEST(RocAuc, PerfectAndRandomAndTies) {
+  const std::vector<double> perfect{0.9, 0.8, 0.2};
+  const std::vector<float> labels{1, 1, 0};
+  EXPECT_NEAR(roc_auc(perfect, labels), 1.0, 1e-12);
+
+  // Ties: score 0.5 everywhere -> AUC 0.5 by midrank convention.
+  const std::vector<double> tied{0.5, 0.5, 0.5, 0.5};
+  const std::vector<float> labels2{1, 0, 1, 0};
+  EXPECT_NEAR(roc_auc(tied, labels2), 0.5, 1e-12);
+
+  Rng rng(7);
+  std::vector<double> scores;
+  std::vector<float> labels3;
+  for (int i = 0; i < 20000; ++i) {
+    scores.push_back(rng.uniform());
+    labels3.push_back(rng.bernoulli(0.4) ? 1.0f : 0.0f);
+  }
+  EXPECT_NEAR(roc_auc(scores, labels3), 0.5, 0.02);
+}
+
+TEST(Metrics, EmptyAndMismatchedInputsThrow) {
+  const std::vector<double> scores{0.5};
+  const std::vector<float> labels{1, 0};
+  EXPECT_THROW(pr_auc(scores, labels), std::invalid_argument);
+  EXPECT_THROW(pr_auc({}, {}), std::invalid_argument);
+}
+
+class MetricMonotonicity : public ::testing::TestWithParam<double> {};
+
+TEST_P(MetricMonotonicity, BetterSeparationRaisesPrAuc) {
+  // Property: increasing the score gap between classes cannot hurt PR-AUC.
+  Rng rng(11);
+  std::vector<float> labels;
+  std::vector<double> base;
+  for (int i = 0; i < 4000; ++i) {
+    labels.push_back(rng.bernoulli(0.25) ? 1.0f : 0.0f);
+    base.push_back(rng.normal());
+  }
+  const double gap = GetParam();
+  std::vector<double> weak(base), strong(base);
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    if (labels[i] > 0.5f) {
+      weak[i] += gap;
+      strong[i] += gap * 2.0;
+    }
+  }
+  EXPECT_GT(pr_auc(strong, labels) + 1e-9, pr_auc(weak, labels));
+}
+
+INSTANTIATE_TEST_SUITE_P(Gaps, MetricMonotonicity,
+                         ::testing::Values(0.25, 0.5, 1.0, 2.0));
+
+}  // namespace
+}  // namespace pp::eval

@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include "features/aggregation.hpp"
+#include "util/rng.hpp"
+
+namespace pp::features {
+namespace {
+
+data::ContextSchema two_field_schema() {
+  data::ContextSchema schema;
+  schema.fields = {{"color", 4, false, false}, {"shape", 3, false, false}};
+  return schema;
+}
+
+/// Brute-force reference: recount matching events per query.
+struct Reference {
+  std::vector<data::Session> events;
+
+  WindowCounts count(std::int64_t t, std::int64_t window, ContextSubset mask,
+                     std::span<const std::uint32_t> ctx,
+                     std::size_t num_fields) const {
+    WindowCounts out;
+    for (const auto& e : events) {
+      if (e.timestamp <= t - window || e.timestamp > t) continue;
+      bool match = true;
+      for (std::size_t f = 0; f < num_fields; ++f) {
+        if (((mask >> f) & 1u) && e.context[f] != ctx[f]) match = false;
+      }
+      if (match) {
+        ++out.sessions;
+        out.accesses += e.access;
+      }
+    }
+    return out;
+  }
+
+  std::int64_t last(std::int64_t t, ContextSubset mask,
+                    std::span<const std::uint32_t> ctx,
+                    std::size_t num_fields, bool access_only) const {
+    std::int64_t best = -1;
+    for (const auto& e : events) {
+      if (e.timestamp > t) continue;
+      if (access_only && !e.access) continue;
+      bool match = true;
+      for (std::size_t f = 0; f < num_fields; ++f) {
+        if (((mask >> f) & 1u) && e.context[f] != ctx[f]) match = false;
+      }
+      if (match) best = std::max(best, e.timestamp);
+    }
+    return best < 0 ? -1 : t - best;
+  }
+};
+
+TEST(AllSubsets, EnumeratesPowerSet) {
+  EXPECT_EQ(all_subsets(0).size(), 1u);
+  EXPECT_EQ(all_subsets(2).size(), 4u);
+  EXPECT_EQ(all_subsets(4).size(), 16u);
+  EXPECT_THROW(all_subsets(5), std::invalid_argument);
+}
+
+class AggregatorProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AggregatorProperty, MatchesBruteForceOnRandomLogs) {
+  const auto schema = two_field_schema();
+  const std::vector<std::int64_t> windows = {7 * 86400, 86400, 3600};
+  UserAggregator aggregator(&schema, windows);
+  Reference reference;
+  Rng rng(GetParam());
+
+  std::int64_t t = 1590969600;
+  AggregateSnapshot snapshot;
+  for (int step = 0; step < 300; ++step) {
+    t += rng.uniform_int(1, 6 * 3600);
+    std::array<std::uint32_t, data::kMaxContextFields> ctx{
+        static_cast<std::uint32_t>(rng.uniform_index(4)),
+        static_cast<std::uint32_t>(rng.uniform_index(3)), 0, 0};
+
+    // Query before observing (prediction-time semantics).
+    aggregator.query(t, ctx, snapshot);
+    const auto& subsets = aggregator.subsets();
+    for (std::size_t w = 0; w < windows.size(); ++w) {
+      for (std::size_t s = 0; s < subsets.size(); ++s) {
+        const WindowCounts expected =
+            reference.count(t, windows[w], subsets[s], ctx, 2);
+        const WindowCounts actual = snapshot.counts[w * subsets.size() + s];
+        ASSERT_EQ(actual.sessions, expected.sessions)
+            << "step " << step << " window " << w << " subset " << s;
+        ASSERT_EQ(actual.accesses, expected.accesses);
+      }
+    }
+    for (std::size_t s = 0; s < subsets.size(); ++s) {
+      ASSERT_EQ(snapshot.last_session_elapsed[s],
+                reference.last(t, subsets[s], ctx, 2, false));
+      ASSERT_EQ(snapshot.last_access_elapsed[s],
+                reference.last(t, subsets[s], ctx, 2, true));
+    }
+
+    data::Session session;
+    session.timestamp = t;
+    session.context = ctx;
+    session.access = rng.bernoulli(0.3) ? 1 : 0;
+    aggregator.observe(session);
+    reference.events.push_back(session);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AggregatorProperty,
+                         ::testing::Values(1u, 2u, 3u, 99u));
+
+TEST(Aggregator, EvictionDropsExpiredEvents) {
+  const auto schema = two_field_schema();
+  UserAggregator aggregator(&schema, {3600});
+  std::array<std::uint32_t, data::kMaxContextFields> ctx{1, 1, 0, 0};
+  data::Session s;
+  s.timestamp = 1000000;
+  s.context = ctx;
+  s.access = 1;
+  aggregator.observe(s);
+  AggregateSnapshot snap;
+  aggregator.query(1000001, ctx, snap);
+  EXPECT_EQ(snap.counts[0].sessions, 1u);
+  aggregator.query(1000000 + 3601, ctx, snap);
+  EXPECT_EQ(snap.counts[0].sessions, 0u);
+  // Last-seen survives eviction (all-history feature).
+  EXPECT_EQ(snap.last_access_elapsed[0], 3601);
+}
+
+TEST(Aggregator, LiveKeyCountGrowsWithContextDiversity) {
+  const auto schema = two_field_schema();
+  UserAggregator aggregator(&schema, default_windows());
+  Rng rng(5);
+  std::int64_t t = 1590969600;
+  for (int i = 0; i < 200; ++i) {
+    data::Session s;
+    s.timestamp = (t += 600);
+    s.context = {static_cast<std::uint32_t>(rng.uniform_index(4)),
+                 static_cast<std::uint32_t>(rng.uniform_index(3)), 0, 0};
+    s.access = rng.bernoulli(0.5) ? 1 : 0;
+    aggregator.observe(s);
+  }
+  // 4 windows x (1 + 4 + 3 + 12 possible keys) upper bound; must be
+  // substantially more than the context-free 4 cells.
+  EXPECT_GT(aggregator.live_key_count(), 40u);
+}
+
+}  // namespace
+}  // namespace pp::features

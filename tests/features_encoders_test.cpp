@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+#include <cmath>
+
+#include "features/encoders.hpp"
+
+namespace pp::features {
+namespace {
+
+TEST(OneHot, SetsSingleSlot) {
+  std::vector<float> out(5, -1.0f);
+  one_hot(2, 5, out);
+  EXPECT_EQ(out, (std::vector<float>{0, 0, 1, 0, 0}));
+}
+
+TEST(OneHot, ClampsOutOfRangeValues) {
+  std::vector<float> out(3);
+  one_hot(99, 3, out);
+  EXPECT_EQ(out, (std::vector<float>{0, 0, 1}));
+}
+
+TEST(OneHot, ThrowsOnShortSpan) {
+  std::vector<float> out(2);
+  EXPECT_THROW(one_hot(0, 3, out), std::invalid_argument);
+}
+
+TEST(HashMod, StableAndInRange) {
+  for (std::uint64_t v : {0ull, 1ull, 42ull, 123456789ull}) {
+    const std::uint32_t h = hash_mod(v, 97);
+    EXPECT_LT(h, 97u);
+    EXPECT_EQ(h, hash_mod(v, 97));  // deterministic
+  }
+  // Hashing should spread values (not all collide).
+  std::set<std::uint32_t> seen;
+  for (std::uint64_t v = 0; v < 50; ++v) seen.insert(hash_mod(v, 97));
+  EXPECT_GT(seen.size(), 30u);
+}
+
+TEST(LogBucketizer, PaperConstants) {
+  // T(t) = floor(50/15 * ln t); 30 days ≈ e^14.76 s must land in the last
+  // bucket of 50.
+  LogBucketizer b(50);
+  EXPECT_EQ(b.bucket(0), 0);
+  EXPECT_EQ(b.bucket(1), 0);
+  EXPECT_EQ(b.bucket(2), static_cast<int>(std::floor(50.0 / 15.0 *
+                                                     std::log(2.0))));
+  EXPECT_EQ(b.bucket(30ll * 86400), 49);
+  EXPECT_EQ(b.bucket(365ll * 86400), 49);  // clamped
+}
+
+TEST(LogBucketizer, MonotoneNonDecreasing) {
+  LogBucketizer b(50);
+  int prev = 0;
+  for (std::int64_t t = 1; t < 40ll * 86400; t = t * 5 / 4 + 1) {
+    const int bucket = b.bucket(t);
+    EXPECT_GE(bucket, prev);
+    EXPECT_LT(bucket, 50);
+    prev = bucket;
+  }
+}
+
+TEST(LogBucketizer, EncodeIsOneHotOfBucket) {
+  LogBucketizer b(50);
+  std::vector<float> out(50);
+  b.encode(3600, out);
+  float total = 0;
+  for (float v : out) total += v;
+  EXPECT_EQ(total, 1.0f);
+  EXPECT_EQ(out[static_cast<std::size_t>(b.bucket(3600))], 1.0f);
+}
+
+TEST(TimeOfDay, KnownTimestamp) {
+  // 2020-06-01 was a Monday; kEpochStart = 1590969600 is midnight UTC.
+  const std::int64_t monday_midnight = 1590969600;
+  std::vector<float> out(kTimeOfDayWidth);
+  encode_time_of_day(monday_midnight, out);
+  EXPECT_EQ(out[0], 1.0f);       // hour 0
+  EXPECT_EQ(out[24 + 0], 1.0f);  // Monday
+  encode_time_of_day(monday_midnight + 15 * 3600 + 86400 * 5, out);
+  EXPECT_EQ(out[15], 1.0f);      // hour 15
+  EXPECT_EQ(out[24 + 5], 1.0f);  // Saturday
+}
+
+TEST(TimeOfDay, DataHelpersAgree) {
+  const std::int64_t t = 1590969600 + 3 * 86400 + 7 * 3600 + 123;
+  EXPECT_EQ(data::hour_of_day(t), 7);
+  EXPECT_EQ(data::day_of_week(t), 3);  // Thursday
+  EXPECT_EQ(data::day_start(t), 1590969600 + 3 * 86400);
+  EXPECT_EQ(data::day_index(t, 1590969600), 3);
+}
+
+TEST(EncodeContext, LayoutAndHashing) {
+  data::ContextSchema schema;
+  schema.fields = {{"a", 3, false, false}, {"b", 97, true, false}};
+  EXPECT_EQ(schema.one_hot_width(), 100u);
+  EXPECT_EQ(schema.index_of("b"), 1u);
+  EXPECT_THROW(schema.index_of("c"), std::out_of_range);
+
+  std::vector<float> out(100);
+  const std::array<std::uint32_t, 4> ctx{2, 123456, 0, 0};
+  encode_context(schema, ctx, out);
+  EXPECT_EQ(out[2], 1.0f);
+  EXPECT_EQ(out[3 + hash_mod(123456, 97)], 1.0f);
+  float total = 0;
+  for (float v : out) total += v;
+  EXPECT_EQ(total, 2.0f);
+}
+
+}  // namespace
+}  // namespace pp::features

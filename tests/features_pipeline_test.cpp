@@ -1,0 +1,197 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+#include "data/generators.hpp"
+#include "features/examples.hpp"
+#include "features/pipeline.hpp"
+
+namespace pp::features {
+namespace {
+
+data::ContextSchema mobile_schema() {
+  data::ContextSchema schema;
+  schema.fields = {{"unread", 100, false, true},
+                   {"active_tab", 8, false, false}};
+  return schema;
+}
+
+TEST(FeaturePipeline, LrDimensionLayout) {
+  const auto schema = mobile_schema();
+  FeaturePipeline pipeline(schema, {}, lr_encoding());
+  // context one-hot (108) + time (31) + elapsed one-hot (4 subsets * 2 *
+  // 50) + aggregations (4 windows * 4 subsets * 3).
+  EXPECT_EQ(pipeline.dimension(), 108u + 31u + 400u + 48u);
+  ASSERT_EQ(pipeline.blocks().size(), 4u);
+  EXPECT_EQ(pipeline.blocks()[0].name, "context");
+  EXPECT_EQ(pipeline.blocks()[3].name, "aggregations");
+}
+
+TEST(FeaturePipeline, GbdtDimensionLayout) {
+  const auto schema = mobile_schema();
+  FeaturePipeline pipeline(schema, {}, gbdt_encoding());
+  // ordinal unread numeric (1) + tab one-hot (8) + hour/dow numeric (2) +
+  // elapsed numeric (8) + aggregations (48).
+  EXPECT_EQ(pipeline.dimension(), 1u + 8u + 2u + 8u + 48u);
+}
+
+TEST(FeaturePipeline, AblationSelectionsShrinkDimension) {
+  const auto schema = mobile_schema();
+  const FeaturePipeline full(schema, {true, true, true}, gbdt_encoding());
+  const FeaturePipeline ec(schema, {true, true, false}, gbdt_encoding());
+  const FeaturePipeline c(schema, {true, false, false}, gbdt_encoding());
+  EXPECT_GT(full.dimension(), ec.dimension());
+  EXPECT_GT(ec.dimension(), c.dimension());
+  EXPECT_EQ(c.dimension(), 11u);  // context + time only
+}
+
+TEST(UserFeatureExtractor, VisibilityLagHidesRecentSessions) {
+  const auto schema = mobile_schema();
+  FeaturePipeline pipeline(schema, {false, false, true}, gbdt_encoding());
+  const std::int64_t delta = 21 * 60;
+  UserFeatureExtractor extractor(pipeline, delta);
+
+  data::Session s1;
+  s1.timestamp = 1590969600;
+  s1.context = {5, 1, 0, 0};
+  s1.access = 1;
+  extractor.push(s1);
+
+  SparseRow row;
+  const std::array<std::uint32_t, 4> ctx{5, 1, 0, 0};
+  // 10 minutes later: the session window has not closed; no features yet.
+  extractor.extract(s1.timestamp + 600, ctx, row);
+  EXPECT_TRUE(row.empty());
+  // After delta the session becomes visible.
+  extractor.extract(s1.timestamp + delta + 1, ctx, row);
+  EXPECT_FALSE(row.empty());
+}
+
+TEST(BuildSessionExamples, OneRowPerEmittedSessionWithCorrectLabels) {
+  data::MobileTabConfig config;
+  config.num_users = 50;
+  config.days = 10;
+  data::Dataset dataset = generate_mobile_tab(config);
+  FeaturePipeline pipeline(dataset.schema, {}, gbdt_encoding());
+  const std::vector<std::size_t> users{0, 1, 2, 3, 4};
+  const auto batch =
+      build_session_examples(dataset, users, pipeline, 0, 0, 1);
+  std::size_t expected = 0;
+  for (const std::size_t u : users) expected += dataset.users[u].sessions.size();
+  EXPECT_EQ(batch.size(), expected);
+  // Labels must match the session access flags in order.
+  std::size_t i = 0;
+  for (const std::size_t u : users) {
+    for (const auto& s : dataset.users[u].sessions) {
+      ASSERT_EQ(batch.labels[i], static_cast<float>(s.access));
+      ASSERT_EQ(batch.timestamps[i], s.timestamp);
+      ++i;
+    }
+  }
+}
+
+TEST(BuildSessionExamples, EmitWindowFiltersRows) {
+  data::MobileTabConfig config;
+  config.num_users = 30;
+  config.days = 10;
+  data::Dataset dataset = generate_mobile_tab(config);
+  FeaturePipeline pipeline(dataset.schema, {}, gbdt_encoding());
+  std::vector<std::size_t> users(10);
+  std::iota(users.begin(), users.end(), 0);
+  const std::int64_t from = dataset.end_time - 3 * 86400;
+  const auto batch = build_session_examples(dataset, users, pipeline, from);
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    EXPECT_GE(batch.timestamps[i], from);
+  }
+}
+
+TEST(BuildSessionExamples, ParallelMatchesSequential) {
+  data::MobileTabConfig config;
+  config.num_users = 40;
+  config.days = 8;
+  data::Dataset dataset = generate_mobile_tab(config);
+  FeaturePipeline pipeline(dataset.schema, {}, lr_encoding());
+  std::vector<std::size_t> users(40);
+  std::iota(users.begin(), users.end(), 0);
+  const auto seq = build_session_examples(dataset, users, pipeline, 0, 0, 1);
+  const auto par = build_session_examples(dataset, users, pipeline, 0, 0, 4);
+  ASSERT_EQ(seq.size(), par.size());
+  EXPECT_EQ(seq.indices, par.indices);
+  EXPECT_EQ(seq.values, par.values);
+  EXPECT_EQ(seq.labels, par.labels);
+}
+
+TEST(BuildTimeshiftExamples, OneRowPerUserDayWithPeakLabels) {
+  data::TimeshiftConfig config;
+  config.num_users = 40;
+  config.days = 12;
+  data::Dataset dataset = generate_timeshift(config);
+  FeaturePipeline pipeline(dataset.schema, {}, gbdt_encoding());
+  const std::vector<std::size_t> users{0, 1, 2, 3, 4, 5, 6, 7};
+  const auto batch = build_timeshift_examples(dataset, users, pipeline);
+  EXPECT_EQ(batch.size(), users.size() * 12);
+
+  // Cross-check labels against a direct scan.
+  std::size_t i = 0;
+  for (const std::size_t u : users) {
+    for (int d = 0; d < 12; ++d) {
+      const std::int64_t day_begin = dataset.start_time + d * 86400ll;
+      const std::int64_t ws = dataset.peak.start_on_day(day_begin);
+      const std::int64_t we =
+          day_begin + dataset.peak.end_hour * 3600ll;
+      float expected = 0.0f;
+      for (const auto& s : dataset.users[u].sessions) {
+        if (s.timestamp >= ws && s.timestamp < we && s.access) {
+          expected = 1.0f;
+          break;
+        }
+      }
+      ASSERT_EQ(batch.labels[i], expected) << "user " << u << " day " << d;
+      ++i;
+    }
+  }
+}
+
+TEST(SplitUsers, DisjointAndComplete) {
+  const auto split = split_users(100, 0.1, 42);
+  EXPECT_EQ(split.test.size(), 10u);
+  EXPECT_EQ(split.train.size(), 90u);
+  std::set<std::size_t> all(split.train.begin(), split.train.end());
+  all.insert(split.test.begin(), split.test.end());
+  EXPECT_EQ(all.size(), 100u);
+  // Deterministic for the same seed.
+  const auto again = split_users(100, 0.1, 42);
+  EXPECT_EQ(split.test, again.test);
+}
+
+TEST(KfoldUsers, PartitionsEvenly) {
+  const auto folds = kfold_users(103, 4, 7);
+  ASSERT_EQ(folds.size(), 4u);
+  std::set<std::size_t> all;
+  for (const auto& fold : folds) {
+    EXPECT_GE(fold.size(), 25u);
+    all.insert(fold.begin(), fold.end());
+  }
+  EXPECT_EQ(all.size(), 103u);
+}
+
+TEST(ExampleBatch, DensifyAndAppend) {
+  ExampleBatch a;
+  a.dimension = 5;
+  a.add_row({{1, 2.0f}, {3, -1.0f}}, 1.0f, 100, 0);
+  std::vector<float> dense(5);
+  a.densify_row(0, dense);
+  EXPECT_EQ(dense, (std::vector<float>{0, 2.0f, 0, -1.0f, 0}));
+
+  ExampleBatch b;
+  b.dimension = 5;
+  b.add_row({{0, 1.0f}}, 0.0f, 200, 1);
+  a.append(b);
+  EXPECT_EQ(a.size(), 2u);
+  EXPECT_EQ(a.row_indices(1)[0], 0u);
+  EXPECT_NEAR(a.positive_rate(), 0.5, 1e-12);
+}
+
+}  // namespace
+}  // namespace pp::features

@@ -1,0 +1,230 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+#include <cmath>
+
+#include "gbdt/booster.hpp"
+#include "util/math.hpp"
+#include "util/rng.hpp"
+
+namespace pp::gbdt {
+namespace {
+
+using features::ExampleBatch;
+
+/// Dense helper: builds a batch from full rows.
+ExampleBatch make_batch(const std::vector<std::vector<float>>& rows,
+                        const std::vector<float>& labels) {
+  ExampleBatch batch;
+  batch.dimension = rows.empty() ? 0 : rows[0].size();
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    features::SparseRow sparse;
+    for (std::size_t c = 0; c < rows[i].size(); ++c) {
+      if (rows[i][c] != 0.0f) {
+        sparse.emplace_back(static_cast<std::uint32_t>(c), rows[i][c]);
+      }
+    }
+    batch.add_row(sparse, labels[i], static_cast<std::int64_t>(i), 0);
+  }
+  return batch;
+}
+
+/// Random batch labelled by a noisy threshold rule on two features.
+ExampleBatch synthetic_batch(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<float>> rows;
+  std::vector<float> labels;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<float> row(6);
+    for (auto& v : row) v = static_cast<float>(rng.uniform(-1, 1));
+    // AND-shaped rule: positive when x0 > 0.2 AND x1 < 0.
+    const bool positive =
+        row[0] > 0.2f && row[1] < 0.0f && rng.uniform() < 0.95;
+    rows.push_back(std::move(row));
+    labels.push_back(positive ? 1.0f : 0.0f);
+  }
+  return make_batch(rows, labels);
+}
+
+TEST(Binner, DistinctValuesGetOwnBins) {
+  const auto batch = make_batch({{0.0f}, {1.0f}, {2.0f}, {1.0f}},
+                                {0, 0, 0, 0});
+  Binner binner(batch, 256);
+  EXPECT_EQ(binner.num_bins(0), 3);
+  EXPECT_EQ(binner.bin_value(0, 0.0f), 0);
+  EXPECT_EQ(binner.bin_value(0, 1.0f), 1);
+  EXPECT_EQ(binner.bin_value(0, 2.0f), 2);
+  // Interpolated values land on the right side of the midpoint edge.
+  EXPECT_EQ(binner.bin_value(0, 0.4f), 0);
+  EXPECT_EQ(binner.bin_value(0, 0.6f), 1);
+}
+
+TEST(Binner, CapsBinCountForContinuousFeatures) {
+  Rng rng(1);
+  std::vector<std::vector<float>> rows;
+  std::vector<float> labels;
+  for (int i = 0; i < 5000; ++i) {
+    rows.push_back({static_cast<float>(rng.normal())});
+    labels.push_back(0.0f);
+  }
+  const auto batch = make_batch(rows, labels);
+  Binner binner(batch, 64);
+  EXPECT_LE(binner.num_bins(0), 64);
+  EXPECT_GT(binner.num_bins(0), 32);
+  // Binning must be monotone in the raw value.
+  int prev = -1;
+  for (float v = -3.0f; v <= 3.0f; v += 0.01f) {
+    const int b = binner.bin_value(0, v);
+    EXPECT_GE(b, prev);
+    prev = b;
+  }
+}
+
+TEST(Binner, ApplyTreatsImplicitZerosCorrectly) {
+  ExampleBatch batch;
+  batch.dimension = 2;
+  batch.add_row({{0, 5.0f}}, 1.0f, 0, 0);  // feature 1 implicitly 0
+  batch.add_row({{1, 3.0f}}, 0.0f, 1, 0);  // feature 0 implicitly 0
+  Binner binner(batch, 256);
+  const BinnedMatrix m = binner.apply(batch);
+  EXPECT_EQ(m.bin(0, 0), binner.bin_value(0, 5.0f));
+  EXPECT_EQ(m.bin(0, 1), binner.bin_value(1, 0.0f));
+  EXPECT_EQ(m.bin(1, 0), binner.bin_value(0, 0.0f));
+}
+
+TEST(Tree, FitsASingleSplitPerfectly) {
+  // y = 1 iff x > 0.5; gradients from an initial p = 0.5.
+  std::vector<std::vector<float>> rows;
+  std::vector<float> labels;
+  for (int i = 0; i < 100; ++i) {
+    const float x = static_cast<float>(i) / 100.0f;
+    rows.push_back({x});
+    labels.push_back(x > 0.5f ? 1.0f : 0.0f);
+  }
+  const auto batch = make_batch(rows, labels);
+  Binner binner(batch, 256);
+  const BinnedMatrix x = binner.apply(batch);
+  std::vector<float> g(100), h(100, 0.25f);
+  for (int i = 0; i < 100; ++i) g[i] = 0.5f - labels[i];
+  std::vector<std::uint32_t> samples(100);
+  std::iota(samples.begin(), samples.end(), 0u);
+  const Tree tree = Tree::fit(x, binner, g, h, samples, {.max_depth = 1});
+  EXPECT_EQ(tree.depth(), 1);
+  EXPECT_EQ(tree.leaf_count(), 2u);
+  // Left leaf (x <= 0.5) pushes towards negative, right towards positive.
+  EXPECT_LT(tree.predict_raw(std::vector<float>{0.1f}), 0.0f);
+  EXPECT_GT(tree.predict_raw(std::vector<float>{0.9f}), 0.0f);
+}
+
+TEST(Booster, ReducesTrainingLossMonotonically) {
+  const auto batch = synthetic_batch(2000, 3);
+  Booster booster;
+  BoosterConfig config;
+  config.num_rounds = 30;
+  config.tree.max_depth = 3;
+  const TrainReport report = booster.train(batch, nullptr, config);
+  ASSERT_EQ(report.train_loss_per_round.size(), 30u);
+  EXPECT_LT(report.train_loss_per_round.back(),
+            report.train_loss_per_round.front() * 0.6);
+}
+
+TEST(Booster, LearnsTheAndRule) {
+  const auto train = synthetic_batch(4000, 4);
+  const auto test = synthetic_batch(1000, 5);
+  Booster booster;
+  BoosterConfig config;
+  config.num_rounds = 60;
+  config.tree.max_depth = 3;
+  booster.train(train, nullptr, config);
+  const auto scores = booster.predict_batch(test);
+  double correct = 0;
+  for (std::size_t i = 0; i < scores.size(); ++i) {
+    correct += (scores[i] > 0.5) == (test.labels[i] > 0.5f) ? 1 : 0;
+  }
+  EXPECT_GT(correct / static_cast<double>(scores.size()), 0.93);
+}
+
+TEST(Booster, BinnedAndRawPredictionsAgree) {
+  const auto batch = synthetic_batch(500, 6);
+  Booster booster;
+  BoosterConfig config;
+  config.num_rounds = 10;
+  config.tree.max_depth = 4;
+  booster.train(batch, nullptr, config);
+  // Raw-row predictions on the training rows must match the binned path
+  // used during training (same bins, same thresholds).
+  Binner binner(batch, config.max_bins);
+  const BinnedMatrix m = binner.apply(batch);
+  std::vector<float> dense(batch.dimension);
+  for (std::size_t i = 0; i < 50; ++i) {
+    batch.densify_row(i, dense);
+    double logit = booster.base_logit();
+    for (const auto& tree : booster.trees()) {
+      logit += config.learning_rate * tree.predict_binned(m.row_data(i));
+    }
+    EXPECT_NEAR(booster.predict_proba(dense), sigmoid(logit), 1e-5);
+  }
+}
+
+TEST(Booster, EarlyStoppingTruncatesToBestRound) {
+  const auto train = synthetic_batch(1500, 7);
+  const auto valid = synthetic_batch(400, 8);
+  Booster booster;
+  BoosterConfig config;
+  config.num_rounds = 200;
+  config.tree.max_depth = 6;  // deep enough to overfit
+  config.early_stopping_rounds = 5;
+  const TrainReport report = booster.train(train, &valid, config);
+  EXPECT_LT(booster.num_trees(), 200u);
+  EXPECT_EQ(static_cast<int>(booster.num_trees()), report.best_round);
+}
+
+TEST(Booster, SerializeRoundTripPreservesPredictions) {
+  const auto batch = synthetic_batch(800, 9);
+  Booster booster;
+  BoosterConfig config;
+  config.num_rounds = 15;
+  booster.train(batch, nullptr, config);
+  BinaryWriter writer;
+  booster.serialize(writer);
+  BinaryReader reader(writer.take());
+  const Booster copy = Booster::deserialize(reader);
+  std::vector<float> dense(batch.dimension);
+  for (std::size_t i = 0; i < 20; ++i) {
+    batch.densify_row(i, dense);
+    EXPECT_EQ(copy.predict_proba(dense), booster.predict_proba(dense));
+  }
+}
+
+TEST(Booster, FeatureImportanceIdentifiesSignalFeatures) {
+  const auto batch = synthetic_batch(3000, 10);
+  Booster booster;
+  BoosterConfig config;
+  config.num_rounds = 30;
+  config.tree.max_depth = 3;
+  booster.train(batch, nullptr, config);
+  const auto importance = booster.feature_importance();
+  ASSERT_EQ(importance.size(), 6u);
+  // Features 0 and 1 define the rule; 2..5 are noise.
+  const double signal = importance[0] + importance[1];
+  double noise = 0;
+  for (std::size_t i = 2; i < 6; ++i) noise += importance[i];
+  EXPECT_GT(signal, 5.0 * noise);
+}
+
+TEST(DepthSearch, PrefersModerateDepthOverStumpAndDeep) {
+  const auto train = synthetic_batch(3000, 11);
+  const auto valid = synthetic_batch(800, 12);
+  BoosterConfig config;
+  config.num_rounds = 40;
+  const DepthSearchResult result =
+      search_tree_depth(train, valid, config, 1, 6);
+  ASSERT_EQ(result.losses.size(), 6u);
+  // The AND rule needs depth >= 2.
+  EXPECT_GE(result.best_depth, 2);
+}
+
+}  // namespace
+}  // namespace pp::gbdt

@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include "data/generators.hpp"
+#include "train/sequence.hpp"
+
+namespace pp::train {
+namespace {
+
+/// Hand-built dataset with four sessions at controlled spacings.
+data::Dataset tiny_dataset() {
+  data::Dataset dataset;
+  dataset.name = "tiny";
+  dataset.schema.fields = {{"tab", 4, false, false}};
+  dataset.start_time = 1590969600;
+  dataset.end_time = dataset.start_time + 30 * 86400;
+  dataset.session_length = 20 * 60;
+  dataset.update_latency = 60;  // delta = 1260 s
+
+  data::UserLog user;
+  user.user_id = 1;
+  const std::int64_t t0 = dataset.start_time + 1000;
+  // Sessions at +0 s, +600 s (inside delta of #1), +5000 s, +90000 s.
+  const std::array<std::int64_t, 4> offsets{0, 600, 5000, 90000};
+  const std::array<std::uint8_t, 4> access{1, 0, 1, 0};
+  for (int i = 0; i < 4; ++i) {
+    data::Session s;
+    s.timestamp = t0 + offsets[i];
+    s.context = {static_cast<std::uint32_t>(i % 4), 0, 0, 0};
+    s.access = access[i];
+    user.sessions.push_back(s);
+  }
+  dataset.users.push_back(user);
+  return dataset;
+}
+
+TEST(SessionSequence, HIndexRespectsUpdateLag) {
+  const auto dataset = tiny_dataset();
+  SequenceConfig config;
+  const UserSequence seq =
+      build_session_sequence(dataset, dataset.users[0], config);
+  ASSERT_EQ(seq.num_predictions(), 4u);
+  // Prediction 0: no history -> h0.
+  EXPECT_EQ(seq.h_index[0], 0u);
+  // Prediction 1 at +600 s: session 0 is only 600 s old (< delta=1260) so
+  // its update is not yet visible -> h0 (the Figure 2 scenario).
+  EXPECT_EQ(seq.h_index[1], 0u);
+  // Prediction 2 at +5000 s: sessions 0 (+0) and 1 (+600) are both older
+  // than delta -> h2.
+  EXPECT_EQ(seq.h_index[2], 2u);
+  // Prediction 3 at +90000 s: everything visible -> h3.
+  EXPECT_EQ(seq.h_index[3], 3u);
+}
+
+TEST(SessionSequence, UpdateRowEncodesFeaturesDeltaAndAccess) {
+  const auto dataset = tiny_dataset();
+  SequenceConfig config;
+  const UserSequence seq =
+      build_session_sequence(dataset, dataset.users[0], config);
+  const std::size_t fw = feature_width(dataset.schema, config.feature_mode);
+  EXPECT_EQ(fw, 4u + features::kTimeOfDayWidth);
+  ASSERT_EQ(seq.update_inputs.cols(), fw + 50 + 1);
+
+  const features::LogBucketizer bucketizer(50);
+  // Row 1: context one-hot at tab=1, T(600) bucket, A=0.
+  const auto row1 = seq.update_inputs.row(1);
+  EXPECT_EQ(row1[1], 1.0f);  // tab one-hot
+  EXPECT_EQ(row1[fw + static_cast<std::size_t>(bucketizer.bucket(600))],
+            1.0f);
+  EXPECT_EQ(row1[fw + 50], 0.0f);  // access flag
+  // Row 0: delta_t = 0 -> bucket 0; A=1.
+  const auto row0 = seq.update_inputs.row(0);
+  EXPECT_EQ(row0[fw + 0], 1.0f);
+  EXPECT_EQ(row0[fw + 50], 1.0f);
+}
+
+TEST(SessionSequence, PredictRowEncodesGapToVisibleState) {
+  const auto dataset = tiny_dataset();
+  SequenceConfig config;
+  const UserSequence seq =
+      build_session_sequence(dataset, dataset.users[0], config);
+  const std::size_t fw = feature_width(dataset.schema, config.feature_mode);
+  const features::LogBucketizer bucketizer(50);
+  // Prediction 2 uses h2 (t_k = t0 + 600); gap = 5000 - 600 = 4400.
+  const auto row2 = seq.predict_inputs.row(2);
+  EXPECT_EQ(row2[fw + static_cast<std::size_t>(bucketizer.bucket(4400))],
+            1.0f);
+  // Prediction 0/1 use h0: the paper sets the gap to 0 -> bucket 0.
+  EXPECT_EQ(seq.predict_inputs.row(0)[fw + 0], 1.0f);
+  EXPECT_EQ(seq.predict_inputs.row(1)[fw + 0], 1.0f);
+}
+
+TEST(SessionSequence, LossWindowMasksEarlyPredictions) {
+  const auto dataset = tiny_dataset();
+  SequenceConfig config;
+  config.loss_from = dataset.users[0].sessions[2].timestamp;
+  const UserSequence seq =
+      build_session_sequence(dataset, dataset.users[0], config);
+  EXPECT_EQ(seq.loss_weights[0], 0.0f);
+  EXPECT_EQ(seq.loss_weights[1], 0.0f);
+  EXPECT_EQ(seq.loss_weights[2], 1.0f);
+  EXPECT_EQ(seq.loss_weights[3], 1.0f);
+  EXPECT_DOUBLE_EQ(seq.total_loss_weight(), 2.0);
+}
+
+TEST(SessionSequence, TruncationKeepsMostRecentSessions) {
+  const auto dataset = tiny_dataset();
+  SequenceConfig config;
+  config.truncate_history = 2;
+  const UserSequence seq =
+      build_session_sequence(dataset, dataset.users[0], config);
+  EXPECT_EQ(seq.num_updates(), 2u);
+  EXPECT_EQ(seq.timestamps[0], dataset.users[0].sessions[2].timestamp);
+  // The first kept session restarts the delta chain at 0.
+  const std::size_t fw = feature_width(dataset.schema, config.feature_mode);
+  EXPECT_EQ(seq.update_inputs.row(0)[fw + 0], 1.0f);
+}
+
+TEST(SessionSequence, FeatureModesChangeWidth) {
+  const auto dataset = tiny_dataset();
+  SequenceConfig config;
+  config.feature_mode = FeatureMode::kTimeOnly;
+  auto seq = build_session_sequence(dataset, dataset.users[0], config);
+  EXPECT_EQ(seq.update_inputs.cols(), features::kTimeOfDayWidth + 51);
+  config.feature_mode = FeatureMode::kNone;
+  seq = build_session_sequence(dataset, dataset.users[0], config);
+  EXPECT_EQ(seq.update_inputs.cols(), 51u);  // T() + A only
+}
+
+TEST(TimeshiftSequence, OnePredictionPerDayWithPeakLabels) {
+  data::TimeshiftConfig config;
+  config.num_users = 20;
+  config.days = 8;
+  const data::Dataset dataset = generate_timeshift(config);
+  SequenceConfig seq_config;
+  seq_config.context_at_predict = false;
+  for (std::size_t u = 0; u < 5; ++u) {
+    const UserSequence seq =
+        build_timeshift_sequence(dataset, dataset.users[u], seq_config);
+    ASSERT_EQ(seq.num_predictions(), 8u);
+    EXPECT_EQ(seq.num_updates(), dataset.users[u].sessions.size());
+    for (int d = 0; d < 8; ++d) {
+      const std::int64_t day_begin = dataset.start_time + d * 86400ll;
+      const std::int64_t ws = dataset.peak.start_on_day(day_begin);
+      EXPECT_EQ(seq.timestamps[static_cast<std::size_t>(d)], ws);
+      // Label must equal a direct scan of the peak window.
+      float expected = 0.0f;
+      const std::int64_t we = day_begin + dataset.peak.end_hour * 3600ll;
+      for (const auto& s : dataset.users[u].sessions) {
+        if (s.timestamp >= ws && s.timestamp < we && s.access) {
+          expected = 1.0f;
+          break;
+        }
+      }
+      EXPECT_EQ(seq.labels[static_cast<std::size_t>(d)], expected);
+    }
+    // h_index non-decreasing and bounded by update count.
+    for (std::size_t p = 1; p < seq.num_predictions(); ++p) {
+      EXPECT_GE(seq.h_index[p], seq.h_index[p - 1]);
+      EXPECT_LE(seq.h_index[p], seq.num_updates());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pp::train

@@ -1,0 +1,243 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "data/generators.hpp"
+#include "serving/online_experiment.hpp"
+#include "util/math.hpp"
+
+namespace pp::serving {
+namespace {
+
+TEST(KvStore, StatsTrackTraffic) {
+  KvStore store;
+  EXPECT_FALSE(store.get("missing").has_value());
+  store.put("a", {1, 2, 3});
+  store.put("a", {4, 5});  // overwrite shrinks footprint
+  EXPECT_EQ(store.value_bytes(), 2u);
+  const auto v = store.get("a");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, (std::vector<std::uint8_t>{4, 5}));
+  const KvStats stats = store.stats();
+  EXPECT_EQ(stats.lookups, 2u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.writes, 2u);
+  EXPECT_EQ(stats.bytes_read, 2u);
+  EXPECT_EQ(stats.bytes_written, 5u);
+  EXPECT_TRUE(store.erase("a"));
+  EXPECT_EQ(store.size(), 0u);
+}
+
+TEST(SessionJoiner, JoinsContextAndAccessAtTimerFire) {
+  std::vector<JoinedSession> joined;
+  SessionJoiner joiner(1200, 60,
+                       [&](const JoinedSession& s) { joined.push_back(s); });
+  joiner.on_context(1, 100, 5000, {7, 1, 0, 0});
+  joiner.on_access(1, 5600);
+  joiner.advance_to(5000 + 1259);  // one second early: nothing fires
+  EXPECT_TRUE(joined.empty());
+  joiner.advance_to(5000 + 1260);
+  ASSERT_EQ(joined.size(), 1u);
+  EXPECT_EQ(joined[0].user_id, 100u);
+  EXPECT_TRUE(joined[0].access);
+  EXPECT_EQ(joined[0].context[0], 7u);
+  EXPECT_EQ(joined[0].completed_at, 6260);
+}
+
+TEST(SessionJoiner, NoAccessMeansNegativeLabel) {
+  std::vector<JoinedSession> joined;
+  SessionJoiner joiner(1200, 0,
+                       [&](const JoinedSession& s) { joined.push_back(s); });
+  joiner.on_context(5, 1, 1000, {});
+  joiner.advance_to(10000);
+  ASSERT_EQ(joined.size(), 1u);
+  EXPECT_FALSE(joined[0].access);
+}
+
+TEST(SessionJoiner, FailureModesAreCountedNotFatal) {
+  std::vector<JoinedSession> joined;
+  SessionJoiner joiner(1200, 0,
+                       [&](const JoinedSession& s) { joined.push_back(s); });
+  joiner.on_context(1, 1, 1000, {});
+  joiner.on_context(1, 1, 1000, {});  // duplicate context
+  joiner.on_access(1, 1100);
+  joiner.on_access(1, 1200);  // duplicate access
+  joiner.on_access(99, 1100);  // orphan access (no context yet)
+  joiner.advance_to(5000);
+  joiner.on_access(1, 6000);  // late access: session already fired
+  EXPECT_EQ(joined.size(), 1u);
+  const JoinerStats& stats = joiner.stats();
+  EXPECT_EQ(stats.duplicate_contexts, 1u);
+  EXPECT_EQ(stats.duplicate_accesses, 1u);
+  EXPECT_EQ(stats.orphan_accesses, 1u);
+  EXPECT_EQ(stats.late_accesses, 1u);
+  EXPECT_EQ(stats.joined, 1u);
+}
+
+TEST(SessionJoiner, FiresInEventTimeOrder) {
+  std::vector<std::int64_t> starts;
+  SessionJoiner joiner(100, 0, [&](const JoinedSession& s) {
+    starts.push_back(s.session_start);
+  });
+  joiner.on_context(1, 1, 3000, {});
+  joiner.on_context(2, 1, 1000, {});
+  joiner.on_context(3, 1, 2000, {});
+  joiner.flush();
+  EXPECT_EQ(starts, (std::vector<std::int64_t>{1000, 2000, 3000}));
+}
+
+class HiddenStoreCodec : public ::testing::TestWithParam<StateCodec> {};
+
+TEST_P(HiddenStoreCodec, RoundTripsState) {
+  data::MobileTabConfig config;
+  config.num_users = 2;
+  config.days = 3;
+  const data::Dataset dataset = data::generate_mobile_tab(config);
+  models::RnnModelConfig rnn_config;
+  rnn_config.hidden_size = 16;
+  rnn_config.mlp_hidden = 8;
+  models::RnnModel model(dataset, rnn_config);
+
+  KvStore kv;
+  HiddenStateStore store(kv, GetParam());
+  StoredState state;
+  state.state = model.network().infer_initial_state();
+  Rng rng(3);
+  for (auto& layer : state.state.layers) {
+    for (auto& part : layer) part = tensor::Matrix::randn(1, 16, rng, 0.0f, 0.4f);
+  }
+  state.last_update_time = 123456;
+  state.updates = 9;
+  store.put(7, state);
+
+  const auto loaded = store.get(7, model.network());
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->last_update_time, 123456);
+  EXPECT_EQ(loaded->updates, 9u);
+  const float tol = GetParam() == StateCodec::kFloat32 ? 1e-7f : 0.02f;
+  EXPECT_TRUE(loaded->state.hidden().approx_equal(state.state.hidden(), tol));
+  EXPECT_FALSE(store.get(8, model.network()).has_value());
+}
+
+INSTANTIATE_TEST_SUITE_P(Codecs, HiddenStoreCodec,
+                         ::testing::Values(StateCodec::kFloat32,
+                                           StateCodec::kInt8),
+                         [](const auto& info) {
+                           return info.param == StateCodec::kFloat32
+                                      ? "float32"
+                                      : "int8";
+                         });
+
+TEST(HiddenStore, Int8QuartersTheFootprint) {
+  data::MobileTabConfig config;
+  config.num_users = 2;
+  config.days = 2;
+  const data::Dataset dataset = data::generate_mobile_tab(config);
+  models::RnnModelConfig rnn_config;
+  rnn_config.hidden_size = 128;
+  models::RnnModel model(dataset, rnn_config);
+  KvStore kv_f32, kv_i8;
+  HiddenStateStore f32(kv_f32, StateCodec::kFloat32);
+  HiddenStateStore i8(kv_i8, StateCodec::kInt8);
+  // 128-dim float32 state: the paper's 512-byte payload dominates.
+  EXPECT_GE(f32.encoded_bytes(model.network()), 512u);
+  EXPECT_LT(i8.encoded_bytes(model.network()),
+            f32.encoded_bytes(model.network()) / 3);
+}
+
+TEST(AggregationService, TwentyLookupsPerPredictionForMobileTab) {
+  // 2 context fields -> 4 subsets; 4 windows * 4 + 4 = 20 (§9).
+  data::ContextSchema schema;
+  schema.fields = {{"unread", 100, false, true},
+                   {"active_tab", 8, false, false}};
+  features::FeaturePipeline pipeline(schema, {},
+                                     features::gbdt_encoding());
+  KvStore kv;
+  AggregationService service(pipeline, kv);
+  EXPECT_EQ(service.lookups_per_prediction(), 20u);
+
+  features::SparseRow row;
+  const std::array<std::uint32_t, 4> ctx{3, 1, 0, 0};
+  service.serve_features(1, 1590969600, ctx, row);
+  EXPECT_EQ(kv.stats().lookups, 20u);
+
+  data::Session session;
+  session.timestamp = 1590969600;
+  session.context = ctx;
+  session.access = 1;
+  service.apply_session(1, session);
+  EXPECT_GT(kv.stats().writes, 0u);
+  EXPECT_GT(service.live_keys(1), 0u);
+}
+
+TEST(OnlineExperiment, EndToEndColdStartReplay) {
+  data::MobileTabConfig config;
+  config.num_users = 120;
+  config.days = 10;
+  const data::Dataset dataset = data::generate_mobile_tab(config);
+  std::vector<std::size_t> train_users(90);
+  std::iota(train_users.begin(), train_users.end(), 0);
+  std::vector<std::size_t> cohort;
+  for (std::size_t u = 90; u < 120; ++u) cohort.push_back(u);
+
+  models::RnnModelConfig rnn_config;
+  rnn_config.hidden_size = 12;
+  rnn_config.mlp_hidden = 12;
+  rnn_config.epochs = 2;
+  rnn_config.num_threads = 2;
+  rnn_config.truncate_history = 100;
+  models::RnnModel rnn(dataset, rnn_config);
+  rnn.fit(dataset, train_users);
+
+  features::FeaturePipeline pipeline(dataset.schema, {},
+                                     features::gbdt_encoding());
+  const auto train_batch = features::build_session_examples(
+      dataset, train_users, pipeline, 0, 0, 2);
+  std::vector<std::size_t> valid_users{85, 86, 87, 88, 89};
+  const auto valid_batch = features::build_session_examples(
+      dataset, valid_users, pipeline, 0, 0, 2);
+  models::GbdtModel gbdt;
+  models::GbdtModelConfig gbdt_config;
+  gbdt_config.depth_search = false;
+  gbdt_config.booster.num_rounds = 20;
+  gbdt.fit(train_batch, valid_batch, gbdt_config);
+
+  OnlineExperimentConfig exp_config;
+  exp_config.rnn_threshold = 0.3;
+  exp_config.gbdt_threshold = 0.3;
+  const OnlineExperimentResult result = run_online_experiment(
+      dataset, cohort, rnn, gbdt, pipeline, exp_config);
+
+  EXPECT_GT(result.sessions, 0u);
+  EXPECT_EQ(result.rnn.predictions, result.sessions);
+  EXPECT_EQ(result.gbdt.predictions, result.sessions);
+  EXPECT_EQ(result.rnn.daily_pr_auc.size(), result.gbdt.daily_pr_auc.size());
+  // Joiner processed every session exactly once.
+  EXPECT_EQ(result.rnn.joiner.joined, result.sessions);
+
+  // The headline systems claim: the RNN pipeline does ~1 lookup per
+  // prediction, the GBDT pipeline ~20 (§9).
+  EXPECT_NEAR(result.rnn.costs.lookups_per_prediction(), 1.0, 1.1);
+  EXPECT_NEAR(result.gbdt.costs.lookups_per_prediction(), 20.0, 1.0);
+  // Prefetch accounting is internally consistent.
+  EXPECT_LE(result.rnn.successful_prefetches, result.rnn.prefetches);
+  EXPECT_LE(result.rnn.successful_prefetches, result.rnn.accesses);
+  EXPECT_EQ(result.rnn.accesses, result.gbdt.accesses);
+}
+
+TEST(OnlineMetrics, PrecisionRecallLedger) {
+  OnlineMetrics metrics(0);
+  metrics.record(100, 0.9, true, true);    // successful prefetch
+  metrics.record(200, 0.8, true, false);   // wasted prefetch
+  metrics.record(300, 0.2, false, true);   // missed access
+  metrics.record(86400 + 10, 0.7, true, true);
+  EXPECT_EQ(metrics.prefetches(), 3u);
+  EXPECT_EQ(metrics.successful_prefetches(), 2u);
+  EXPECT_EQ(metrics.accesses(), 3u);
+  EXPECT_NEAR(metrics.precision(), 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(metrics.recall(), 2.0 / 3.0, 1e-12);
+  EXPECT_EQ(metrics.days(), 2u);
+}
+
+}  // namespace
+}  // namespace pp::serving

@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include "tensor/matrix.hpp"
+#include "util/rng.hpp"
+
+namespace pp::tensor {
+namespace {
+
+Matrix naive_matmul(const Matrix& a, const Matrix& b) {
+  Matrix c(a.rows(), b.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < b.cols(); ++j) {
+      float acc = 0;
+      for (std::size_t k = 0; k < a.cols(); ++k) {
+        acc += a.at(i, k) * b.at(k, j);
+      }
+      c.at(i, j) = acc;
+    }
+  }
+  return c;
+}
+
+TEST(Matrix, ConstructionAndAccess) {
+  Matrix m(2, 3, 1.5f);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_EQ(m.size(), 6u);
+  m.at(1, 2) = -4.0f;
+  EXPECT_EQ(m.at(1, 2), -4.0f);
+  EXPECT_EQ(m[5], -4.0f);
+}
+
+TEST(Matrix, ShapeMismatchThrows) {
+  Matrix a(2, 3), b(3, 2);
+  EXPECT_THROW(a.add_inplace(b), std::invalid_argument);
+  EXPECT_THROW(a.mul(b), std::invalid_argument);
+  EXPECT_THROW(Matrix(2, 3, std::vector<float>(5)), std::invalid_argument);
+}
+
+struct MatmulShape {
+  std::size_t m, k, n;
+};
+
+class MatmulProperty : public ::testing::TestWithParam<MatmulShape> {};
+
+TEST_P(MatmulProperty, MatchesNaiveReference) {
+  const auto [m, k, n] = GetParam();
+  Rng rng(m * 100 + k * 10 + n);
+  const Matrix a = Matrix::randn(m, k, rng);
+  const Matrix b = Matrix::randn(k, n, rng);
+  const Matrix fast = a.matmul(b);
+  const Matrix slow = naive_matmul(a, b);
+  EXPECT_TRUE(fast.approx_equal(slow, 1e-4f));
+}
+
+TEST_P(MatmulProperty, TransposedVariantsAgree) {
+  const auto [m, k, n] = GetParam();
+  Rng rng(m + k + n);
+  // matmul_transposed_self: c^T * b with c [k x m], b [k x n].
+  const Matrix c = Matrix::randn(k, m, rng);
+  const Matrix b = Matrix::randn(k, n, rng);
+  EXPECT_TRUE(c.transposed().matmul(b).approx_equal(
+      c.matmul_transposed_self(b), 1e-4f));
+  // matmul_transposed_other: a * d^T with a [m x k], d [n x k].
+  const Matrix a = Matrix::randn(m, k, rng);
+  const Matrix d = Matrix::randn(n, k, rng);
+  EXPECT_TRUE(a.matmul(d.transposed())
+                  .approx_equal(a.matmul_transposed_other(d), 1e-4f));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, MatmulProperty,
+    ::testing::Values(MatmulShape{1, 1, 1}, MatmulShape{1, 7, 3},
+                      MatmulShape{4, 4, 4}, MatmulShape{5, 17, 9},
+                      MatmulShape{16, 33, 8}, MatmulShape{3, 128, 64}));
+
+TEST(Matrix, ElementwiseOps) {
+  Matrix a(2, 2, std::vector<float>{1, 2, 3, 4});
+  Matrix b(2, 2, std::vector<float>{5, 6, 7, 8});
+  EXPECT_EQ(a.add(b), Matrix(2, 2, std::vector<float>{6, 8, 10, 12}));
+  EXPECT_EQ(b.sub(a), Matrix(2, 2, std::vector<float>{4, 4, 4, 4}));
+  EXPECT_EQ(a.mul(b), Matrix(2, 2, std::vector<float>{5, 12, 21, 32}));
+  EXPECT_EQ(a.scale(2.0f), Matrix(2, 2, std::vector<float>{2, 4, 6, 8}));
+  Matrix c = a;
+  c.axpy_inplace(10.0f, b);
+  EXPECT_EQ(c, Matrix(2, 2, std::vector<float>{51, 62, 73, 84}));
+}
+
+TEST(Matrix, RowBroadcast) {
+  Matrix a(2, 3, 1.0f);
+  Matrix bias(1, 3, std::vector<float>{1, 2, 3});
+  a.add_row_broadcast_inplace(bias);
+  EXPECT_EQ(a, Matrix(2, 3, std::vector<float>{2, 3, 4, 2, 3, 4}));
+  Matrix wrong(1, 2);
+  EXPECT_THROW(a.add_row_broadcast_inplace(wrong), std::invalid_argument);
+}
+
+TEST(Matrix, Reductions) {
+  Matrix a(2, 2, std::vector<float>{1, -2, 3, -4});
+  EXPECT_DOUBLE_EQ(a.sum(), -2.0);
+  EXPECT_DOUBLE_EQ(a.mean(), -0.5);
+  EXPECT_EQ(a.col_sum(), Matrix(1, 2, std::vector<float>{4, -6}));
+  EXPECT_EQ(a.max_abs(), 4.0f);
+  EXPECT_NEAR(a.norm(), std::sqrt(1 + 4 + 9 + 16), 1e-6);
+  EXPECT_TRUE(a.all_finite());
+  a.at(0, 0) = std::numeric_limits<float>::quiet_NaN();
+  EXPECT_FALSE(a.all_finite());
+}
+
+TEST(Matrix, ConcatAndSlice) {
+  Matrix a(2, 2, std::vector<float>{1, 2, 3, 4});
+  Matrix b(2, 1, std::vector<float>{9, 8});
+  const Matrix c = Matrix::concat_cols(a, b);
+  EXPECT_EQ(c, Matrix(2, 3, std::vector<float>{1, 2, 9, 3, 4, 8}));
+  EXPECT_EQ(c.slice_cols(0, 2), a);
+  EXPECT_EQ(c.slice_cols(2, 1), b);
+  EXPECT_THROW(c.slice_cols(2, 2), std::invalid_argument);
+}
+
+TEST(Matrix, TransposeInvolution) {
+  Rng rng(3);
+  const Matrix a = Matrix::randn(5, 7, rng);
+  EXPECT_EQ(a.transposed().transposed(), a);
+}
+
+TEST(Matrix, SerializeRoundTrip) {
+  Rng rng(21);
+  const Matrix a = Matrix::randn(6, 9, rng);
+  BinaryWriter writer;
+  a.serialize(writer);
+  BinaryReader reader(writer.take());
+  EXPECT_EQ(Matrix::deserialize(reader), a);
+}
+
+TEST(Matrix, XavierBoundsRespectFanInOut) {
+  Rng rng(33);
+  const Matrix w = Matrix::xavier(64, 32, rng);
+  const float bound = std::sqrt(6.0f / (64 + 32));
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    EXPECT_LE(std::fabs(w[i]), bound);
+  }
+}
+
+TEST(Matrix, GemmAccumulateAddsIntoExisting) {
+  Rng rng(4);
+  const Matrix a = Matrix::randn(3, 4, rng);
+  const Matrix b = Matrix::randn(4, 5, rng);
+  Matrix c = Matrix::ones(3, 5);
+  gemm_accumulate(a, b, c);
+  Matrix expected = naive_matmul(a, b);
+  expected.add_inplace(Matrix::ones(3, 5));
+  EXPECT_TRUE(c.approx_equal(expected, 1e-4f));
+}
+
+}  // namespace
+}  // namespace pp::tensor

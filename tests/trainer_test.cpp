@@ -1,0 +1,217 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "autograd/ops.hpp"
+#include "data/generators.hpp"
+#include "eval/metrics.hpp"
+#include "train/rnn_trainer.hpp"
+#include "util/math.hpp"
+
+namespace pp::train {
+namespace {
+
+data::Dataset small_mobile_tab(std::size_t users = 60, int days = 12) {
+  data::MobileTabConfig config;
+  config.num_users = users;
+  config.days = days;
+  return data::generate_mobile_tab(config);
+}
+
+RnnNetworkConfig small_network_config(const data::Dataset& dataset) {
+  RnnNetworkConfig config;
+  config.feature_size = feature_width(dataset.schema, FeatureMode::kFull);
+  config.hidden_size = 12;
+  config.mlp_hidden = 12;
+  config.dropout = 0.0f;  // deterministic for equivalence tests
+  return config;
+}
+
+std::vector<std::size_t> all_users(const data::Dataset& dataset) {
+  std::vector<std::size_t> users(dataset.users.size());
+  std::iota(users.begin(), users.end(), 0);
+  return users;
+}
+
+TEST(RnnNetwork, GraphAndInferPredictAgree) {
+  const auto dataset = small_mobile_tab(5, 5);
+  auto net_config = small_network_config(dataset);
+  Rng rng(1);
+  RnnNetwork network(net_config, rng);
+  network.set_training(false);
+
+  Rng data_rng(2);
+  const Matrix h = Matrix::randn(1, 12, data_rng, 0.0f, 0.5f);
+  const Matrix x =
+      Matrix::rand_uniform(1, net_config.predict_input_size(), data_rng, 0, 1);
+  Rng dropout_rng(3);
+  autograd::Variable logit =
+      network.graph_predict_logit(autograd::Variable(h),
+                                  autograd::Variable(x), dropout_rng);
+  EXPECT_NEAR(logit.value()[0], network.infer_logit(h, x), 1e-4);
+}
+
+TEST(RnnNetwork, GraphAndInferUpdateAgree) {
+  const auto dataset = small_mobile_tab(5, 5);
+  auto net_config = small_network_config(dataset);
+  net_config.num_layers = 2;  // exercise stacking
+  Rng rng(4);
+  RnnNetwork network(net_config, rng);
+  auto graph_state = network.graph_initial_state();
+  auto raw_state = network.infer_initial_state();
+  Rng data_rng(5);
+  for (int step = 0; step < 5; ++step) {
+    const Matrix x = Matrix::rand_uniform(
+        1, net_config.update_input_size(), data_rng, 0, 1);
+    graph_state = network.graph_update(graph_state, autograd::Variable(x));
+    network.infer_update(raw_state, x);
+  }
+  EXPECT_TRUE(graph_state.back().front().value().approx_equal(
+      raw_state.hidden(), 1e-4f));
+}
+
+TEST(RnnTrainer, StrategiesProduceIdenticalUpdates) {
+  // With dropout disabled, one minibatch must produce the same master
+  // parameters under sequential, per-user-thread, and padded execution.
+  const auto dataset = small_mobile_tab(10, 10);
+  const auto users = all_users(dataset);
+
+  std::vector<Matrix> results;
+  for (const BatchStrategy strategy :
+       {BatchStrategy::kSequential, BatchStrategy::kPerUserThreads,
+        BatchStrategy::kPaddedBatch}) {
+    Rng rng(42);
+    RnnNetwork network(small_network_config(dataset), rng);
+    RnnTrainerConfig config;
+    config.epochs = 1;
+    config.minibatch_users = users.size();  // single minibatch
+    config.strategy = strategy;
+    config.num_threads = 2;
+    config.seed = 7;
+    config.sequence.truncate_history = 50;
+    RnnTrainer trainer(network, config);
+    trainer.fit(dataset, users);
+    results.push_back(network.parameters()[0].value());
+  }
+  EXPECT_TRUE(results[0].approx_equal(results[1], 2e-4f));
+  EXPECT_TRUE(results[0].approx_equal(results[2], 2e-4f));
+}
+
+TEST(RnnTrainer, LossDecreasesOverEpochs) {
+  const auto dataset = small_mobile_tab(40, 12);
+  const auto users = all_users(dataset);
+  Rng rng(9);
+  auto net_config = small_network_config(dataset);
+  net_config.dropout = 0.2f;
+  RnnNetwork network(net_config, rng);
+  RnnTrainerConfig config;
+  config.epochs = 4;
+  config.minibatch_users = 10;
+  config.num_threads = 2;
+  config.sequence.truncate_history = 100;
+  RnnTrainer trainer(network, config);
+  const TrainingCurve curve = trainer.fit(dataset, users);
+  ASSERT_EQ(curve.epoch_boundaries.size(), 4u);
+  ASSERT_FALSE(curve.minibatch_loss.empty());
+  // Mean loss of the final epoch must be well under the first epoch's.
+  const std::size_t per_epoch = curve.minibatch_loss.size() / 4;
+  double first = 0, last = 0;
+  for (std::size_t i = 0; i < per_epoch; ++i) {
+    first += curve.minibatch_loss[i];
+    last += curve.minibatch_loss[curve.minibatch_loss.size() - 1 - i];
+  }
+  EXPECT_LT(last, first);
+  // Sessions processed is cumulative and non-decreasing.
+  for (std::size_t i = 1; i < curve.sessions_processed.size(); ++i) {
+    EXPECT_GE(curve.sessions_processed[i], curve.sessions_processed[i - 1]);
+  }
+}
+
+TEST(ScoreUsers, EmitsOnlyRequestedWindowAndValidScores) {
+  const auto dataset = small_mobile_tab(20, 10);
+  const auto users = all_users(dataset);
+  Rng rng(11);
+  RnnNetwork network(small_network_config(dataset), rng);
+  network.set_training(false);
+  SequenceConfig seq_config;
+  const std::int64_t from = dataset.end_time - 4 * 86400;
+  const ScoredSeries series =
+      score_users(network, dataset, users, seq_config, false, from, 0, 2);
+  EXPECT_FALSE(series.scores.empty());
+  for (std::size_t i = 0; i < series.scores.size(); ++i) {
+    EXPECT_GE(series.timestamps[i], from);
+    EXPECT_GT(series.scores[i], 0.0);
+    EXPECT_LT(series.scores[i], 1.0);
+  }
+}
+
+TEST(ScoreUsers, MatchesGraphForwardProbabilities) {
+  // The tape-free scorer must agree with the training-graph forward pass.
+  const auto dataset = small_mobile_tab(4, 8);
+  Rng rng(13);
+  RnnNetwork network(small_network_config(dataset), rng);
+  network.set_training(false);
+  SequenceConfig seq_config;
+
+  const std::vector<std::size_t> one_user{1};
+  const ScoredSeries series =
+      score_users(network, dataset, one_user, seq_config, false);
+
+  const UserSequence seq =
+      build_session_sequence(dataset, dataset.users[1], seq_config);
+  ASSERT_EQ(series.scores.size(), seq.num_predictions());
+  // Graph forward replay.
+  auto state = network.graph_initial_state();
+  std::vector<autograd::Variable> exposed{state.back().front()};
+  std::uint32_t applied = 0;
+  Rng dropout_rng(14);
+  for (std::size_t p = 0; p < seq.num_predictions(); ++p) {
+    while (applied < seq.h_index[p]) {
+      Matrix row(1, seq.update_inputs.cols());
+      std::copy(seq.update_inputs.row(applied).begin(),
+                seq.update_inputs.row(applied).end(), row.row(0).begin());
+      state = network.graph_update(state, autograd::Variable(std::move(row)));
+      exposed.push_back(state.back().front());
+      ++applied;
+    }
+    Matrix row(1, seq.predict_inputs.cols());
+    std::copy(seq.predict_inputs.row(p).begin(),
+              seq.predict_inputs.row(p).end(), row.row(0).begin());
+    autograd::Variable logit = network.graph_predict_logit(
+        exposed[seq.h_index[p]], autograd::Variable(std::move(row)),
+        dropout_rng);
+    EXPECT_NEAR(series.scores[p], pp::sigmoid(static_cast<double>(logit.value()[0])), 1e-5)
+        << "prediction " << p;
+  }
+}
+
+TEST(RnnTrainer, TimeshiftTrainingRuns) {
+  data::TimeshiftConfig ts_config;
+  ts_config.num_users = 30;
+  ts_config.days = 10;
+  const data::Dataset dataset = data::generate_timeshift(ts_config);
+  const auto users = all_users(dataset);
+  Rng rng(15);
+  RnnNetworkConfig net_config;
+  net_config.feature_size =
+      feature_width(dataset.schema, FeatureMode::kFull);
+  net_config.hidden_size = 8;
+  net_config.mlp_hidden = 8;
+  RnnNetwork network(net_config, rng);
+  RnnTrainerConfig config;
+  config.epochs = 2;
+  config.timeshift = true;
+  config.sequence.context_at_predict = false;
+  config.num_threads = 2;
+  RnnTrainer trainer(network, config);
+  const TrainingCurve curve = trainer.fit(dataset, users);
+  EXPECT_GT(curve.minibatch_loss.size(), 0u);
+  EXPECT_LT(curve.final_epoch_mean_loss, 1.0);
+
+  const ScoredSeries series = score_users(network, dataset, users,
+                                          config.sequence, true);
+  EXPECT_EQ(series.scores.size(), users.size() * 10);
+}
+
+}  // namespace
+}  // namespace pp::train

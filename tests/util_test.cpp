@@ -1,0 +1,181 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <set>
+#include <thread>
+
+#include "util/math.hpp"
+#include "util/rng.hpp"
+#include "util/serialize.hpp"
+#include "util/table.hpp"
+#include "util/thread_pool.hpp"
+
+namespace pp {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += a() == b() ? 1 : 0;
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, UniformIndexIsUnbiasedAcrossSmallRange) {
+  Rng rng(9);
+  std::array<int, 5> counts{};
+  for (int i = 0; i < 50000; ++i) ++counts[rng.uniform_index(5)];
+  for (const int c : counts) EXPECT_NEAR(c, 10000, 450);
+}
+
+TEST(Rng, NormalMomentsMatch) {
+  Rng rng(11);
+  double sum = 0, sq = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(Rng, PoissonMeanMatches) {
+  Rng rng(13);
+  for (const double mean : {0.5, 3.0, 50.0}) {
+    double total = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) total += static_cast<double>(rng.poisson(mean));
+    EXPECT_NEAR(total / n, mean, mean * 0.05 + 0.05) << "mean=" << mean;
+  }
+}
+
+TEST(Rng, CategoricalFollowsWeights) {
+  Rng rng(17);
+  const std::array<double, 3> weights{1.0, 2.0, 7.0};
+  std::array<int, 3> counts{};
+  for (int i = 0; i < 30000; ++i) ++counts[rng.categorical(weights)];
+  EXPECT_NEAR(counts[0] / 30000.0, 0.1, 0.02);
+  EXPECT_NEAR(counts[1] / 30000.0, 0.2, 0.02);
+  EXPECT_NEAR(counts[2] / 30000.0, 0.7, 0.02);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng a(5);
+  Rng b = a.fork();
+  // Forked stream should not replicate the parent.
+  int equal = 0;
+  for (int i = 0; i < 50; ++i) equal += a() == b() ? 1 : 0;
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Math, SigmoidStableAtExtremes) {
+  EXPECT_NEAR(sigmoid(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(sigmoid(1000.0), 1.0, 1e-12);
+  EXPECT_NEAR(sigmoid(-1000.0), 0.0, 1e-12);
+  EXPECT_GT(sigmoid(-1000.0), 0.0 - 1e-300);
+}
+
+TEST(Math, BceFromLogitMatchesFromProb) {
+  for (const double z : {-3.0, -0.5, 0.0, 0.7, 4.0}) {
+    for (const double y : {0.0, 1.0}) {
+      EXPECT_NEAR(bce_from_logit(z, y), bce_from_prob(sigmoid(z), y), 1e-9);
+    }
+  }
+}
+
+TEST(Math, LogitInvertsSigmoid) {
+  for (const double p : {0.01, 0.25, 0.5, 0.9}) {
+    EXPECT_NEAR(sigmoid(logit(p)), p, 1e-9);
+  }
+}
+
+TEST(Serialize, RoundTripsAllTypes) {
+  BinaryWriter writer;
+  writer.write_u32(7);
+  writer.write_i64(-12345678901ll);
+  writer.write_f32(1.5f);
+  writer.write_f64(-2.25);
+  writer.write_string("hello world");
+  writer.write_vector(std::vector<float>{1.0f, 2.0f, 3.0f});
+
+  BinaryReader reader(writer.take());
+  EXPECT_EQ(reader.read_u32(), 7u);
+  EXPECT_EQ(reader.read_i64(), -12345678901ll);
+  EXPECT_EQ(reader.read_f32(), 1.5f);
+  EXPECT_EQ(reader.read_f64(), -2.25);
+  EXPECT_EQ(reader.read_string(), "hello world");
+  EXPECT_EQ(reader.read_vector<float>(),
+            (std::vector<float>{1.0f, 2.0f, 3.0f}));
+  EXPECT_TRUE(reader.at_end());
+}
+
+TEST(Serialize, TruncatedInputThrows) {
+  BinaryWriter writer;
+  writer.write_u64(100);  // promises 100 bytes that do not follow
+  BinaryReader reader(writer.take());
+  EXPECT_THROW(reader.read_string(), std::runtime_error);
+}
+
+TEST(Table, AlignsAndCountsRows) {
+  Table table({"model", "pr-auc"});
+  table.row().cell("rnn").cell(0.596, 3);
+  table.row().cell("gbdt").cell(0.578, 3);
+  EXPECT_EQ(table.row_count(), 2u);
+  const std::string rendered = table.to_string();
+  EXPECT_NE(rendered.find("rnn"), std::string::npos);
+  EXPECT_NE(rendered.find("0.596"), std::string::npos);
+  const std::string csv = table.to_csv();
+  EXPECT_NE(csv.find("rnn,0.596"), std::string::npos);
+}
+
+TEST(Table, PercentFormatting) {
+  Table table({"x"});
+  table.row().cell_percent(0.0781);
+  EXPECT_NE(table.to_csv().find("+7.81%"), std::string::npos);
+}
+
+TEST(ThreadPool, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 100; ++i) {
+    futures.push_back(pool.submit([&counter] { ++counter; }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, ParallelForCoversRangeExactlyOnce) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(1000, [&](std::size_t i) { ++hits[i]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, PropagatesExceptions) {
+  ThreadPool pool(2);
+  auto f = pool.submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace pp
