@@ -10,6 +10,7 @@
 #include <thread>
 
 #include "bench/common.hpp"
+#include "tensor/gemm.hpp"
 
 using namespace pp;
 using namespace pp::bench;
@@ -89,5 +90,80 @@ int main() {
       "%u hardware threads, which may be hyperthread siblings).\n",
       static_cast<double>(max_len) * dataset.users.size() / total,
       std::thread::hardware_concurrency());
+
+  // ---- old vs new GEMM kernel under the padded-batch strategy ----------
+  // The padded strategy is the GEMM-bound one (every step is a [B x d]
+  // product), so it is where the blocked kernel shows up end-to-end.
+  struct KernelChoice {
+    const char* name;
+    tensor::GemmKernel kernel;
+    std::size_t threads;
+  };
+  const KernelChoice kernels[] = {
+      {"naive (seed)", tensor::GemmKernel::kNaive, 1},
+      {"blocked", tensor::GemmKernel::kBlocked, 1},
+      {"blocked + threads", tensor::GemmKernel::kBlocked, 0},
+  };
+  Table kernel_table({"gemm_kernel", "seconds_per_epoch", "speedup_vs_naive"});
+  double naive_time = 0;
+  for (const KernelChoice& choice : kernels) {
+    tensor::GemmConfigScope scope(choice.kernel, choice.threads);
+    train::RnnNetworkConfig net_config;
+    net_config.feature_size =
+        train::feature_width(dataset.schema, train::FeatureMode::kFull);
+    net_config.hidden_size = 64;
+    net_config.mlp_hidden = 64;
+    net_config.dropout = 0.0f;
+    Rng rng(11);
+    train::RnnNetwork network(net_config, rng);
+    train::RnnTrainerConfig trainer_config;
+    trainer_config.epochs = 1;
+    trainer_config.minibatch_users = 16;
+    trainer_config.strategy = train::BatchStrategy::kPaddedBatch;
+    trainer_config.sequence.truncate_history = 2000;
+    train::RnnTrainer trainer(network, trainer_config);
+    Stopwatch sw;
+    trainer.fit(dataset, users);
+    const double seconds = sw.elapsed_seconds();
+    if (choice.kernel == tensor::GemmKernel::kNaive) naive_time = seconds;
+    kernel_table.row()
+        .cell(choice.name)
+        .cell(seconds, 2)
+        .cell(naive_time / seconds, 2);
+  }
+  kernel_table.print(
+      "Padded-batch epoch, seed GEMM vs blocked (and ThreadPool-threaded) "
+      "kernel");
+
+  // ---- raw kernel throughput (the isolated old-vs-new comparison) ------
+  const std::size_t dims[] = {128, 384};
+  Table gemm_table({"shape", "kernel", "seconds", "gflops", "speedup"});
+  for (const std::size_t d : dims) {
+    Rng rng(7);
+    const tensor::Matrix a = tensor::Matrix::randn(d, d, rng);
+    const tensor::Matrix b = tensor::Matrix::randn(d, d, rng);
+    const int reps = d <= 128 ? 80 : 10;
+    const double flops = 2.0 * static_cast<double>(d) * d * d * reps;
+    double base = 0;
+    for (const KernelChoice& choice : kernels) {
+      tensor::GemmConfigScope scope(choice.kernel, choice.threads, 0);
+      tensor::Matrix c(d, d);
+      Stopwatch sw;
+      for (int r = 0; r < reps; ++r) {
+        c.set_zero();
+        tensor::gemm_accumulate(a, b, c);
+      }
+      const double seconds = sw.elapsed_seconds();
+      if (choice.kernel == tensor::GemmKernel::kNaive) base = seconds;
+      const std::string shape = std::to_string(d) + "^3";
+      gemm_table.row()
+          .cell(shape)
+          .cell(choice.name)
+          .cell(seconds, 3)
+          .cell(flops / seconds * 1e-9, 2)
+          .cell(base / seconds, 2);
+    }
+  }
+  gemm_table.print("Raw C += A*B kernel throughput, old (naive) vs new");
   return 0;
 }

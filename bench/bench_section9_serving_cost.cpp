@@ -11,6 +11,8 @@
 #include "bench/common.hpp"
 #include "serving/aggregation_service.hpp"
 #include "serving/hidden_store.hpp"
+#include "serving/precompute_service.hpp"
+#include "tensor/gemm.hpp"
 
 using namespace pp;
 
@@ -101,6 +103,84 @@ void BM_RnnHiddenUpdate(benchmark::State& state) {
   state.counters["MACs"] = static_cast<double>(net.update_flops());
 }
 BENCHMARK(BM_RnnHiddenUpdate);
+
+/// Batched session-start scoring through the [B x d] RNNpredict path: one
+/// GEMM amortized across the cohort instead of B gemv calls. Throughput is
+/// per session (items/s), directly comparable with BM_RnnPredict.
+void BM_RnnPredictBatched(benchmark::State& state) {
+  Fixture& f = Fixture::get();
+  const auto& net = f.rnn->network();
+  const auto batch = static_cast<std::size_t>(state.range(0));
+  Rng rng(5);
+  const tensor::Matrix hidden_block =
+      tensor::Matrix::randn(batch, net.config().hidden_size, rng, 0, 0.3f);
+  const tensor::Matrix x_block = tensor::Matrix::rand_uniform(
+      batch, net.config().predict_input_size(), rng, 0, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net.infer_logits(hidden_block, x_block));
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * batch));
+  state.counters["batch"] = static_cast<double>(batch);
+}
+BENCHMARK(BM_RnnPredictBatched)->Arg(1)->Arg(8)->Arg(64)->Arg(256);
+
+/// End-to-end batched policy scoring (KV lookups included): the serving
+/// entry the §9 cost ledger meters.
+void BM_RnnPolicyScoreSessions(benchmark::State& state) {
+  Fixture& f = Fixture::get();
+  const auto batch = static_cast<std::size_t>(state.range(0));
+  serving::KvStore kv;
+  serving::HiddenStateStore store(kv);
+  serving::RnnPolicy policy(*f.rnn, store);
+  std::vector<serving::SessionStart> starts;
+  for (std::size_t b = 0; b < batch; ++b) {
+    serving::SessionStart s;
+    s.session_id = b;
+    s.user_id = b % 100;
+    s.t = f.dataset.end_time + static_cast<std::int64_t>(b);
+    s.context = {static_cast<std::uint32_t>(b % 4), 0, 0, 0};
+    starts.push_back(s);
+  }
+  // Warm half of the cohort so lookups mix hits and cold misses.
+  for (std::size_t u = 0; u < 50; ++u) {
+    serving::JoinedSession joined;
+    joined.session_id = 10000 + u;
+    joined.user_id = u;
+    joined.session_start = f.dataset.end_time - 3600;
+    joined.access = u % 2 == 0;
+    policy.on_session_complete(joined);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(policy.score_sessions(starts));
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * batch));
+}
+BENCHMARK(BM_RnnPolicyScoreSessions)->Arg(1)->Arg(64)->Arg(256);
+
+/// Old-vs-new kernel on a serving-shaped GEMM ([B x 2h] * [2h x h], the
+/// W1 product of a batched RNNpredict).
+void BM_GemmKernel(benchmark::State& state) {
+  const auto kernel = static_cast<tensor::GemmKernel>(state.range(0));
+  const std::size_t threads = static_cast<std::size_t>(state.range(1));
+  Rng rng(9);
+  const tensor::Matrix a = tensor::Matrix::randn(256, 306, rng);
+  const tensor::Matrix b = tensor::Matrix::randn(306, 128, rng);
+  tensor::Matrix c(256, 128);
+  tensor::GemmConfigScope scope(kernel, threads, 0);
+  for (auto _ : state) {
+    c.set_zero();
+    tensor::gemm_accumulate(a, b, c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.counters["MACs"] = 256.0 * 306.0 * 128.0;
+}
+BENCHMARK(BM_GemmKernel)
+    ->ArgNames({"kernel", "threads"})
+    ->Args({static_cast<long>(tensor::GemmKernel::kNaive), 1})
+    ->Args({static_cast<long>(tensor::GemmKernel::kBlocked), 1})
+    ->Args({static_cast<long>(tensor::GemmKernel::kBlocked), 0});
 
 void BM_GbdtPredict(benchmark::State& state) {
   Fixture& f = Fixture::get();

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Tier-1 verify plus a smoke run of the §7.1 parallelism bench so the perf
+# benches can't bit-rot. Usage: ci/check.sh [build-dir]
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+BUILD_DIR="${1:-${REPO_ROOT}/build}"
+JOBS="$(nproc 2>/dev/null || echo 2)"
+
+echo "== configure =="
+cmake -B "${BUILD_DIR}" -S "${REPO_ROOT}"
+
+echo "== build =="
+cmake --build "${BUILD_DIR}" -j "${JOBS}"
+
+echo "== ctest =="
+ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}"
+
+echo "== bench smoke: section 7.1 parallelism (old vs new GEMM kernel) =="
+"${BUILD_DIR}/bench_section7_parallelism"
+
+echo "== OK =="

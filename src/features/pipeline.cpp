@@ -7,12 +7,6 @@ namespace pp::features {
 namespace {
 /// Sentinel for "never happened": 60 days, past every window.
 constexpr std::int64_t kNeverElapsed = 60ll * 86400;
-
-std::string window_name(std::int64_t seconds) {
-  if (seconds % 86400 == 0) return std::to_string(seconds / 86400) + "d";
-  if (seconds % 3600 == 0) return std::to_string(seconds / 3600) + "h";
-  return std::to_string(seconds) + "s";
-}
 }  // namespace
 
 FeaturePipeline::FeaturePipeline(const data::ContextSchema& schema,

@@ -58,13 +58,20 @@ std::vector<double> MlpModel::fit(const features::ExampleBatch& train,
 
 std::vector<double> MlpModel::predict(
     const features::ExampleBatch& batch) const {
+  // Tape-free block scoring: one GEMM per block instead of one graph (and
+  // one gemv) per example.
+  constexpr std::size_t kBlock = 256;
   std::vector<double> out(batch.size());
-  Matrix x(1, batch.dimension);
-  for (std::size_t i = 0; i < batch.size(); ++i) {
-    batch.densify_row(i, x.row(0));
-    Variable logit = network_->forward(Variable(x), inference_rng_);
-    out[i] = sigmoid(logit.value()[0]);
-    detach_graph(logit);
+  for (std::size_t begin = 0; begin < batch.size(); begin += kBlock) {
+    const std::size_t rows = std::min(kBlock, batch.size() - begin);
+    Matrix x(rows, batch.dimension);
+    for (std::size_t b = 0; b < rows; ++b) {
+      batch.densify_row(begin + b, x.row(b));
+    }
+    const Matrix logits = network_->infer(x);
+    for (std::size_t b = 0; b < rows; ++b) {
+      out[begin + b] = sigmoid(logits.at(b, 0));
+    }
   }
   return out;
 }

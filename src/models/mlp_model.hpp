@@ -25,12 +25,12 @@ class MlpModel {
   std::vector<double> fit(const features::ExampleBatch& train,
                           const MlpModelConfig& config = {});
 
+  /// Tape-free scoring in [256 x d] blocks through nn::Mlp::infer.
   std::vector<double> predict(const features::ExampleBatch& batch) const;
 
  private:
   MlpModelConfig config_;
   std::unique_ptr<nn::Mlp> network_;
-  mutable Rng inference_rng_{0};  // dropout disabled at inference; unused
 };
 
 }  // namespace pp::models

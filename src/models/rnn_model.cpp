@@ -1,5 +1,7 @@
 #include "models/rnn_model.hpp"
 
+#include "util/math.hpp"
+
 namespace pp::models {
 
 RnnModel::RnnModel(const data::Dataset& dataset_meta,
@@ -52,6 +54,13 @@ train::ScoredSeries RnnModel::score(const data::Dataset& dataset,
                                     std::size_t num_threads) const {
   return train::score_users(*network_, dataset, users, sequence_config_,
                             timeshift_, emit_from, emit_to, num_threads);
+}
+
+std::vector<double> RnnModel::score_session_batch(
+    const tensor::Matrix& hidden_block, const tensor::Matrix& x_block) const {
+  std::vector<double> scores = network_->infer_logits(hidden_block, x_block);
+  for (double& s : scores) s = pp::sigmoid(s);
+  return scores;
 }
 
 void RnnModel::save(const std::string& path) const {

@@ -52,6 +52,14 @@ class RnnModel {
                             std::int64_t emit_to = 0,
                             std::size_t num_threads = 1) const;
 
+  /// Batched session-start scoring: `hidden_block` is [B x hidden],
+  /// `x_block` is [B x predict_input_size()]; returns B access
+  /// probabilities. Row b exactly equals the per-session score of the same
+  /// (hidden, x) pair — the serving tier batches cohorts through this.
+  std::vector<double> score_session_batch(
+      const tensor::Matrix& hidden_block,
+      const tensor::Matrix& x_block) const;
+
   const train::RnnNetwork& network() const { return *network_; }
   train::RnnNetwork& network() { return *network_; }
   const RnnModelConfig& config() const { return config_; }

@@ -17,6 +17,17 @@ Mlp::Mlp(const MlpConfig& config, Rng& rng) : config_(config) {
   register_submodule("output", *layers_.back());
 }
 
+tensor::Matrix Mlp::infer(const tensor::Matrix& x) const {
+  tensor::Matrix h = layers_.front()->infer(x);
+  for (std::size_t i = 1; i < layers_.size(); ++i) {
+    for (std::size_t j = 0; j < h.size(); ++j) {
+      h[j] = h[j] > 0 ? h[j] : 0.0f;
+    }
+    h = layers_[i]->infer(h);
+  }
+  return h;
+}
+
 Variable Mlp::forward(const Variable& x, Rng& rng) const {
   Variable h = x;
   for (std::size_t i = 0; i + 1 < layers_.size(); ++i) {

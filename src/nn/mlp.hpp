@@ -26,6 +26,11 @@ class Mlp : public Module {
   /// dropout masks.
   Variable forward(const Variable& x, Rng& rng) const;
 
+  /// Tape-free batched forward (serving path): [batch x input] ->
+  /// [batch x output] raw logits. Dropout is inverted at train time, so
+  /// inference is the bare linear/ReLU chain.
+  tensor::Matrix infer(const tensor::Matrix& x) const;
+
   const MlpConfig& config() const { return config_; }
 
  private:

@@ -1,5 +1,6 @@
 #include "serving/precompute_service.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <cstring>
 
@@ -8,6 +9,18 @@
 #include "util/math.hpp"
 
 namespace pp::serving {
+
+// -------------------------------------------------------- PrecomputePolicy
+
+std::vector<double> PrecomputePolicy::score_sessions(
+    std::span<const SessionStart> sessions) {
+  std::vector<double> scores;
+  scores.reserve(sessions.size());
+  for (const SessionStart& s : sessions) {
+    scores.push_back(score_session(s.user_id, s.t, s.context));
+  }
+  return scores;
+}
 
 // --------------------------------------------------------------- RnnPolicy
 
@@ -19,35 +32,50 @@ RnnPolicy::RnnPolicy(const models::RnnModel& model, HiddenStateStore& store)
 
 double RnnPolicy::score_session(std::uint64_t user_id, std::int64_t t,
                                 std::span<const std::uint32_t> context) {
+  // One-element batch: score_sessions owns the encode/gap/cold-start and
+  // cost-accounting logic, so single and batched scoring cannot drift.
+  SessionStart s;
+  s.user_id = user_id;
+  s.t = t;
+  std::copy_n(context.begin(), std::min(context.size(), s.context.size()),
+              s.context.begin());
+  return score_sessions({&s, 1}).front();
+}
+
+std::vector<double> RnnPolicy::score_sessions(
+    std::span<const SessionStart> sessions) {
+  const std::size_t batch = sessions.size();
+  if (batch == 0) return {};
   const train::RnnNetwork& net = model_->network();
   const auto& seq_cfg = model_->sequence_config();
   const std::size_t fw = net.config().feature_size;
   const std::size_t tb = net.config().time_buckets;
 
-  // One KV lookup: the user's hidden state + t_k (§9).
-  const auto stored = store_->get(user_id, net);
-
-  tensor::Matrix row(1, fw + tb);
-  if (seq_cfg.context_at_predict && fw > 0) {
-    train::encode_step_features(model_->schema(), seq_cfg.feature_mode, t,
-                                context, row.row(0));
+  tensor::Matrix x(batch, fw + tb);
+  tensor::Matrix h(batch, net.config().hidden_size);
+  const train::InferenceState cold = net.infer_initial_state();
+  for (std::size_t b = 0; b < batch; ++b) {
+    const SessionStart& s = sessions[b];
+    // Still one KV lookup per session (§9's dominant serving cost term);
+    // only the model evaluation is batched.
+    const auto stored = store_->get(s.user_id, net);
+    if (seq_cfg.context_at_predict && fw > 0) {
+      train::encode_step_features(model_->schema(), seq_cfg.feature_mode,
+                                  s.t, s.context, x.row(b));
+    }
+    const std::int64_t gap = stored.has_value() && stored->updates > 0
+                                 ? s.t - stored->last_update_time
+                                 : 0;
+    bucketizer_.encode(gap, x.row(b).subspan(fw, tb));
+    const tensor::Matrix& hidden =
+        stored.has_value() ? stored->state.hidden() : cold.hidden();
+    std::memcpy(h.row(b).data(), hidden.data(), h.cols() * sizeof(float));
   }
-  const std::int64_t gap =
-      stored.has_value() && stored->updates > 0
-          ? t - stored->last_update_time
-          : 0;
-  bucketizer_.encode(gap, row.row(0).subspan(fw, tb));
 
-  double logit;
-  if (stored.has_value()) {
-    logit = net.infer_logit(stored->state.hidden(), row);
-  } else {
-    const train::InferenceState cold = net.infer_initial_state();
-    logit = net.infer_logit(cold.hidden(), row);
-  }
-  ++costs_.predictions;
-  costs_.model_flops += net.predict_flops();
-  return pp::sigmoid(logit);
+  std::vector<double> scores = model_->score_session_batch(h, x);
+  costs_.predictions += batch;
+  costs_.model_flops += batch * net.predict_flops();
+  return scores;
 }
 
 void RnnPolicy::on_session_complete(const JoinedSession& joined) {
@@ -214,6 +242,24 @@ bool PrecomputeService::on_session_start(
   pending_[session_id] = {score, prefetch};
   joiner_.on_context(session_id, user_id, t, context);
   return prefetch;
+}
+
+std::vector<bool> PrecomputeService::on_session_starts(
+    std::span<const SessionStart> sessions) {
+  std::vector<bool> decisions(sessions.size());
+  if (sessions.empty()) return decisions;
+  std::int64_t earliest = sessions.front().t;
+  for (const SessionStart& s : sessions) earliest = std::min(earliest, s.t);
+  joiner_.advance_to(earliest);
+  const std::vector<double> scores = policy_->score_sessions(sessions);
+  for (std::size_t i = 0; i < sessions.size(); ++i) {
+    const bool prefetch = scores[i] >= threshold_;
+    decisions[i] = prefetch;
+    pending_[sessions[i].session_id] = {scores[i], prefetch};
+    joiner_.on_context(sessions[i].session_id, sessions[i].user_id,
+                       sessions[i].t, sessions[i].context);
+  }
+  return decisions;
 }
 
 void PrecomputeService::on_access(std::uint64_t session_id, std::int64_t t) {

@@ -6,8 +6,11 @@
 // policy to update its per-user state.
 #pragma once
 
+#include <array>
 #include <memory>
+#include <span>
 #include <unordered_map>
+#include <vector>
 
 #include "models/gbdt_model.hpp"
 #include "models/rnn_model.hpp"
@@ -38,12 +41,26 @@ struct ServingCostSummary {
   }
 };
 
+/// One session-start event, the unit of the batched scoring entry point.
+struct SessionStart {
+  std::uint64_t session_id = 0;
+  std::uint64_t user_id = 0;
+  std::int64_t t = 0;
+  std::array<std::uint32_t, data::kMaxContextFields> context{};
+};
+
 class PrecomputePolicy {
  public:
   virtual ~PrecomputePolicy() = default;
   /// Access-probability estimate at session start.
   virtual double score_session(std::uint64_t user_id, std::int64_t t,
                                std::span<const std::uint32_t> context) = 0;
+  /// Batched session-start scoring against one state snapshot. The default
+  /// loops score_session; policies with a batchable model override it to
+  /// amortize one GEMM across the cohort. Element i must equal the
+  /// corresponding score_session call (same scores, same cost counters).
+  virtual std::vector<double> score_sessions(
+      std::span<const SessionStart> sessions);
   /// Completed-session callback from the stream joiner.
   virtual void on_session_complete(const JoinedSession& joined) = 0;
   virtual ServingCostSummary cost_summary() const = 0;
@@ -58,6 +75,11 @@ class RnnPolicy final : public PrecomputePolicy {
 
   double score_session(std::uint64_t user_id, std::int64_t t,
                        std::span<const std::uint32_t> context) override;
+  /// Batched variant: B hidden-state lookups feed one [B x d] RNNpredict
+  /// GEMM instead of B gemv calls. Scores and cost counters match B
+  /// score_session calls exactly.
+  std::vector<double> score_sessions(
+      std::span<const SessionStart> sessions) override;
   void on_session_complete(const JoinedSession& joined) override;
   ServingCostSummary cost_summary() const override;
   const char* name() const override { return "rnn"; }
@@ -137,6 +159,11 @@ class PrecomputeService {
                         std::int64_t t,
                         const std::array<std::uint32_t,
                                          data::kMaxContextFields>& context);
+  /// Batched session starts: fires timers due before the earliest start,
+  /// scores the whole cohort against that one state snapshot (the batching
+  /// tradeoff: completions landing inside the batch window become visible
+  /// to the next batch), then feeds every context into the joiner.
+  std::vector<bool> on_session_starts(std::span<const SessionStart> sessions);
   void on_access(std::uint64_t session_id, std::int64_t t);
   void advance_to(std::int64_t t) { joiner_.advance_to(t); }
   void flush() { joiner_.flush(); }

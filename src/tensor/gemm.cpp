@@ -1,0 +1,364 @@
+#include "tensor/gemm.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "tensor/matrix.hpp"
+#include "util/thread_pool.hpp"
+
+namespace pp::tensor {
+
+namespace {
+
+std::atomic<GemmKernel> g_kernel{GemmKernel::kBlocked};
+std::atomic<std::size_t> g_threads{1};
+// ~0.25 MMAC: below this a [B x d] product finishes before a pool handoff
+// would even wake a worker.
+std::atomic<std::size_t> g_threshold{256 * 1024};
+
+/// The pool is shared across all gemm call sites and rebuilt when the
+/// requested width changes. Handing out shared_ptr copies keeps a resize
+/// from pulling the pool out from under a concurrent caller.
+std::shared_ptr<ThreadPool> acquire_pool(std::size_t threads) {
+  static std::mutex mutex;
+  static std::shared_ptr<ThreadPool> pool;
+  std::lock_guard<std::mutex> lock(mutex);
+  if (!pool || pool->size() != threads) {
+    pool = std::make_shared<ThreadPool>(threads);
+  }
+  return pool;
+}
+
+// Tile sizes: the (kKc x kNc) B tile is 128 KB — L2-resident — and is
+// reused across kMc output rows; each kNc-wide C row segment is 1 KB and
+// stays in L1 across the p loop.
+constexpr std::size_t kMc = 64;
+constexpr std::size_t kKc = 128;
+constexpr std::size_t kNc = 256;
+
+// ---- nn: c[i0:i1, :] += a[i0:i1, :] * b -----------------------------------
+
+void nn_naive_range(const float* a, const float* b, float* c, std::size_t k,
+                    std::size_t n, std::size_t i0, std::size_t i1) {
+  // i-k-j order: the inner loop walks both b and c contiguously.
+  for (std::size_t i = i0; i < i1; ++i) {
+    float* c_row = c + i * n;
+    const float* a_row = a + i * k;
+    for (std::size_t p = 0; p < k; ++p) {
+      const float a_ip = a_row[p];
+      if (a_ip == 0.0f) continue;  // one-hot inputs make this common
+      const float* b_row = b + p * n;
+      for (std::size_t j = 0; j < n; ++j) c_row[j] += a_ip * b_row[j];
+    }
+  }
+}
+
+void nn_blocked_range(const float* a, const float* b, float* c, std::size_t k,
+                      std::size_t n, std::size_t i0, std::size_t i1) {
+  for (std::size_t ib = i0; ib < i1; ib += kMc) {
+    const std::size_t i_end = std::min(ib + kMc, i1);
+    for (std::size_t pb = 0; pb < k; pb += kKc) {
+      const std::size_t p_end = std::min(pb + kKc, k);
+      for (std::size_t jb = 0; jb < n; jb += kNc) {
+        const std::size_t j_end = std::min(jb + kNc, n);
+        std::size_t i = ib;
+        // 4-row micro-kernel: each B row is read once and folded into four
+        // output rows from registers.
+        for (; i + 4 <= i_end; i += 4) {
+          const float* a0 = a + (i + 0) * k;
+          const float* a1 = a + (i + 1) * k;
+          const float* a2 = a + (i + 2) * k;
+          const float* a3 = a + (i + 3) * k;
+          float* c0 = c + (i + 0) * n;
+          float* c1 = c + (i + 1) * n;
+          float* c2 = c + (i + 2) * n;
+          float* c3 = c + (i + 3) * n;
+          for (std::size_t p = pb; p < p_end; ++p) {
+            const float v0 = a0[p], v1 = a1[p], v2 = a2[p], v3 = a3[p];
+            if (v0 == 0.0f && v1 == 0.0f && v2 == 0.0f && v3 == 0.0f) {
+              continue;  // aligned padding rows in the padded-batch trainer
+            }
+            const float* b_row = b + p * n;
+            for (std::size_t j = jb; j < j_end; ++j) {
+              const float bv = b_row[j];
+              c0[j] += v0 * bv;
+              c1[j] += v1 * bv;
+              c2[j] += v2 * bv;
+              c3[j] += v3 * bv;
+            }
+          }
+        }
+        for (; i < i_end; ++i) {
+          const float* a_row = a + i * k;
+          float* c_row = c + i * n;
+          for (std::size_t p = pb; p < p_end; ++p) {
+            const float a_ip = a_row[p];
+            if (a_ip == 0.0f) continue;
+            const float* b_row = b + p * n;
+            for (std::size_t j = jb; j < j_end; ++j) c_row[j] += a_ip * b_row[j];
+          }
+        }
+      }
+    }
+  }
+}
+
+// ---- tn: c[i0:i1, :] += a[:, i0:i1]^T * b ---------------------------------
+// a is [k x m] row-major; output row i is driven by column i of a.
+
+void tn_naive_range(const float* a, const float* b, float* c, std::size_t k,
+                    std::size_t m, std::size_t n, std::size_t i0,
+                    std::size_t i1) {
+  for (std::size_t p = 0; p < k; ++p) {
+    const float* a_row = a + p * m;
+    const float* b_row = b + p * n;
+    for (std::size_t i = i0; i < i1; ++i) {
+      const float a_pi = a_row[i];
+      if (a_pi == 0.0f) continue;
+      float* c_row = c + i * n;
+      for (std::size_t j = 0; j < n; ++j) c_row[j] += a_pi * b_row[j];
+    }
+  }
+}
+
+void tn_blocked_range(const float* a, const float* b, float* c, std::size_t k,
+                      std::size_t m, std::size_t n, std::size_t i0,
+                      std::size_t i1) {
+  for (std::size_t pb = 0; pb < k; pb += kKc) {
+    const std::size_t p_end = std::min(pb + kKc, k);
+    for (std::size_t jb = 0; jb < n; jb += kNc) {
+      const std::size_t j_end = std::min(jb + kNc, n);
+      std::size_t i = i0;
+      for (; i + 4 <= i1; i += 4) {
+        float* c0 = c + (i + 0) * n;
+        float* c1 = c + (i + 1) * n;
+        float* c2 = c + (i + 2) * n;
+        float* c3 = c + (i + 3) * n;
+        for (std::size_t p = pb; p < p_end; ++p) {
+          const float* a_row = a + p * m + i;  // four contiguous columns
+          const float v0 = a_row[0], v1 = a_row[1], v2 = a_row[2],
+                      v3 = a_row[3];
+          if (v0 == 0.0f && v1 == 0.0f && v2 == 0.0f && v3 == 0.0f) continue;
+          const float* b_row = b + p * n;
+          for (std::size_t j = jb; j < j_end; ++j) {
+            const float bv = b_row[j];
+            c0[j] += v0 * bv;
+            c1[j] += v1 * bv;
+            c2[j] += v2 * bv;
+            c3[j] += v3 * bv;
+          }
+        }
+      }
+      for (; i < i1; ++i) {
+        float* c_row = c + i * n;
+        for (std::size_t p = pb; p < p_end; ++p) {
+          const float a_pi = a[p * m + i];
+          if (a_pi == 0.0f) continue;
+          const float* b_row = b + p * n;
+          for (std::size_t j = jb; j < j_end; ++j) c_row[j] += a_pi * b_row[j];
+        }
+      }
+    }
+  }
+}
+
+// ---- nt: c[i0:i1, :] += a[i0:i1, :] * b^T ---------------------------------
+// b is [n x k] row-major; every output element is a row-row dot product.
+
+void nt_naive_range(const float* a, const float* b, float* c, std::size_t k,
+                    std::size_t n, std::size_t i0, std::size_t i1) {
+  for (std::size_t i = i0; i < i1; ++i) {
+    const float* a_row = a + i * k;
+    float* c_row = c + i * n;
+    for (std::size_t j = 0; j < n; ++j) {
+      const float* b_row = b + j * k;
+      float acc = 0.0f;
+      for (std::size_t p = 0; p < k; ++p) acc += a_row[p] * b_row[p];
+      c_row[j] += acc;
+    }
+  }
+}
+
+void nt_blocked_range(const float* a, const float* b, float* c, std::size_t k,
+                      std::size_t n, std::size_t i0, std::size_t i1) {
+  // jb tiles keep a (kNc x k) slab of B rows cache-resident across all
+  // output rows; the 4-column micro-kernel reads each a_row element once
+  // for four simultaneous dot products.
+  for (std::size_t jb = 0; jb < n; jb += kNc) {
+    const std::size_t j_end = std::min(jb + kNc, n);
+    for (std::size_t i = i0; i < i1; ++i) {
+      const float* a_row = a + i * k;
+      float* c_row = c + i * n;
+      std::size_t j = jb;
+      for (; j + 4 <= j_end; j += 4) {
+        const float* b0 = b + (j + 0) * k;
+        const float* b1 = b + (j + 1) * k;
+        const float* b2 = b + (j + 2) * k;
+        const float* b3 = b + (j + 3) * k;
+        float acc0 = 0.0f, acc1 = 0.0f, acc2 = 0.0f, acc3 = 0.0f;
+        for (std::size_t p = 0; p < k; ++p) {
+          const float av = a_row[p];
+          acc0 += av * b0[p];
+          acc1 += av * b1[p];
+          acc2 += av * b2[p];
+          acc3 += av * b3[p];
+        }
+        c_row[j + 0] += acc0;
+        c_row[j + 1] += acc1;
+        c_row[j + 2] += acc2;
+        c_row[j + 3] += acc3;
+      }
+      for (; j < j_end; ++j) {
+        const float* b_row = b + j * k;
+        float acc = 0.0f;
+        for (std::size_t p = 0; p < k; ++p) acc += a_row[p] * b_row[p];
+        c_row[j] += acc;
+      }
+    }
+  }
+}
+
+// ---- dispatch helpers ------------------------------------------------------
+
+/// Runs `range_fn(i0, i1)` over [0, rows), striped across the shared pool
+/// when the configured thread count and the product size justify it. The
+/// pool is sized by the configuration alone — only the stripe count is
+/// clamped to the row count — so alternating row shapes never force a
+/// pool teardown/respawn.
+template <typename RangeFn>
+void run_partitioned(std::size_t rows, std::size_t macs, RangeFn&& range_fn) {
+  std::size_t threads = g_threads.load(std::memory_order_relaxed);
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  const std::size_t stripes = std::min(threads, rows);
+  if (stripes <= 1 || macs < g_threshold.load(std::memory_order_relaxed)) {
+    range_fn(std::size_t{0}, rows);
+    return;
+  }
+  auto pool = acquire_pool(threads);
+  const std::size_t stripe = (rows + stripes - 1) / stripes;
+  pool->parallel_for(stripes, [&](std::size_t t) {
+    const std::size_t i0 = t * stripe;
+    const std::size_t i1 = std::min(i0 + stripe, rows);
+    if (i0 < i1) range_fn(i0, i1);
+  });
+}
+
+}  // namespace
+
+// ---- configuration ---------------------------------------------------------
+
+GemmKernel gemm_kernel() { return g_kernel.load(std::memory_order_relaxed); }
+void set_gemm_kernel(GemmKernel kernel) {
+  g_kernel.store(kernel, std::memory_order_relaxed);
+}
+
+std::size_t gemm_threads() {
+  return g_threads.load(std::memory_order_relaxed);
+}
+void set_gemm_threads(std::size_t threads) {
+  g_threads.store(threads, std::memory_order_relaxed);
+}
+
+std::size_t gemm_parallel_threshold() {
+  return g_threshold.load(std::memory_order_relaxed);
+}
+void set_gemm_parallel_threshold(std::size_t macs) {
+  g_threshold.store(macs, std::memory_order_relaxed);
+}
+
+GemmConfigScope::GemmConfigScope(GemmKernel kernel, std::size_t threads)
+    : saved_kernel_(gemm_kernel()),
+      saved_threads_(gemm_threads()),
+      saved_threshold_(gemm_parallel_threshold()) {
+  set_gemm_kernel(kernel);
+  set_gemm_threads(threads);
+}
+
+GemmConfigScope::GemmConfigScope(GemmKernel kernel, std::size_t threads,
+                                 std::size_t parallel_threshold)
+    : GemmConfigScope(kernel, threads) {
+  set_gemm_parallel_threshold(parallel_threshold);
+}
+
+GemmConfigScope::~GemmConfigScope() {
+  set_gemm_kernel(saved_kernel_);
+  set_gemm_threads(saved_threads_);
+  set_gemm_parallel_threshold(saved_threshold_);
+}
+
+// ---- public kernels --------------------------------------------------------
+
+void gemm_nn_naive(const Matrix& a, const Matrix& b, Matrix& c) {
+  nn_naive_range(a.data(), b.data(), c.data(), a.cols(), b.cols(), 0,
+                 a.rows());
+}
+
+void gemm_nn_blocked(const Matrix& a, const Matrix& b, Matrix& c) {
+  nn_blocked_range(a.data(), b.data(), c.data(), a.cols(), b.cols(), 0,
+                   a.rows());
+}
+
+void gemm_tn_naive(const Matrix& a, const Matrix& b, Matrix& c) {
+  tn_naive_range(a.data(), b.data(), c.data(), a.rows(), a.cols(), b.cols(),
+                 0, a.cols());
+}
+
+void gemm_tn_blocked(const Matrix& a, const Matrix& b, Matrix& c) {
+  tn_blocked_range(a.data(), b.data(), c.data(), a.rows(), a.cols(), b.cols(),
+                   0, a.cols());
+}
+
+void gemm_nt_naive(const Matrix& a, const Matrix& b, Matrix& c) {
+  nt_naive_range(a.data(), b.data(), c.data(), a.cols(), b.rows(), 0,
+                 a.rows());
+}
+
+void gemm_nt_blocked(const Matrix& a, const Matrix& b, Matrix& c) {
+  nt_blocked_range(a.data(), b.data(), c.data(), a.cols(), b.rows(), 0,
+                   a.rows());
+}
+
+// ---- dispatchers -----------------------------------------------------------
+
+void gemm_nn_dispatch(const Matrix& a, const Matrix& b, Matrix& c) {
+  const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
+  if (m == 0 || k == 0 || n == 0) return;
+  if (gemm_kernel() == GemmKernel::kNaive) {
+    gemm_nn_naive(a, b, c);
+    return;
+  }
+  run_partitioned(m, m * k * n, [&](std::size_t i0, std::size_t i1) {
+    nn_blocked_range(a.data(), b.data(), c.data(), k, n, i0, i1);
+  });
+}
+
+void gemm_tn_dispatch(const Matrix& a, const Matrix& b, Matrix& c) {
+  const std::size_t k = a.rows(), m = a.cols(), n = b.cols();
+  if (m == 0 || k == 0 || n == 0) return;
+  if (gemm_kernel() == GemmKernel::kNaive) {
+    gemm_tn_naive(a, b, c);
+    return;
+  }
+  run_partitioned(m, m * k * n, [&](std::size_t i0, std::size_t i1) {
+    tn_blocked_range(a.data(), b.data(), c.data(), k, m, n, i0, i1);
+  });
+}
+
+void gemm_nt_dispatch(const Matrix& a, const Matrix& b, Matrix& c) {
+  const std::size_t m = a.rows(), k = a.cols(), n = b.rows();
+  if (m == 0 || k == 0 || n == 0) return;
+  if (gemm_kernel() == GemmKernel::kNaive) {
+    gemm_nt_naive(a, b, c);
+    return;
+  }
+  run_partitioned(m, m * k * n, [&](std::size_t i0, std::size_t i1) {
+    nt_blocked_range(a.data(), b.data(), c.data(), k, n, i0, i1);
+  });
+}
+
+}  // namespace pp::tensor

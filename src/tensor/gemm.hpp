@@ -1,0 +1,80 @@
+// The GEMM kernels under Matrix::matmul* / gemm_accumulate — the numeric
+// hot path of both training (§7: every BPTT step is two gate matmuls) and
+// serving (§9: FLOPs per prediction).
+//
+// Two kernels are provided:
+//  * kNaive   — the seed's reference loops (i-k-j with a zero-skip for
+//               one-hot rows). Kept as the parity baseline and for the
+//               old-vs-new bench comparison.
+//  * kBlocked — cache-tiled with a 4-row micro-kernel that reuses each B
+//               row across four output rows, plus an optional
+//               row-partitioned ThreadPool variant.
+//
+// Accumulation order over the shared dimension is identical (ascending p
+// per output element) in every kernel and stripe partition, so:
+//  * blocked == naive bit-for-bit (up to ±0 on skipped zero terms),
+//  * threaded == sequential bit-for-bit,
+//  * a row of a batched [B x d] product == the same row computed as a
+//    [1 x d] product — the invariant the batched scoring path relies on.
+//
+// Kernel selection and threading are process-global knobs (benches and
+// the trainer flip them); GemmConfigScope restores them on scope exit.
+#pragma once
+
+#include <cstddef>
+
+namespace pp::tensor {
+
+class Matrix;
+
+enum class GemmKernel { kNaive, kBlocked };
+
+GemmKernel gemm_kernel();
+void set_gemm_kernel(GemmKernel kernel);
+
+/// Worker threads for the row-partitioned blocked kernel. 1 = sequential
+/// (the default), 0 = hardware concurrency.
+std::size_t gemm_threads();
+void set_gemm_threads(std::size_t threads);
+
+/// Minimum multiply-accumulate count (m*k*n) before the threaded path
+/// engages; small products are faster on the calling thread.
+std::size_t gemm_parallel_threshold();
+void set_gemm_parallel_threshold(std::size_t macs);
+
+/// RAII guard: selects (kernel, threads[, parallel threshold]) for the
+/// current scope and restores the previous configuration — threshold
+/// included — on destruction.
+class GemmConfigScope {
+ public:
+  GemmConfigScope(GemmKernel kernel, std::size_t threads);
+  GemmConfigScope(GemmKernel kernel, std::size_t threads,
+                  std::size_t parallel_threshold);
+  ~GemmConfigScope();
+  GemmConfigScope(const GemmConfigScope&) = delete;
+  GemmConfigScope& operator=(const GemmConfigScope&) = delete;
+
+ private:
+  GemmKernel saved_kernel_;
+  std::size_t saved_threads_;
+  std::size_t saved_threshold_;
+};
+
+// ---- accumulating kernels (exposed for parity tests and benches) ----
+// Shape contracts match the Matrix entry points, which validate them:
+//   nn: c[m x n] += a[m x k] * b[k x n]
+//   tn: c[m x n] += a[k x m]^T * b[k x n]
+//   nt: c[m x n] += a[m x k] * b[n x k]^T
+void gemm_nn_naive(const Matrix& a, const Matrix& b, Matrix& c);
+void gemm_nn_blocked(const Matrix& a, const Matrix& b, Matrix& c);
+void gemm_tn_naive(const Matrix& a, const Matrix& b, Matrix& c);
+void gemm_tn_blocked(const Matrix& a, const Matrix& b, Matrix& c);
+void gemm_nt_naive(const Matrix& a, const Matrix& b, Matrix& c);
+void gemm_nt_blocked(const Matrix& a, const Matrix& b, Matrix& c);
+
+// ---- dispatchers used by Matrix (kernel + threading per global config) ----
+void gemm_nn_dispatch(const Matrix& a, const Matrix& b, Matrix& c);
+void gemm_tn_dispatch(const Matrix& a, const Matrix& b, Matrix& c);
+void gemm_nt_dispatch(const Matrix& a, const Matrix& b, Matrix& c);
+
+}  // namespace pp::tensor

@@ -4,6 +4,8 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "tensor/gemm.hpp"
+
 namespace pp::tensor {
 
 namespace {
@@ -130,18 +132,7 @@ void gemm_accumulate(const Matrix& a, const Matrix& b, Matrix& c) {
                                 a.shape_string() + " * " + b.shape_string() +
                                 " -> " + c.shape_string());
   }
-  const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
-  // i-k-j order: the inner loop walks both b and c contiguously.
-  for (std::size_t i = 0; i < m; ++i) {
-    float* c_row = c.data() + i * n;
-    const float* a_row = a.data() + i * k;
-    for (std::size_t p = 0; p < k; ++p) {
-      const float a_ip = a_row[p];
-      if (a_ip == 0.0f) continue;  // one-hot inputs make this common
-      const float* b_row = b.data() + p * n;
-      for (std::size_t j = 0; j < n; ++j) c_row[j] += a_ip * b_row[j];
-    }
-  }
+  gemm_nn_dispatch(a, b, c);
 }
 
 Matrix Matrix::matmul(const Matrix& other) const {
@@ -157,18 +148,8 @@ Matrix Matrix::matmul_transposed_self(const Matrix& other) const {
                                 shape_string() + " vs " +
                                 other.shape_string());
   }
-  const std::size_t k = rows_, m = cols_, n = other.cols();
-  Matrix out(m, n);
-  for (std::size_t p = 0; p < k; ++p) {
-    const float* a_row = data_.data() + p * m;
-    const float* b_row = other.data() + p * n;
-    for (std::size_t i = 0; i < m; ++i) {
-      const float a_pi = a_row[i];
-      if (a_pi == 0.0f) continue;
-      float* out_row = out.data() + i * n;
-      for (std::size_t j = 0; j < n; ++j) out_row[j] += a_pi * b_row[j];
-    }
-  }
+  Matrix out(cols_, other.cols());
+  gemm_tn_dispatch(*this, other, out);
   return out;
 }
 
@@ -179,18 +160,8 @@ Matrix Matrix::matmul_transposed_other(const Matrix& other) const {
                                 shape_string() + " vs " +
                                 other.shape_string());
   }
-  const std::size_t m = rows_, k = cols_, n = other.rows();
-  Matrix out(m, n);
-  for (std::size_t i = 0; i < m; ++i) {
-    const float* a_row = data_.data() + i * k;
-    float* out_row = out.data() + i * n;
-    for (std::size_t j = 0; j < n; ++j) {
-      const float* b_row = other.data() + j * k;
-      float acc = 0.0f;
-      for (std::size_t p = 0; p < k; ++p) acc += a_row[p] * b_row[p];
-      out_row[j] = acc;
-    }
-  }
+  Matrix out(rows_, other.rows());
+  gemm_nt_dispatch(*this, other, out);
   return out;
 }
 
@@ -291,7 +262,15 @@ bool Matrix::approx_equal(const Matrix& other, float tol) const {
 }
 
 std::string Matrix::shape_string() const {
-  return "[" + std::to_string(rows_) + " x " + std::to_string(cols_) + "]";
+  // Built with append rather than operator+ chains: GCC 12's -Wrestrict
+  // false-positives on the latter at -O2 (PR105651) and src/ builds with
+  // warnings-as-errors.
+  std::string s = "[";
+  s += std::to_string(rows_);
+  s += " x ";
+  s += std::to_string(cols_);
+  s += ']';
+  return s;
 }
 
 }  // namespace pp::tensor

@@ -6,8 +6,10 @@
 //    hidden states = 128 x f32) and keeps the cache footprint small.
 //  * All shape mismatches throw std::invalid_argument; training code relies
 //    on these checks instead of silent broadcasting surprises.
-//  * The handful of kernels that dominate training time (gemm/gemv) use
-//    loop orders that keep the inner loop contiguous.
+//  * The kernels that dominate training time (gemm/gemv) live in
+//    tensor/gemm.hpp: a cache-blocked kernel with an optional
+//    ThreadPool-parallel row partition, plus the naive reference loops.
+//    matmul/matmul_transposed_*/gemm_accumulate dispatch through them.
 #pragma once
 
 #include <cstddef>

@@ -90,20 +90,32 @@ void RnnNetwork::infer_update(InferenceState& state, const Matrix& x) const {
 }
 
 double RnnNetwork::infer_logit(const Matrix& h_k, const Matrix& x) const {
-  Matrix crossed = h_k;
+  return infer_logits(h_k, x).front();
+}
+
+std::vector<double> RnnNetwork::infer_logits(const Matrix& h_block,
+                                             const Matrix& x_block) const {
+  if (h_block.rows() != x_block.rows()) {
+    throw std::invalid_argument("infer_logits: batch mismatch " +
+                                h_block.shape_string() + " vs " +
+                                x_block.shape_string());
+  }
+  Matrix crossed = h_block;
   if (config_.latent_cross) {
-    Matrix factor = latent_->infer(x);
+    Matrix factor = latent_->infer(x_block);
     for (std::size_t i = 0; i < crossed.size(); ++i) {
       crossed[i] *= 1.0f + factor[i];
     }
   }
-  Matrix mlp_in = Matrix::concat_cols(crossed, x);
+  Matrix mlp_in = Matrix::concat_cols(crossed, x_block);
   Matrix hidden = w1_->infer(mlp_in);
   for (std::size_t i = 0; i < hidden.size(); ++i) {
     hidden[i] = hidden[i] > 0 ? hidden[i] : 0.0f;
   }
-  const Matrix logit = w2_->infer(hidden);
-  return logit[0];
+  const Matrix logit = w2_->infer(hidden);  // [B x 1]
+  std::vector<double> out(logit.rows());
+  for (std::size_t b = 0; b < logit.rows(); ++b) out[b] = logit.at(b, 0);
+  return out;
 }
 
 std::size_t RnnNetwork::predict_flops() const {

@@ -78,6 +78,12 @@ class RnnNetwork : public nn::Module {
   InferenceState infer_initial_state() const;
   void infer_update(InferenceState& state, const Matrix& x) const;
   double infer_logit(const Matrix& h_k, const Matrix& x) const;
+  /// Batched RNNpredict: `h_block` is [B x hidden], `x_block` is
+  /// [B x predict_input_size()]; one GEMM amortized across B sessions.
+  /// Row b equals infer_logit(h_block row b, x_block row b) exactly —
+  /// GEMM row independence makes batching bit-transparent.
+  std::vector<double> infer_logits(const Matrix& h_block,
+                                   const Matrix& x_block) const;
 
   /// Approximate multiply-accumulate count of one infer_logit call (the
   /// §9 compute-cost model).

@@ -218,5 +218,31 @@ TEST(Mlp, LearnsXor) {
   EXPECT_LT(logits.value().at(3, 0), 0.0f);
 }
 
+TEST(Mlp, InferMatchesForwardOutsideTraining) {
+  Rng rng(9);
+  MlpConfig config;
+  config.input_size = 6;
+  config.hidden_sizes = {8, 5};
+  config.output_size = 2;
+  config.dropout = 0.3f;  // identity at inference
+  Mlp mlp(config, rng);
+  mlp.set_training(false);
+
+  const Matrix x = Matrix::randn(7, 6, rng);
+  const Matrix via_graph = mlp.forward(Variable(x), rng).value();
+  const Matrix via_infer = mlp.infer(x);
+  EXPECT_TRUE(via_infer.approx_equal(via_graph, 1e-6f));
+
+  // Batch transparency: scoring row-by-row equals the batched block.
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    Matrix row(1, x.cols());
+    for (std::size_t c = 0; c < x.cols(); ++c) row[c] = x.at(r, c);
+    const Matrix single = mlp.infer(row);
+    for (std::size_t c = 0; c < single.cols(); ++c) {
+      EXPECT_EQ(single.at(0, c), via_infer.at(r, c));
+    }
+  }
+}
+
 }  // namespace
 }  // namespace pp::nn

@@ -225,6 +225,164 @@ TEST(OnlineExperiment, EndToEndColdStartReplay) {
   EXPECT_EQ(result.rnn.accesses, result.gbdt.accesses);
 }
 
+TEST(RnnPolicy, BatchedScoringMatchesSequentialExactly) {
+  data::MobileTabConfig config;
+  config.num_users = 30;
+  config.days = 5;
+  const data::Dataset dataset = data::generate_mobile_tab(config);
+  models::RnnModelConfig rnn_config;
+  rnn_config.hidden_size = 16;
+  rnn_config.mlp_hidden = 16;
+  const models::RnnModel model(dataset, rnn_config);
+
+  KvStore kv_seq, kv_batch;
+  HiddenStateStore store_seq(kv_seq), store_batch(kv_batch);
+  RnnPolicy sequential(model, store_seq);
+  RnnPolicy batched(model, store_batch);
+
+  // Warm both stores identically: a couple of completed sessions for the
+  // first 8 users; users 8+ stay cold.
+  for (std::uint64_t u = 0; u < 8; ++u) {
+    for (int s = 0; s < 2; ++s) {
+      JoinedSession joined;
+      joined.session_id = u * 10 + static_cast<std::uint64_t>(s);
+      joined.user_id = u;
+      joined.session_start = 1000000 + static_cast<std::int64_t>(u) * 500 +
+                             s * 7200;
+      joined.context = {static_cast<std::uint32_t>(u % 5), 1, 0, 0};
+      joined.access = (u + static_cast<std::uint64_t>(s)) % 2 == 0;
+      sequential.on_session_complete(joined);
+      batched.on_session_complete(joined);
+    }
+  }
+
+  std::vector<SessionStart> starts;
+  for (std::uint64_t u = 0; u < 16; ++u) {
+    SessionStart s;
+    s.session_id = 100 + u;
+    s.user_id = u;
+    s.t = 1100000 + static_cast<std::int64_t>(u) * 333;
+    s.context = {static_cast<std::uint32_t>(u % 7), 0, 0, 0};
+    starts.push_back(s);
+  }
+
+  const std::vector<double> batch_scores = batched.score_sessions(starts);
+  ASSERT_EQ(batch_scores.size(), starts.size());
+  for (std::size_t i = 0; i < starts.size(); ++i) {
+    const double one = sequential.score_session(starts[i].user_id,
+                                                starts[i].t,
+                                                starts[i].context);
+    // Exact: GEMM rows are batch-independent, so batched scoring is
+    // bit-identical to per-session scoring.
+    EXPECT_EQ(batch_scores[i], one) << "session " << i;
+  }
+
+  // The cost ledger must not notice the batching: same prediction count,
+  // same model FLOPs, same per-user KV traffic.
+  const ServingCostSummary cost_seq = sequential.cost_summary();
+  const ServingCostSummary cost_batch = batched.cost_summary();
+  EXPECT_EQ(cost_batch.predictions, cost_seq.predictions);
+  EXPECT_EQ(cost_batch.state_updates, cost_seq.state_updates);
+  EXPECT_EQ(cost_batch.model_flops, cost_seq.model_flops);
+  EXPECT_EQ(cost_batch.kv.lookups, cost_seq.kv.lookups);
+  EXPECT_EQ(cost_batch.kv.hits, cost_seq.kv.hits);
+  EXPECT_EQ(cost_batch.kv.bytes_read, cost_seq.kv.bytes_read);
+  EXPECT_EQ(cost_batch.storage_bytes, cost_seq.storage_bytes);
+  EXPECT_EQ(cost_batch.live_keys, cost_seq.live_keys);
+}
+
+TEST(PrecomputePolicy, DefaultBatchedScoringLoopsScoreSession) {
+  // The base-class fallback must agree with per-call scoring for policies
+  // without a batched model path (GBDT).
+  KvStore kv_seq, kv_batch;
+  data::MobileTabConfig config;
+  config.num_users = 30;
+  config.days = 4;
+  const data::Dataset dataset = data::generate_mobile_tab(config);
+  features::FeaturePipeline data_pipeline(dataset.schema, {},
+                                          features::gbdt_encoding());
+  std::vector<std::size_t> train_users(20);
+  std::iota(train_users.begin(), train_users.end(), 0);
+  const auto train_batch = features::build_session_examples(
+      dataset, train_users, data_pipeline, 0, 0, 1);
+  std::vector<std::size_t> valid_users{20, 21, 22, 23};
+  const auto valid_batch = features::build_session_examples(
+      dataset, valid_users, data_pipeline, 0, 0, 1);
+  models::GbdtModel gbdt;
+  models::GbdtModelConfig gbdt_config;
+  gbdt_config.depth_search = false;
+  gbdt_config.booster.num_rounds = 5;
+  gbdt.fit(train_batch, valid_batch, gbdt_config);
+
+  AggregationService agg_a(data_pipeline, kv_seq);
+  AggregationService agg_b(data_pipeline, kv_batch);
+  GbdtPolicy sequential(gbdt, data_pipeline, agg_a);
+  GbdtPolicy batched(gbdt, data_pipeline, agg_b);
+
+  std::vector<SessionStart> starts;
+  for (std::uint64_t u = 0; u < 6; ++u) {
+    SessionStart s;
+    s.session_id = u;
+    s.user_id = u;
+    s.t = dataset.end_time + static_cast<std::int64_t>(u);
+    s.context = {static_cast<std::uint32_t>(u % 3), 0, 0, 0};
+    starts.push_back(s);
+  }
+  const std::vector<double> batch_scores = batched.score_sessions(starts);
+  ASSERT_EQ(batch_scores.size(), starts.size());
+  for (std::size_t i = 0; i < starts.size(); ++i) {
+    EXPECT_EQ(batch_scores[i],
+              sequential.score_session(starts[i].user_id, starts[i].t,
+                                       starts[i].context));
+  }
+  EXPECT_EQ(batched.cost_summary().predictions,
+            sequential.cost_summary().predictions);
+}
+
+TEST(PrecomputeService, BatchedSessionStartsMatchSequentialDecisions) {
+  data::MobileTabConfig config;
+  config.num_users = 20;
+  config.days = 4;
+  const data::Dataset dataset = data::generate_mobile_tab(config);
+  models::RnnModelConfig rnn_config;
+  rnn_config.hidden_size = 8;
+  rnn_config.mlp_hidden = 8;
+  const models::RnnModel model(dataset, rnn_config);
+
+  KvStore kv_seq, kv_batch;
+  HiddenStateStore store_seq(kv_seq), store_batch(kv_batch);
+  RnnPolicy policy_seq(model, store_seq);
+  RnnPolicy policy_batch(model, store_batch);
+  PrecomputeService service_seq(policy_seq, 0.5, 1200, 60, 0);
+  PrecomputeService service_batch(policy_batch, 0.5, 1200, 60, 0);
+
+  // All sessions start at the same instant, so no joiner timer can fire
+  // mid-batch and the two paths see identical state.
+  std::vector<SessionStart> starts;
+  for (std::uint64_t u = 0; u < 10; ++u) {
+    SessionStart s;
+    s.session_id = u;
+    s.user_id = u;
+    s.t = 5000;
+    s.context = {static_cast<std::uint32_t>(u % 4), 0, 0, 0};
+    starts.push_back(s);
+  }
+  const std::vector<bool> batch_decisions =
+      service_batch.on_session_starts(starts);
+  for (std::size_t i = 0; i < starts.size(); ++i) {
+    const bool decision = service_seq.on_session_start(
+        starts[i].session_id, starts[i].user_id, starts[i].t,
+        starts[i].context);
+    EXPECT_EQ(batch_decisions[i], decision) << "session " << i;
+  }
+  service_seq.flush();
+  service_batch.flush();
+  EXPECT_EQ(service_batch.metrics().predictions(),
+            service_seq.metrics().predictions());
+  EXPECT_EQ(service_batch.joiner_stats().joined,
+            service_seq.joiner_stats().joined);
+}
+
 TEST(OnlineMetrics, PrecisionRecallLedger) {
   OnlineMetrics metrics(0);
   metrics.record(100, 0.9, true, true);    // successful prefetch

@@ -1,0 +1,218 @@
+// Parity and property tests for the blocked / threaded GEMM kernels
+// (tensor/gemm.hpp). The naive loops are the reference; the blocked kernel
+// must agree within float tolerance on every shape (including degenerate
+// ones), and the threaded partition must agree with the sequential blocked
+// kernel bit-for-bit.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "tensor/gemm.hpp"
+#include "tensor/matrix.hpp"
+#include "util/rng.hpp"
+
+namespace pp::tensor {
+namespace {
+
+struct GemmShape {
+  std::size_t m, k, n;
+};
+
+// Degenerate (0-row / 1x1), tall/skinny, micro-kernel remainder (non
+// multiples of 4), and blocking-boundary (crosses the 64/128/256 tiles)
+// shapes.
+const std::vector<GemmShape>& test_shapes() {
+  static const std::vector<GemmShape> shapes = {
+      {0, 3, 4},    {3, 0, 4},    {3, 4, 0},     {0, 0, 0},   {1, 1, 1},
+      {1, 7, 3},    {4, 4, 4},    {5, 17, 9},    {2, 300, 2}, {300, 2, 3},
+      {3, 2, 300},  {31, 100, 17}, {64, 64, 64}, {65, 129, 257},
+      {7, 128, 130}, {128, 33, 8},
+  };
+  return shapes;
+}
+
+std::uint64_t shape_seed(const GemmShape& s) {
+  return s.m * 1000003 + s.k * 1009 + s.n + 17;
+}
+
+/// Independent i-j-k reference (different loop order from every kernel).
+Matrix reference_matmul(const Matrix& a, const Matrix& b) {
+  Matrix c(a.rows(), b.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < b.cols(); ++j) {
+      double acc = 0;
+      for (std::size_t k = 0; k < a.cols(); ++k) {
+        acc += static_cast<double>(a.at(i, k)) * b.at(k, j);
+      }
+      c.at(i, j) = static_cast<float>(acc);
+    }
+  }
+  return c;
+}
+
+class GemmParity : public ::testing::TestWithParam<GemmShape> {};
+
+TEST_P(GemmParity, BlockedMatchesNaive_NN) {
+  const auto [m, k, n] = GetParam();
+  Rng rng(shape_seed(GetParam()));
+  const Matrix a = Matrix::randn(m, k, rng);
+  const Matrix b = Matrix::randn(k, n, rng);
+  Matrix c_naive(m, n), c_blocked(m, n);
+  gemm_nn_naive(a, b, c_naive);
+  gemm_nn_blocked(a, b, c_blocked);
+  EXPECT_TRUE(c_blocked.approx_equal(c_naive, 1e-4f));
+  EXPECT_TRUE(c_blocked.approx_equal(reference_matmul(a, b), 1e-3f));
+}
+
+TEST_P(GemmParity, BlockedMatchesNaive_TN) {
+  const auto [m, k, n] = GetParam();
+  Rng rng(shape_seed(GetParam()) ^ 0xabcd);
+  const Matrix a = Matrix::randn(k, m, rng);  // c = a^T * b
+  const Matrix b = Matrix::randn(k, n, rng);
+  Matrix c_naive(m, n), c_blocked(m, n);
+  gemm_tn_naive(a, b, c_naive);
+  gemm_tn_blocked(a, b, c_blocked);
+  EXPECT_TRUE(c_blocked.approx_equal(c_naive, 1e-4f));
+  EXPECT_TRUE(
+      c_blocked.approx_equal(reference_matmul(a.transposed(), b), 1e-3f));
+}
+
+TEST_P(GemmParity, BlockedMatchesNaive_NT) {
+  const auto [m, k, n] = GetParam();
+  Rng rng(shape_seed(GetParam()) ^ 0x1234);
+  const Matrix a = Matrix::randn(m, k, rng);  // c = a * b^T
+  const Matrix b = Matrix::randn(n, k, rng);
+  Matrix c_naive(m, n), c_blocked(m, n);
+  gemm_nt_naive(a, b, c_naive);
+  gemm_nt_blocked(a, b, c_blocked);
+  EXPECT_TRUE(c_blocked.approx_equal(c_naive, 1e-4f));
+  EXPECT_TRUE(
+      c_blocked.approx_equal(reference_matmul(a, b.transposed()), 1e-3f));
+}
+
+TEST_P(GemmParity, ThreadedMatchesSequentialBitForBit) {
+  const auto [m, k, n] = GetParam();
+  Rng rng(shape_seed(GetParam()) ^ 0x77);
+  const Matrix a = Matrix::randn(m, k, rng);
+  const Matrix b = Matrix::randn(k, n, rng);
+
+  Matrix sequential;
+  {
+    GemmConfigScope scope(GemmKernel::kBlocked, 1);
+    sequential = a.matmul(b);
+  }
+  Matrix threaded;
+  {
+    // Threshold 0 forces the threaded path even for tiny products.
+    GemmConfigScope scope(GemmKernel::kBlocked, 4, 0);
+    threaded = a.matmul(b);
+  }
+  // Row stripes never change the per-element accumulation order, so the
+  // results are identical bits, not just approximately equal.
+  EXPECT_EQ(sequential, threaded);
+}
+
+TEST_P(GemmParity, MatmulEntryPointsAgreeAcrossKernels) {
+  const auto [m, k, n] = GetParam();
+  Rng rng(shape_seed(GetParam()) ^ 0xfeed);
+  const Matrix a = Matrix::randn(m, k, rng);
+  const Matrix b = Matrix::randn(k, n, rng);
+  const Matrix at = a.transposed();
+  const Matrix bt = b.transposed();
+
+  Matrix naive_nn, naive_tn, naive_nt;
+  {
+    GemmConfigScope scope(GemmKernel::kNaive, 1);
+    naive_nn = a.matmul(b);
+    naive_tn = at.matmul_transposed_self(b);
+    naive_nt = a.matmul_transposed_other(bt);
+  }
+  GemmConfigScope scope(GemmKernel::kBlocked, 1);
+  EXPECT_TRUE(a.matmul(b).approx_equal(naive_nn, 1e-4f));
+  EXPECT_TRUE(at.matmul_transposed_self(b).approx_equal(naive_tn, 1e-4f));
+  EXPECT_TRUE(a.matmul_transposed_other(bt).approx_equal(naive_nt, 1e-4f));
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, GemmParity,
+                         ::testing::ValuesIn(test_shapes()),
+                         [](const auto& info) {
+                           return std::to_string(info.param.m) + "x" +
+                                  std::to_string(info.param.k) + "x" +
+                                  std::to_string(info.param.n);
+                         });
+
+TEST(Gemm, RandomizedShapesMatchReference) {
+  Rng shape_rng(20260727);
+  for (int trial = 0; trial < 25; ++trial) {
+    const auto m = static_cast<std::size_t>(shape_rng.uniform_int(0, 70));
+    const auto k = static_cast<std::size_t>(shape_rng.uniform_int(0, 150));
+    const auto n = static_cast<std::size_t>(shape_rng.uniform_int(0, 70));
+    Rng rng(shape_rng.fork());
+    const Matrix a = Matrix::randn(m, k, rng);
+    const Matrix b = Matrix::randn(k, n, rng);
+    Matrix c_naive(m, n), c_blocked(m, n);
+    gemm_nn_naive(a, b, c_naive);
+    gemm_nn_blocked(a, b, c_blocked);
+    EXPECT_TRUE(c_blocked.approx_equal(c_naive, 1e-4f))
+        << "shape " << m << "x" << k << "x" << n;
+  }
+}
+
+TEST(Gemm, DeterministicAcrossRepeatedRuns) {
+  // Same seed -> bitwise-identical inputs and outputs, with and without
+  // threading: the reproducibility contract the training seeds rely on.
+  auto run = [](std::size_t threads) {
+    Rng rng(42);
+    const Matrix a = Matrix::randn(37, 53, rng);
+    const Matrix b = Matrix::randn(53, 29, rng);
+    GemmConfigScope scope(GemmKernel::kBlocked, threads, 0);
+    return a.matmul(b);
+  };
+  const Matrix first = run(1);
+  EXPECT_EQ(first, run(1));
+  EXPECT_EQ(first, run(3));
+  EXPECT_EQ(first, run(8));
+}
+
+TEST(Gemm, AccumulatesIntoExistingOutput) {
+  Rng rng(7);
+  const Matrix a = Matrix::randn(6, 9, rng);
+  const Matrix b = Matrix::randn(9, 5, rng);
+  Matrix c = Matrix::ones(6, 5);
+  gemm_nn_blocked(a, b, c);
+  Matrix expected = reference_matmul(a, b);
+  expected.add_inplace(Matrix::ones(6, 5));
+  EXPECT_TRUE(c.approx_equal(expected, 1e-3f));
+}
+
+TEST(Gemm, BatchedRowsMatchSingleRowProducts) {
+  // The invariant behind batched scoring: row b of a [B x d] product is
+  // bit-identical to the same row scored as [1 x d].
+  Rng rng(11);
+  const Matrix x = Matrix::randn(17, 64, rng);
+  const Matrix w = Matrix::randn(64, 32, rng);
+  const Matrix batched = x.matmul(w);
+  for (std::size_t b = 0; b < x.rows(); ++b) {
+    Matrix row(1, x.cols());
+    for (std::size_t j = 0; j < x.cols(); ++j) row[j] = x.at(b, j);
+    const Matrix single = row.matmul(w);
+    for (std::size_t j = 0; j < w.cols(); ++j) {
+      EXPECT_EQ(single[j], batched.at(b, j)) << "row " << b << " col " << j;
+    }
+  }
+}
+
+TEST(Gemm, ConfigScopeRestoresGlobals) {
+  const GemmKernel kernel_before = gemm_kernel();
+  const std::size_t threads_before = gemm_threads();
+  {
+    GemmConfigScope scope(GemmKernel::kNaive, 7);
+    EXPECT_EQ(gemm_kernel(), GemmKernel::kNaive);
+    EXPECT_EQ(gemm_threads(), 7u);
+  }
+  EXPECT_EQ(gemm_kernel(), kernel_before);
+  EXPECT_EQ(gemm_threads(), threads_before);
+}
+
+}  // namespace
+}  // namespace pp::tensor
