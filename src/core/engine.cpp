@@ -23,10 +23,10 @@ const char* to_string(ModelKind kind) {
 
 /// Internal serving state for the online API (score / observe_session).
 struct PrecomputeEngine::ServingState {
-  serving::KvStore rnn_kv;
+  serving::LocalKvStore rnn_kv;
   std::unique_ptr<serving::HiddenStateStore> hidden_store;
   std::unique_ptr<serving::RnnPolicy> rnn_policy;
-  serving::KvStore gbdt_kv;
+  serving::LocalKvStore gbdt_kv;
   std::unique_ptr<serving::AggregationService> aggregation;
   std::unique_ptr<serving::GbdtPolicy> gbdt_policy;
   /// Streaming extractors for LR serving (exact, per-user).

@@ -1,5 +1,6 @@
 #include "serving/hidden_store.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "util/serialize.hpp"
@@ -17,13 +18,22 @@ void encode_matrix(const tensor::Matrix& m, StateCodec codec,
     return;
   }
   // int8 per-tensor affine: v ≈ scale * q with q in [-127, 127].
-  const float max_abs = m.max_abs();
+  // Non-finite inputs need sanitizing: an Inf would poison the scale for
+  // every other element, and casting a NaN to int8 (clamp passes NaN
+  // through) is undefined behavior. The scale therefore comes from the
+  // finite entries only; NaN encodes as 0 and ±Inf saturates to ±127.
+  float max_abs = 0.0f;
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    if (std::isfinite(m[i])) max_abs = std::max(max_abs, std::abs(m[i]));
+  }
   const float scale = max_abs > 0 ? max_abs / 127.0f : 1.0f;
   writer.write_f32(scale);
   for (std::size_t i = 0; i < m.size(); ++i) {
-    const float q = std::round(m[i] / scale);
-    writer.write_pod(static_cast<std::int8_t>(
-        std::clamp(q, -127.0f, 127.0f)));
+    float q = 0.0f;
+    if (!std::isnan(m[i])) {
+      q = std::clamp(std::round(m[i] / scale), -127.0f, 127.0f);
+    }
+    writer.write_pod(static_cast<std::int8_t>(q));
   }
 }
 

@@ -1,8 +1,13 @@
 #include "serving/kv_store.hpp"
 
+#include <functional>
+
 namespace pp::serving {
 
-std::optional<std::vector<std::uint8_t>> KvStore::get(const std::string& key) {
+// ------------------------------------------------------------ LocalKvStore
+
+std::optional<std::vector<std::uint8_t>> LocalKvStore::get(
+    const std::string& key) {
   std::lock_guard<std::mutex> lock(mutex_);
   ++stats_.lookups;
   const auto it = map_.find(key);
@@ -12,7 +17,8 @@ std::optional<std::vector<std::uint8_t>> KvStore::get(const std::string& key) {
   return it->second;
 }
 
-void KvStore::put(const std::string& key, std::vector<std::uint8_t> value) {
+void LocalKvStore::put(const std::string& key,
+                       std::vector<std::uint8_t> value) {
   std::lock_guard<std::mutex> lock(mutex_);
   ++stats_.writes;
   stats_.bytes_written += value.size();
@@ -22,7 +28,7 @@ void KvStore::put(const std::string& key, std::vector<std::uint8_t> value) {
   it->second = std::move(value);
 }
 
-bool KvStore::erase(const std::string& key) {
+bool LocalKvStore::erase(const std::string& key) {
   std::lock_guard<std::mutex> lock(mutex_);
   const auto it = map_.find(key);
   if (it == map_.end()) return false;
@@ -32,29 +38,95 @@ bool KvStore::erase(const std::string& key) {
   return true;
 }
 
-bool KvStore::contains(const std::string& key) const {
+bool LocalKvStore::contains(const std::string& key) const {
   std::lock_guard<std::mutex> lock(mutex_);
   return map_.count(key) > 0;
 }
 
-std::size_t KvStore::size() const {
+std::size_t LocalKvStore::size() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return map_.size();
 }
 
-std::size_t KvStore::value_bytes() const {
+std::size_t LocalKvStore::value_bytes() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return value_bytes_;
 }
 
-KvStats KvStore::stats() const {
+KvStats LocalKvStore::stats() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return stats_;
 }
 
-void KvStore::reset_stats() {
+void LocalKvStore::reset_stats() {
   std::lock_guard<std::mutex> lock(mutex_);
   stats_ = KvStats{};
+}
+
+// ---------------------------------------------------------- ShardedKvStore
+
+ShardedKvStore::ShardedKvStore(std::size_t num_shards) {
+  if (num_shards == 0) num_shards = 1;
+  shards_.reserve(num_shards);
+  for (std::size_t s = 0; s < num_shards; ++s) {
+    shards_.push_back(std::make_unique<LocalKvStore>());
+  }
+}
+
+std::size_t ShardedKvStore::shard_index(const std::string& key) const {
+  return std::hash<std::string>{}(key) % shards_.size();
+}
+
+LocalKvStore& ShardedKvStore::shard_for(const std::string& key) {
+  return *shards_[shard_index(key)];
+}
+
+const LocalKvStore& ShardedKvStore::shard_for(const std::string& key) const {
+  return *shards_[shard_index(key)];
+}
+
+std::optional<std::vector<std::uint8_t>> ShardedKvStore::get(
+    const std::string& key) {
+  return shard_for(key).get(key);
+}
+
+void ShardedKvStore::put(const std::string& key,
+                         std::vector<std::uint8_t> value) {
+  shard_for(key).put(key, std::move(value));
+}
+
+bool ShardedKvStore::erase(const std::string& key) {
+  return shard_for(key).erase(key);
+}
+
+bool ShardedKvStore::contains(const std::string& key) const {
+  return shard_for(key).contains(key);
+}
+
+std::size_t ShardedKvStore::size() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) total += shard->size();
+  return total;
+}
+
+std::size_t ShardedKvStore::value_bytes() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) total += shard->value_bytes();
+  return total;
+}
+
+KvStats ShardedKvStore::stats() const {
+  KvStats merged;
+  for (const auto& shard : shards_) merged += shard->stats();
+  return merged;
+}
+
+void ShardedKvStore::reset_stats() {
+  for (const auto& shard : shards_) shard->reset_stats();
+}
+
+KvStats ShardedKvStore::shard_stats(std::size_t shard) const {
+  return shards_[shard]->stats();
 }
 
 }  // namespace pp::serving

@@ -42,14 +42,14 @@ OnlineExperimentResult run_online_experiment(
   std::sort(stream.begin(), stream.end(),
             [](const Item& a, const Item& b) { return a.t < b.t; });
 
-  KvStore rnn_kv;
+  LocalKvStore rnn_kv;
   HiddenStateStore hidden_store(rnn_kv, config.rnn_codec);
   RnnPolicy rnn_policy(rnn_model, hidden_store);
   PrecomputeService rnn_service(rnn_policy, config.rnn_threshold,
                                 cohort.session_length, config.grace,
                                 cohort.start_time);
 
-  KvStore gbdt_kv;
+  LocalKvStore gbdt_kv;
   AggregationService aggregation(gbdt_pipeline, gbdt_kv);
   GbdtPolicy gbdt_policy(gbdt_model, gbdt_pipeline, aggregation);
   PrecomputeService gbdt_service(gbdt_policy, config.gbdt_threshold,

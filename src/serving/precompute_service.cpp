@@ -3,6 +3,10 @@
 #include <algorithm>
 #include <cmath>
 #include <cstring>
+#include <condition_variable>
+#include <future>
+#include <limits>
+#include <numeric>
 
 #include "eval/metrics.hpp"
 #include "train/sequence.hpp"
@@ -57,8 +61,14 @@ std::vector<double> RnnPolicy::score_sessions(
   for (std::size_t b = 0; b < batch; ++b) {
     const SessionStart& s = sessions[b];
     // Still one KV lookup per session (§9's dominant serving cost term);
-    // only the model evaluation is batched.
-    const auto stored = store_->get(s.user_id, net);
+    // only the model evaluation is batched. The stripe lock orders the
+    // snapshot read against any concurrent on_session_complete for the
+    // same user.
+    std::optional<StoredState> stored;
+    {
+      std::lock_guard<std::mutex> lock(stripe_for(s.user_id));
+      stored = store_->get(s.user_id, net);
+    }
     if (seq_cfg.context_at_predict && fw > 0) {
       train::encode_step_features(model_->schema(), seq_cfg.feature_mode,
                                   s.t, s.context, x.row(b));
@@ -73,8 +83,9 @@ std::vector<double> RnnPolicy::score_sessions(
   }
 
   std::vector<double> scores = model_->score_session_batch(h, x);
-  costs_.predictions += batch;
-  costs_.model_flops += batch * net.predict_flops();
+  predictions_.fetch_add(batch, std::memory_order_relaxed);
+  model_flops_.fetch_add(batch * net.predict_flops(),
+                         std::memory_order_relaxed);
   return scores;
 }
 
@@ -83,6 +94,11 @@ void RnnPolicy::on_session_complete(const JoinedSession& joined) {
   const auto& seq_cfg = model_->sequence_config();
   const std::size_t fw = net.config().feature_size;
   const std::size_t tb = net.config().time_buckets;
+
+  // The whole get -> GRU step -> put is one read-modify-write of the
+  // user's stored state; the stripe lock keeps concurrent completions for
+  // the same user strictly ordered (no lost updates).
+  std::lock_guard<std::mutex> lock(stripe_for(joined.user_id));
 
   StoredState state;
   if (auto stored = store_->get(joined.user_id, net); stored.has_value()) {
@@ -107,12 +123,15 @@ void RnnPolicy::on_session_complete(const JoinedSession& joined) {
   state.last_update_time = joined.session_start;
   state.updates += 1;
   store_->put(joined.user_id, state);
-  ++costs_.state_updates;
-  costs_.model_flops += net.update_flops();
+  state_updates_.fetch_add(1, std::memory_order_relaxed);
+  model_flops_.fetch_add(net.update_flops(), std::memory_order_relaxed);
 }
 
 ServingCostSummary RnnPolicy::cost_summary() const {
-  ServingCostSummary summary = costs_;
+  ServingCostSummary summary;
+  summary.predictions = predictions_.load(std::memory_order_relaxed);
+  summary.state_updates = state_updates_.load(std::memory_order_relaxed);
+  summary.model_flops = model_flops_.load(std::memory_order_relaxed);
   summary.kv = store_->store().stats();
   summary.storage_bytes = store_->store().value_bytes();
   summary.live_keys = store_->store().size();
@@ -219,6 +238,7 @@ PrecomputeService::PrecomputeService(PrecomputePolicy& policy,
                                      std::int64_t metrics_start)
     : policy_(&policy),
       threshold_(threshold),
+      horizon_(session_length + grace),
       joiner_(session_length, grace,
               [this](const JoinedSession& joined) {
                 const auto it = pending_.find(joined.session_id);
@@ -234,6 +254,7 @@ PrecomputeService::PrecomputeService(PrecomputePolicy& policy,
 bool PrecomputeService::on_session_start(
     std::uint64_t session_id, std::uint64_t user_id, std::int64_t t,
     const std::array<std::uint32_t, data::kMaxContextFields>& context) {
+  std::lock_guard<std::mutex> guard(mutex_);
   // Fire due timers first: hidden updates become visible exactly delta
   // after their session start, matching the offline lag-δ semantics.
   joiner_.advance_to(t);
@@ -246,24 +267,189 @@ bool PrecomputeService::on_session_start(
 
 std::vector<bool> PrecomputeService::on_session_starts(
     std::span<const SessionStart> sessions) {
+  return run_session_starts(sessions, nullptr);
+}
+
+std::vector<bool> PrecomputeService::on_session_starts(
+    std::span<const SessionStart> sessions, ThreadPool& pool) {
+  return run_session_starts(sessions, &pool);
+}
+
+namespace {
+
+/// splitmix64 finalizer. Partitioning by raw user_id % parts would let a
+/// strided or parity-skewed id population collapse onto a few partitions;
+/// mixing first keeps the split even while staying a pure function of
+/// user_id (user-affinity preserved).
+std::uint64_t mix_user_id(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// Shared state of one group fan-out. Helpers hold it by shared_ptr, so a
+/// helper that only gets scheduled after the group already finished (or
+/// after the service is gone) finds no partition left to claim and exits
+/// without touching anything else.
+struct GroupFanout {
+  std::vector<std::vector<SessionStart>> part_sessions;
+  std::vector<std::vector<std::size_t>> part_slots;
+  std::vector<double> scores;
+  std::atomic<std::size_t> next{0};
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+  std::size_t completed = 0;  // partitions finished; guarded by done_mutex
+  std::exception_ptr error;   // first scoring error; guarded by done_mutex
+
+  /// Claims partitions until none remain. Every claimed partition is
+  /// counted as completed even when scoring throws, so the waiter always
+  /// unblocks. Takes the policy by pointer and only dereferences it after
+  /// claiming a partition: a helper that runs after the group finished
+  /// must not touch the (possibly destroyed) policy at all.
+  void drain(PrecomputePolicy* policy) {
+    for (;;) {
+      const std::size_t p = next.fetch_add(1);
+      if (p >= part_sessions.size()) return;
+      std::exception_ptr failure;
+      try {
+        const std::vector<double> part =
+            policy->score_sessions(part_sessions[p]);
+        for (std::size_t j = 0; j < part.size(); ++j) {
+          scores[part_slots[p][j]] = part[j];
+        }
+      } catch (...) {
+        failure = std::current_exception();
+      }
+      std::lock_guard<std::mutex> lock(done_mutex);
+      if (failure && !error) error = failure;
+      if (++completed == part_sessions.size()) done_cv.notify_all();
+    }
+  }
+};
+
+}  // namespace
+
+std::vector<double> PrecomputeService::score_group(
+    std::span<const SessionStart> sessions,
+    std::span<const std::size_t> order, ThreadPool* pool) {
+  const std::size_t count = order.size();
+  // Inline when fanning out cannot help: no pool, a tiny group, a policy
+  // without concurrent support, or the caller already being one of the
+  // pool's workers (its siblings are likely busy, and inline is the same
+  // caller-runs degradation parallel_for uses).
+  if (pool == nullptr || pool->size() < 2 || count < 2 ||
+      pool->on_worker_thread() || !policy_->concurrent_safe()) {
+    std::vector<SessionStart> group;
+    group.reserve(count);
+    for (const std::size_t idx : order) group.push_back(sessions[idx]);
+    return policy_->score_sessions(group);
+  }
+  // User-affine partition: user_id alone picks the partition, so two
+  // sessions of the same user in one group stay in one partition in
+  // group order, and no user's hidden state is read by two threads. At
+  // most one thread executes a given partition (claimed via `next`).
+  const std::size_t parts = std::min(pool->size(), count);
+  auto state = std::make_shared<GroupFanout>();
+  state->part_sessions.resize(parts);
+  state->part_slots.resize(parts);
+  for (std::size_t i = 0; i < count; ++i) {
+    const SessionStart& s = sessions[order[i]];
+    const std::size_t p = static_cast<std::size_t>(mix_user_id(s.user_id) %
+                                                   parts);
+    state->part_sessions[p].push_back(s);
+    state->part_slots[p].push_back(i);
+  }
+  state->scores.assign(count, 0.0);
+  // Helpers are optional accelerators; the caller drains partitions
+  // itself, so the group completes even if every worker is starved (e.g.
+  // all of them blocked on this service's mutex). The futures are
+  // deliberately not awaited — a late helper no-ops against the shared
+  // state. One helper per non-empty partition beyond the caller's first;
+  // empty partitions need no thread at all.
+  std::size_t nonempty = 0;
+  for (const auto& part : state->part_sessions) {
+    nonempty += part.empty() ? 0 : 1;
+  }
+  PrecomputePolicy* const policy = policy_;
+  for (std::size_t h = 1; h < nonempty; ++h) {
+    pool->submit([state, policy] { state->drain(policy); });
+  }
+  state->drain(policy_);
+  {
+    std::unique_lock<std::mutex> lock(state->done_mutex);
+    state->done_cv.wait(lock, [&state] {
+      return state->completed == state->part_sessions.size();
+    });
+    if (state->error) std::rethrow_exception(state->error);
+  }
+  return std::move(state->scores);
+}
+
+std::vector<bool> PrecomputeService::run_session_starts(
+    std::span<const SessionStart> sessions, ThreadPool* pool) {
   std::vector<bool> decisions(sessions.size());
   if (sessions.empty()) return decisions;
-  std::int64_t earliest = sessions.front().t;
-  for (const SessionStart& s : sessions) earliest = std::min(earliest, s.t);
-  joiner_.advance_to(earliest);
-  const std::vector<double> scores = policy_->score_sessions(sessions);
-  for (std::size_t i = 0; i < sessions.size(); ++i) {
-    const bool prefetch = scores[i] >= threshold_;
-    decisions[i] = prefetch;
-    pending_[sessions[i].session_id] = {scores[i], prefetch};
-    joiner_.on_context(sessions[i].session_id, sessions[i].user_id,
-                       sessions[i].t, sessions[i].context);
+  std::lock_guard<std::mutex> guard(mutex_);
+
+  // Process in non-decreasing timestamp order (stable within a
+  // timestamp): advancing only to the earliest t would score sessions
+  // late in the batch against hidden states missing every update the
+  // sequential path would have fired mid-batch.
+  std::vector<std::size_t> order(sessions.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&sessions](std::size_t a, std::size_t b) {
+                     return sessions[a].t < sessions[b].t;
+                   });
+
+  std::size_t begin = 0;
+  while (begin < order.size()) {
+    const std::int64_t t = sessions[order[begin]].t;
+    joiner_.advance_to(t);
+
+    // Extend the group while no timer can fire before the next session:
+    // neither a pending timer (all now strictly after t) nor the earliest
+    // timer this group itself registers (t + horizon). Every member then
+    // sees the exact snapshot the sequential replay would, and one
+    // snapshot means the whole group can be scored in parallel.
+    std::int64_t bound = horizon_ > 0
+                             ? t + horizon_
+                             : std::numeric_limits<std::int64_t>::min();
+    if (const auto fire = joiner_.next_timer(); fire.has_value()) {
+      bound = std::min(bound, *fire);
+    }
+    std::size_t end = begin + 1;
+    while (end < order.size() && sessions[order[end]].t < bound) ++end;
+
+    const std::span<const std::size_t> group(order.data() + begin,
+                                             end - begin);
+    const std::vector<double> scores = score_group(sessions, group, pool);
+    for (std::size_t i = 0; i < group.size(); ++i) {
+      const SessionStart& s = sessions[group[i]];
+      const bool prefetch = scores[i] >= threshold_;
+      decisions[group[i]] = prefetch;
+      pending_[s.session_id] = {scores[i], prefetch};
+      joiner_.on_context(s.session_id, s.user_id, s.t, s.context);
+    }
+    begin = end;
   }
   return decisions;
 }
 
 void PrecomputeService::on_access(std::uint64_t session_id, std::int64_t t) {
+  std::lock_guard<std::mutex> guard(mutex_);
   joiner_.on_access(session_id, t);
+}
+
+void PrecomputeService::advance_to(std::int64_t t) {
+  std::lock_guard<std::mutex> guard(mutex_);
+  joiner_.advance_to(t);
+}
+
+void PrecomputeService::flush() {
+  std::lock_guard<std::mutex> guard(mutex_);
+  joiner_.flush();
 }
 
 }  // namespace pp::serving

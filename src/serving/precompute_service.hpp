@@ -7,7 +7,9 @@
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <unordered_map>
 #include <vector>
@@ -17,6 +19,7 @@
 #include "serving/aggregation_service.hpp"
 #include "serving/hidden_store.hpp"
 #include "serving/stream.hpp"
+#include "util/thread_pool.hpp"
 
 namespace pp::serving {
 
@@ -63,12 +66,22 @@ class PrecomputePolicy {
       std::span<const SessionStart> sessions);
   /// Completed-session callback from the stream joiner.
   virtual void on_session_complete(const JoinedSession& joined) = 0;
+  /// Whether score_sessions / on_session_complete tolerate concurrent
+  /// callers. The threaded service driver only fans out over policies
+  /// that opt in; everything else is scored on the calling thread.
+  virtual bool concurrent_safe() const { return false; }
   virtual ServingCostSummary cost_summary() const = 0;
   virtual const char* name() const = 0;
 };
 
 /// RNN serving (§9): hidden state + t_k in the KV store; TorchScript-like
 /// split execution — MLP at session start, GRU at session end.
+///
+/// Thread-safe: score_sessions / on_session_complete may be called from
+/// concurrent serving workers. Per-user state access is serialized through
+/// striped locks keyed by user_id (the Graves-style ordering constraint:
+/// each user's recurrent state update is strictly ordered, everything else
+/// fans out), and the cost counters are atomics.
 class RnnPolicy final : public PrecomputePolicy {
  public:
   RnnPolicy(const models::RnnModel& model, HiddenStateStore& store);
@@ -81,14 +94,26 @@ class RnnPolicy final : public PrecomputePolicy {
   std::vector<double> score_sessions(
       std::span<const SessionStart> sessions) override;
   void on_session_complete(const JoinedSession& joined) override;
+  bool concurrent_safe() const override { return true; }
   ServingCostSummary cost_summary() const override;
   const char* name() const override { return "rnn"; }
 
  private:
+  std::mutex& stripe_for(std::uint64_t user_id) {
+    return stripes_[user_id % kLockStripes];
+  }
+
+  static constexpr std::size_t kLockStripes = 64;
+
   const models::RnnModel* model_;
   HiddenStateStore* store_;
   features::LogBucketizer bucketizer_;
-  ServingCostSummary costs_;
+  /// Striped per-user locks: one stripe serializes the read-modify-write
+  /// of every user hashing to it; different stripes never contend.
+  std::array<std::mutex, kLockStripes> stripes_;
+  std::atomic<std::size_t> predictions_{0};
+  std::atomic<std::size_t> state_updates_{0};
+  std::atomic<std::size_t> model_flops_{0};
 };
 
 /// GBDT serving (§9): aggregation features from the stream-maintained
@@ -159,17 +184,38 @@ class PrecomputeService {
                         std::int64_t t,
                         const std::array<std::uint32_t,
                                          data::kMaxContextFields>& context);
-  /// Batched session starts: fires timers due before the earliest start,
-  /// scores the whole cohort against that one state snapshot (the batching
-  /// tradeoff: completions landing inside the batch window become visible
-  /// to the next batch), then feeds every context into the joiner.
+  /// Batched session starts. The batch is processed in non-decreasing
+  /// timestamp order (stable within a timestamp) and cut into groups at
+  /// every point a joiner timer could fire: a group extends while the
+  /// next session's t is strictly before both the earliest pending timer
+  /// and the earliest timer the group itself registers (first t + window
+  /// + grace). Within a group no state change can occur, so scoring it
+  /// against one snapshot equals the sequential replay of the time-sorted
+  /// batch — no mid-batch timer drift. Decisions return in input order.
   std::vector<bool> on_session_starts(std::span<const SessionStart> sessions);
+  /// Multi-threaded variant: each group is partitioned across the pool's
+  /// workers user-affinely (user_id picks the worker), so any user's
+  /// hidden state is touched by exactly one worker and scores are
+  /// bit-identical to the sequential batched path. Requires a policy with
+  /// concurrent_safe() (otherwise scores inline). The joiner stays
+  /// single-writer: all timer fires and context feeds happen on the
+  /// calling thread under the service mutex.
+  std::vector<bool> on_session_starts(std::span<const SessionStart> sessions,
+                                      ThreadPool& pool);
   void on_access(std::uint64_t session_id, std::int64_t t);
-  void advance_to(std::int64_t t) { joiner_.advance_to(t); }
-  void flush() { joiner_.flush(); }
+  void advance_to(std::int64_t t);
+  void flush();
 
-  const OnlineMetrics& metrics() const { return metrics_; }
-  const JoinerStats& joiner_stats() const { return joiner_.stats(); }
+  /// Snapshots (copies) taken under the service mutex: safe to call from
+  /// a monitoring thread while drivers are mid-batch.
+  OnlineMetrics metrics() const {
+    std::lock_guard<std::mutex> guard(mutex_);
+    return metrics_;
+  }
+  JoinerStats joiner_stats() const {
+    std::lock_guard<std::mutex> guard(mutex_);
+    return joiner_.stats();
+  }
   PrecomputePolicy& policy() { return *policy_; }
   double threshold() const { return threshold_; }
 
@@ -179,8 +225,23 @@ class PrecomputeService {
     bool prefetched = false;
   };
 
+  std::vector<bool> run_session_starts(std::span<const SessionStart> sessions,
+                                       ThreadPool* pool);
+  /// Scores sessions[order[begin..end)] (one timestamp group), returning
+  /// scores aligned with that order slice; fans out across `pool` when
+  /// given one.
+  std::vector<double> score_group(std::span<const SessionStart> sessions,
+                                  std::span<const std::size_t> order,
+                                  ThreadPool* pool);
+
   PrecomputePolicy* policy_;
   double threshold_;
+  /// window + grace: the minimum delay between a context event and its
+  /// join timer, i.e. the scoring-snapshot horizon of one batch group.
+  std::int64_t horizon_;
+  /// Single-writer guard for the joiner / pending-score / metrics state;
+  /// scoring itself fans out, but event-stream mutation never does.
+  mutable std::mutex mutex_;
   SessionJoiner joiner_;
   OnlineMetrics metrics_;
   std::unordered_map<std::uint64_t, PendingScore> pending_;

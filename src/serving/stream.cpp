@@ -5,8 +5,11 @@
 namespace pp::serving {
 
 SessionJoiner::SessionJoiner(std::int64_t window, std::int64_t grace,
-                             Callback on_joined)
-    : window_(window), grace_(grace), on_joined_(std::move(on_joined)) {}
+                             Callback on_joined, std::size_t fired_capacity)
+    : window_(window),
+      grace_(grace),
+      on_joined_(std::move(on_joined)),
+      fired_capacity_(fired_capacity) {}
 
 void SessionJoiner::on_context(
     std::uint64_t session_id, std::uint64_t user_id,
@@ -23,7 +26,8 @@ void SessionJoiner::on_context(
   it->second.session.user_id = user_id;
   it->second.session.session_start = session_start;
   it->second.session.context = context;
-  timers_.emplace(session_start + window_ + grace_, session_id);
+  timers_.emplace(session_start + window_ + grace_,
+                  Timer{session_id, /*orphan=*/false});
 }
 
 void SessionJoiner::on_access(std::uint64_t session_id,
@@ -34,14 +38,16 @@ void SessionJoiner::on_access(std::uint64_t session_id,
     if (fired_.count(session_id) > 0) {
       ++stats_.late_accesses;
     } else {
-      // Access before its context: hold it in a context-less slot; if the
-      // context never arrives the slot is dropped as orphan at flush.
+      // Access before its context: hold it in a context-less slot with an
+      // expiry timer one window out — if the context never arrives the
+      // slot is dropped then (orphan_drops), so a long run cannot
+      // accumulate dead slots.
       auto [slot, inserted] = pending_.try_emplace(session_id);
       if (inserted) {
         slot->second.session.session_id = session_id;
         slot->second.session.access = true;
-        // No timer: an orphan slot only fires if its context shows up —
-        // on_context registers the timer.
+        timers_.emplace(event_time + window_ + grace_,
+                        Timer{session_id, /*orphan=*/true});
         ++stats_.orphan_accesses;
       } else {
         ++stats_.duplicate_accesses;
@@ -53,26 +59,47 @@ void SessionJoiner::on_access(std::uint64_t session_id,
     ++stats_.duplicate_accesses;
     return;
   }
-  (void)event_time;
   it->second.session.access = true;
 }
 
 void SessionJoiner::fire(std::int64_t due) {
   while (!timers_.empty() && timers_.begin()->first <= due) {
-    const auto [fire_time, session_id] = *timers_.begin();
+    const auto [fire_time, timer] = *timers_.begin();
     timers_.erase(timers_.begin());
-    const auto it = pending_.find(session_id);
-    if (it == pending_.end()) continue;  // already fired (duplicate timer)
-    if (!it->second.has_context) continue;
+    const auto it = pending_.find(timer.session_id);
+    if (it == pending_.end()) continue;  // already fired or expired
+    if (timer.orphan) {
+      // Expiry timer for an access-before-context slot. If the context
+      // showed up meanwhile, the join timer registered by on_context owns
+      // the slot — never fire or drop it early here.
+      if (!it->second.has_context) {
+        pending_.erase(it);
+        ++stats_.orphan_drops;
+      }
+      continue;
+    }
     JoinedSession joined = it->second.session;
     joined.completed_at = fire_time;
     pending_.erase(it);
-    fired_.emplace(session_id, fire_time);
+    remember_fired(timer.session_id, fire_time);
     ++stats_.joined;
     if (on_joined_) on_joined_(joined);
   }
-  // Bound the fired-session memory (late-access classification window).
-  if (fired_.size() > 100000) fired_.clear();
+}
+
+void SessionJoiner::remember_fired(std::uint64_t session_id,
+                                   std::int64_t fire_time) {
+  const auto [it, inserted] = fired_.emplace(session_id, fire_time);
+  if (!inserted) return;
+  fired_order_.push_back(session_id);
+  // Bound the fired-session memory (late-access classification window) by
+  // evicting only the oldest entries; a wholesale clear would misclassify
+  // every late access right after the purge as an orphan and grow dead
+  // pending slots from them.
+  while (fired_order_.size() > fired_capacity_) {
+    fired_.erase(fired_order_.front());
+    fired_order_.pop_front();
+  }
 }
 
 void SessionJoiner::advance_to(std::int64_t now) { fire(now); }

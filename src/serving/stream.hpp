@@ -8,14 +8,17 @@
 // session's context with an optional access event; when the timer fires
 // the joined record is delivered to the consumer (which updates the RNN
 // hidden state or the aggregation counters). Failure tolerance: duplicate
-// events are ignored, accesses arriving before their context are held,
-// accesses arriving after the timer fired are dropped and counted.
+// events are ignored, accesses arriving before their context are held for
+// one window (then expired and counted — they cannot leak), accesses
+// arriving after the timer fired are dropped and counted.
 #pragma once
 
 #include <array>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <map>
+#include <optional>
 #include <unordered_map>
 
 #include "data/dataset.hpp"
@@ -39,6 +42,7 @@ struct JoinerStats {
   std::size_t duplicate_contexts = 0;
   std::size_t duplicate_accesses = 0;
   std::size_t orphan_accesses = 0;  // access with no context by fire time
+  std::size_t orphan_drops = 0;     // orphan slots expired without a context
   std::size_t late_accesses = 0;    // access after the timer fired
 };
 
@@ -47,8 +51,11 @@ class SessionJoiner {
   using Callback = std::function<void(const JoinedSession&)>;
 
   /// `window` is the session length; the timer fires at session_start +
-  /// window + grace (grace models pipeline latency ε).
-  SessionJoiner(std::int64_t window, std::int64_t grace, Callback on_joined);
+  /// window + grace (grace models pipeline latency ε). `fired_capacity`
+  /// bounds the fired-session memory used to classify late accesses:
+  /// the oldest fired sessions are evicted FIFO once it is exceeded.
+  SessionJoiner(std::int64_t window, std::int64_t grace, Callback on_joined,
+                std::size_t fired_capacity = 100000);
 
   /// Context event at session start. Duplicate session IDs are dropped.
   void on_context(std::uint64_t session_id, std::uint64_t user_id,
@@ -63,6 +70,14 @@ class SessionJoiner {
   /// Fires everything still buffered (end of replay).
   void flush();
 
+  /// Fire time of the earliest pending timer (join or orphan expiry), or
+  /// nullopt when idle. Events strictly before this time cannot observe
+  /// any further state change from the wheel.
+  std::optional<std::int64_t> next_timer() const {
+    if (timers_.empty()) return std::nullopt;
+    return timers_.begin()->first;
+  }
+
   const JoinerStats& stats() const { return stats_; }
   std::size_t buffered() const { return pending_.size(); }
 
@@ -71,17 +86,28 @@ class SessionJoiner {
     JoinedSession session;
     bool has_context = false;
   };
+  /// One timer-wheel entry. `orphan` timers expire an access-before-
+  /// context slot whose context never arrived; join timers fire the
+  /// completed session.
+  struct Timer {
+    std::uint64_t session_id = 0;
+    bool orphan = false;
+  };
 
   void fire(std::int64_t due);
+  void remember_fired(std::uint64_t session_id, std::int64_t fire_time);
 
   std::int64_t window_;
   std::int64_t grace_;
   Callback on_joined_;
+  std::size_t fired_capacity_;
   std::unordered_map<std::uint64_t, Pending> pending_;
-  /// Timers ordered by fire time; value = session id.
-  std::multimap<std::int64_t, std::uint64_t> timers_;
-  /// Sessions already fired (to classify late accesses); bounded FIFO.
+  /// Timers ordered by fire time.
+  std::multimap<std::int64_t, Timer> timers_;
+  /// Sessions already fired (to classify late accesses); bounded by
+  /// fired_capacity_ with FIFO eviction (fired_order_ is the queue).
   std::unordered_map<std::uint64_t, std::int64_t> fired_;
+  std::deque<std::uint64_t> fired_order_;
   JoinerStats stats_;
 };
 

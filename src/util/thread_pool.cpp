@@ -5,6 +5,8 @@
 
 namespace pp {
 
+thread_local const ThreadPool* ThreadPool::current_pool_ = nullptr;
+
 ThreadPool::ThreadPool(std::size_t num_threads) {
   if (num_threads == 0) {
     num_threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
@@ -25,6 +27,7 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::worker_loop() {
+  current_pool_ = this;
   for (;;) {
     std::function<void()> task;
     {
@@ -41,6 +44,14 @@ void ThreadPool::worker_loop() {
 void ThreadPool::parallel_for(std::size_t count,
                               const std::function<void(std::size_t)>& fn) {
   if (count == 0) return;
+  if (on_worker_thread()) {
+    // Nested call from our own worker: every sibling may be equally
+    // blocked inside parallel_for, so queued chunks could never be
+    // scheduled. Caller-runs keeps nesting deadlock-free (and still
+    // parallel at the outermost level).
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
   const std::size_t chunks = std::min(count, size() * 4);
   std::atomic<std::size_t> next{0};
   std::vector<std::future<void>> futures;
@@ -56,7 +67,19 @@ void ThreadPool::parallel_for(std::size_t count,
       }
     }));
   }
-  for (auto& f : futures) f.get();
+  wait_all(futures);
+}
+
+void ThreadPool::wait_all(std::vector<std::future<void>>& futures) {
+  std::exception_ptr first_error;
+  for (auto& f : futures) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
 }
 
 }  // namespace pp

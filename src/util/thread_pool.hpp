@@ -42,11 +42,27 @@ class ThreadPool {
 
   /// Runs fn(i) for i in [0, count), blocking until all are done. Work is
   /// dealt in contiguous chunks to limit scheduling overhead.
+  ///
+  /// Re-entrancy: when called from one of this pool's own workers (e.g. a
+  /// threaded GEMM inside a sharded serving worker) the chunks run inline
+  /// on the caller (caller-runs). Submitting them would deadlock — the
+  /// worker would block on futures that only the occupied workers could
+  /// ever schedule.
   void parallel_for(std::size_t count,
                     const std::function<void(std::size_t)>& fn);
 
+  /// True when the calling thread is one of this pool's workers.
+  bool on_worker_thread() const { return current_pool_ == this; }
+
+  /// Waits for every future, then rethrows the first captured error.
+  /// Bailing on the first get() would destroy locals the still-running
+  /// tasks reference — always drain before unwinding.
+  static void wait_all(std::vector<std::future<void>>& futures);
+
  private:
   void worker_loop();
+
+  static thread_local const ThreadPool* current_pool_;
 
   std::vector<std::thread> workers_;
   std::queue<std::function<void()>> tasks_;

@@ -171,6 +171,23 @@ TEST(ThreadPool, ParallelForCoversRangeExactlyOnce) {
   for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
 }
 
+TEST(ThreadPool, NestedParallelForRunsInlineInsteadOfDeadlocking) {
+  // A pool worker that re-enters parallel_for (threaded GEMM inside a
+  // sharded serving worker) must run the nested chunks inline: queueing
+  // them would block on futures no free worker can ever schedule. Nest
+  // two deep to cover caller-runs re-entering caller-runs.
+  ThreadPool pool(2);
+  std::vector<std::atomic<int>> hits(4 * 3 * 2);
+  pool.parallel_for(4, [&](std::size_t i) {
+    pool.parallel_for(3, [&](std::size_t j) {
+      pool.parallel_for(2, [&](std::size_t k) {
+        ++hits[(i * 3 + j) * 2 + k];
+      });
+    });
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
 TEST(ThreadPool, PropagatesExceptions) {
   ThreadPool pool(2);
   auto f = pool.submit([] { throw std::runtime_error("boom"); });
