@@ -50,6 +50,7 @@ struct Fixture {
     std::vector<std::size_t> users(200);
     std::iota(users.begin(), users.end(), 0);
     f.rnn->fit(f.dataset, users);
+    f.rnn->enable_quantized_serving();  // int8 replicas for BM_QuantizedScoring
 
     f.pipeline = std::make_unique<features::FeaturePipeline>(
         f.dataset.schema, features::FeatureSelection{},
@@ -219,6 +220,66 @@ BENCHMARK(BM_ShardedServing)
     ->Args({4, 8})
     ->Args({4, 16})
     ->UseRealTime();
+
+/// f32 vs int8 end-to-end policy scoring (§9 quantized serving): batched
+/// score_sessions over a fully warmed store, KV lookups included. arg 0
+/// selects the precision, arg 1 the batch size. Counters report the
+/// per-user state record bytes and the state-vector bytes per dimension
+/// (4 in f32, 1 + amortized scale in int8 — the §9 "single bytes instead
+/// of floating-point numbers" claim); throughput is sessions/s, directly
+/// comparable across the two precisions.
+void BM_QuantizedScoring(benchmark::State& state) {
+  Fixture& f = Fixture::get();
+  const bool q8 = state.range(0) != 0;
+  const auto batch = static_cast<std::size_t>(state.range(1));
+  const auto codec =
+      q8 ? serving::StateCodec::kInt8 : serving::StateCodec::kFloat32;
+  serving::LocalKvStore kv;
+  serving::HiddenStateStore store(kv, codec);
+  serving::RnnPolicy policy(*f.rnn, store,
+                            q8 ? serving::ScorePrecision::kInt8
+                               : serving::ScorePrecision::kFloat32);
+  // Warm every cohort user so each score pays the real lookup + state
+  // ingest cost of its precision (f32: decode 512B; int8: raw 128B+scale).
+  constexpr std::size_t kUsers = 256;
+  for (std::size_t u = 0; u < kUsers; ++u) {
+    serving::JoinedSession joined;
+    joined.session_id = 10000 + u;
+    joined.user_id = u;
+    joined.session_start = f.dataset.end_time - 3600;
+    joined.access = u % 2 == 0;
+    policy.on_session_complete(joined);
+  }
+  std::vector<serving::SessionStart> starts;
+  for (std::size_t b = 0; b < batch; ++b) {
+    serving::SessionStart s;
+    s.session_id = b;
+    s.user_id = b % kUsers;
+    s.t = f.dataset.end_time + static_cast<std::int64_t>(b);
+    s.context = {static_cast<std::uint32_t>(b % 4), 0, 0, 0};
+    starts.push_back(s);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(policy.score_sessions(starts));
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * batch));
+  const auto& net = f.rnn->network();
+  state.counters["bytes_per_state"] =
+      static_cast<double>(store.encoded_bytes(net));
+  const double dims = static_cast<double>(net.config().hidden_size);
+  state.counters["state_bytes_per_dim"] =
+      q8 ? (dims + 4.0) / dims : 4.0;  // payload + amortized scale
+  state.counters["int8"] = q8 ? 1.0 : 0.0;
+}
+BENCHMARK(BM_QuantizedScoring)
+    ->ArgNames({"int8", "batch"})
+    ->Args({0, 1})
+    ->Args({1, 1})
+    ->Args({0, 64})
+    ->Args({1, 64})
+    ->Args({0, 256})
+    ->Args({1, 256});
 
 /// Old-vs-new kernel on a serving-shaped GEMM ([B x 2h] * [2h x h], the
 /// W1 product of a batched RNNpredict).

@@ -13,8 +13,15 @@ cmake -B "${BUILD_DIR}" -S "${REPO_ROOT}"
 echo "== build =="
 cmake --build "${BUILD_DIR}" -j "${JOBS}"
 
-echo "== ctest =="
-ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}"
+# Tiered: the fast unit + quant labels run (and can fail) first; the
+# serving integration and slow stress tiers only start once they pass.
+echo "== ctest: unit + quant (fail fast) =="
+ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}" \
+  -L '^(unit|quant)$'
+
+echo "== ctest: serving + stress =="
+ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}" \
+  -LE '^(unit|quant)$'
 
 echo "== bench smoke: section 7.1 parallelism (old vs new GEMM kernel) =="
 "${BUILD_DIR}/bench_section7_parallelism"

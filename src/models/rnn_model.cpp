@@ -43,6 +43,8 @@ train::TrainingCurve RnnModel::fit(const data::Dataset& dataset,
   trainer_config.timeshift = timeshift_;
   trainer_config.seed = config_.seed;
 
+  // RnnTrainer::fit refreshes an enabled quantized serving mode after the
+  // weight updates, so int8 replicas never go stale across retraining.
   train::RnnTrainer trainer(*network_, trainer_config);
   return trainer.fit(dataset, users);
 }
@@ -63,6 +65,17 @@ std::vector<double> RnnModel::score_session_batch(
   return scores;
 }
 
+void RnnModel::enable_quantized_serving() { network_->prepare_quantized(); }
+
+std::vector<double> RnnModel::score_session_batch_q8(
+    const tensor::QuantizedMatrix& hidden_block,
+    const tensor::Matrix& x_block) const {
+  std::vector<double> scores =
+      network_->infer_logits_q8(hidden_block, x_block);
+  for (double& s : scores) s = pp::sigmoid(s);
+  return scores;
+}
+
 void RnnModel::save(const std::string& path) const {
   BinaryWriter writer;
   network_->serialize(writer);
@@ -71,6 +84,7 @@ void RnnModel::save(const std::string& path) const {
 
 void RnnModel::load(const std::string& path) {
   BinaryReader reader = BinaryReader::from_file(path);
+  // RnnNetwork::deserialize refreshes an enabled quantized serving mode.
   network_->deserialize(reader);
 }
 

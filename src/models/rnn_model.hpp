@@ -60,6 +60,19 @@ class RnnModel {
       const tensor::Matrix& hidden_block,
       const tensor::Matrix& x_block) const;
 
+  /// Builds the int8 weight replicas for the quantized serving mode
+  /// ("weights quantized once at load"). Requires the GRU cell; call
+  /// before constructing an int8 RnnPolicy. load() refreshes the replicas
+  /// automatically once enabled.
+  void enable_quantized_serving();
+  bool quantized_serving() const { return network_->quantized_ready(); }
+  /// Int8 twin of score_session_batch: `hidden_block` carries the stored
+  /// int8 bytes with per-row scales; scoring runs entirely on the int8
+  /// kernels.
+  std::vector<double> score_session_batch_q8(
+      const tensor::QuantizedMatrix& hidden_block,
+      const tensor::Matrix& x_block) const;
+
   const train::RnnNetwork& network() const { return *network_; }
   train::RnnNetwork& network() { return *network_; }
   const RnnModelConfig& config() const { return config_; }

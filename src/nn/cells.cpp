@@ -176,6 +176,47 @@ void GruCell::infer_step(std::vector<Matrix>& state, const Matrix& x) const {
   state[0] = std::move(h_next);
 }
 
+// ------------------------------------------------------- QuantizedGruCell
+
+QuantizedGruCell::QuantizedGruCell(const GruCell& cell)
+    : input_size_(cell.input_size()),
+      hidden_size_(cell.hidden_size()),
+      wx_q_(tensor::QuantizedMatrix::quantize(cell.wx().value())),
+      wh_q_(tensor::QuantizedMatrix::quantize(cell.wh().value())),
+      bx_(cell.bx().value()),
+      bh_(cell.bh().value()) {}
+
+Matrix QuantizedGruCell::infer_step(tensor::QuantizedMatrix& h,
+                                    const Matrix& x) const {
+  const std::size_t H = hidden_size_;
+  // Both gate products run int8 x int8 -> i32: the input row is quantized
+  // per row (fresh each step), the hidden operand is the stored int8 state
+  // itself. Biases and the gate nonlinearities stay f32 — they are O(H)
+  // against the O(H^2) products.
+  const tensor::QuantizedMatrix qx = tensor::QuantizedMatrix::quantize_rows(x);
+  Matrix gx = tensor::qgemm(qx, wx_q_);
+  gx.add_row_broadcast_inplace(bx_);
+  Matrix gh = tensor::qgemm(h, wh_q_);
+  gh.add_row_broadcast_inplace(bh_);
+
+  Matrix h_next(h.rows(), H);
+  for (std::size_t r = 0; r < h.rows(); ++r) {
+    for (std::size_t j = 0; j < H; ++j) {
+      const float rj = static_cast<float>(
+          pp::sigmoid(gx.at(r, j) + gh.at(r, j)));
+      const float zj = static_cast<float>(
+          pp::sigmoid(gx.at(r, H + j) + gh.at(r, H + j)));
+      const float nj =
+          std::tanh(gx.at(r, 2 * H + j) + rj * gh.at(r, 2 * H + j));
+      h_next.at(r, j) = (1.0f - zj) * nj + zj * h.dequant(r, j);
+    }
+  }
+  // Re-encode only the updated state (per-row == per-tensor at the serving
+  // batch size of 1, so the bytes match the HiddenStateStore codec).
+  h = tensor::QuantizedMatrix::quantize_rows(h_next);
+  return h_next;
+}
+
 // ---------------------------------------------------------------- LstmCell
 
 LstmCell::LstmCell(std::size_t input_size, std::size_t hidden_size, Rng& rng)

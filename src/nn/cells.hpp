@@ -14,6 +14,7 @@
 
 #include "autograd/ops.hpp"
 #include "nn/module.hpp"
+#include "tensor/qgemm.hpp"
 #include "util/rng.hpp"
 
 namespace pp::nn {
@@ -89,11 +90,47 @@ class GruCell final : public RecurrentCell {
   CellState step(const CellState& state, const Variable& x) const override;
   void infer_step(std::vector<Matrix>& state, const Matrix& x) const override;
 
+  // Gate weights exposed for the int8 serving replica (QuantizedGruCell).
+  const Variable& wx() const { return wx_; }
+  const Variable& wh() const { return wh_; }
+  const Variable& bx() const { return bx_; }
+  const Variable& bh() const { return bh_; }
+
  private:
   Variable wx_;  // [input x 3*hidden]
   Variable wh_;  // [hidden x 3*hidden]
   Variable bx_;  // [1 x 3*hidden]
   Variable bh_;  // [1 x 3*hidden]
+};
+
+/// Int8 serving replica of a GruCell (§9 single-byte hidden states scored
+/// without an f32 round trip). Gate weights are quantized once at build
+/// (per-tensor symmetric int8); each step quantizes the incoming f32 input
+/// row(s), runs both gate products on the int8 qgemm kernel — the stored
+/// int8 hidden state feeds its product directly, no dequantized hidden
+/// matrix is ever formed for the GEMM — applies the f32 gate nonlinearity
+/// elementwise, and re-encodes only the updated hidden state.
+class QuantizedGruCell {
+ public:
+  explicit QuantizedGruCell(const GruCell& cell);
+
+  /// One recurrence step. `h` is the int8 hidden state ([B x hidden] plus
+  /// its scale, exactly as stored in the serving KV tier) and is replaced
+  /// in place by the re-quantized next state; the f32 next hidden is
+  /// returned for a stacked layer's input. `x` is [B x input].
+  tensor::Matrix infer_step(tensor::QuantizedMatrix& h,
+                            const tensor::Matrix& x) const;
+
+  std::size_t input_size() const { return input_size_; }
+  std::size_t hidden_size() const { return hidden_size_; }
+
+ private:
+  std::size_t input_size_;
+  std::size_t hidden_size_;
+  tensor::QuantizedMatrix wx_q_;  // int8 [input x 3*hidden]
+  tensor::QuantizedMatrix wh_q_;  // int8 [hidden x 3*hidden]
+  Matrix bx_;                     // f32 [1 x 3*hidden]
+  Matrix bh_;                     // f32 [1 x 3*hidden]
 };
 
 /// Standard LSTM with packed gates in (i, f, g, o) order and forget-gate

@@ -20,4 +20,14 @@ tensor::Matrix Linear::infer(const tensor::Matrix& x) const {
   return out;
 }
 
+QuantizedLinear::QuantizedLinear(const Linear& layer)
+    : weight_(tensor::QuantizedMatrix::quantize(layer.weight().value())),
+      bias_(layer.bias().value()) {}
+
+tensor::Matrix QuantizedLinear::infer(const tensor::QuantizedMatrix& x) const {
+  tensor::Matrix out = tensor::qgemm(x, weight_);
+  out.add_row_broadcast_inplace(bias_);
+  return out;
+}
+
 }  // namespace pp::nn

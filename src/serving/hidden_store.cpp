@@ -1,8 +1,8 @@
 #include "serving/hidden_store.hpp"
 
-#include <algorithm>
-#include <cmath>
+#include <stdexcept>
 
+#include "tensor/qgemm.hpp"
 #include "util/serialize.hpp"
 
 namespace pp::serving {
@@ -14,27 +14,16 @@ void encode_matrix(const tensor::Matrix& m, StateCodec codec,
   writer.write_u32(static_cast<std::uint32_t>(m.rows()));
   writer.write_u32(static_cast<std::uint32_t>(m.cols()));
   if (codec == StateCodec::kFloat32) {
-    for (std::size_t i = 0; i < m.size(); ++i) writer.write_f32(m[i]);
+    writer.write_bytes(m.data(), m.size() * sizeof(float));
     return;
   }
-  // int8 per-tensor affine: v ≈ scale * q with q in [-127, 127].
-  // Non-finite inputs need sanitizing: an Inf would poison the scale for
-  // every other element, and casting a NaN to int8 (clamp passes NaN
-  // through) is undefined behavior. The scale therefore comes from the
-  // finite entries only; NaN encodes as 0 and ±Inf saturates to ±127.
-  float max_abs = 0.0f;
-  for (std::size_t i = 0; i < m.size(); ++i) {
-    if (std::isfinite(m[i])) max_abs = std::max(max_abs, std::abs(m[i]));
-  }
-  const float scale = max_abs > 0 ? max_abs / 127.0f : 1.0f;
-  writer.write_f32(scale);
-  for (std::size_t i = 0; i < m.size(); ++i) {
-    float q = 0.0f;
-    if (!std::isnan(m[i])) {
-      q = std::clamp(std::round(m[i] / scale), -127.0f, 127.0f);
-    }
-    writer.write_pod(static_cast<std::int8_t>(q));
-  }
+  // int8 per-tensor affine: v ≈ scale * q with q in [-127, 127]. The
+  // sanitization rules (scale from finite entries only, NaN -> 0, ±Inf
+  // saturates, denormal-scale clamp) live in QuantizedMatrix::quantize —
+  // the single source of truth shared with the quantized scoring path.
+  const tensor::QuantizedMatrix q = tensor::QuantizedMatrix::quantize(m);
+  writer.write_f32(q.scale());
+  writer.write_bytes(q.data(), q.size());
 }
 
 tensor::Matrix decode_matrix(StateCodec codec, BinaryReader& reader) {
@@ -42,7 +31,7 @@ tensor::Matrix decode_matrix(StateCodec codec, BinaryReader& reader) {
   const std::uint32_t cols = reader.read_u32();
   tensor::Matrix m(rows, cols);
   if (codec == StateCodec::kFloat32) {
-    for (std::size_t i = 0; i < m.size(); ++i) m[i] = reader.read_f32();
+    reader.read_bytes(m.data(), m.size() * sizeof(float));
     return m;
   }
   const float scale = reader.read_f32();
@@ -79,16 +68,95 @@ std::optional<StoredState> HiddenStateStore::get(
   state.last_update_time = reader.read_i64();
   state.updates = reader.read_u32();
   const std::uint32_t layers = reader.read_u32();
+  // Serving memcpys hidden_size values straight out of the returned
+  // state, so a record written by a differently-sized model must fail
+  // loudly here rather than feed an out-of-bounds read downstream.
+  const auto& cfg = network.config();
+  if (layers != static_cast<std::uint32_t>(cfg.num_layers)) {
+    throw std::runtime_error("get: stored layer count mismatches model");
+  }
   state.state.layers.resize(layers);
   for (std::uint32_t l = 0; l < layers; ++l) {
     const std::uint32_t parts = reader.read_u32();
     state.state.layers[l].reserve(parts);
     for (std::uint32_t p = 0; p < parts; ++p) {
-      state.state.layers[l].push_back(decode_matrix(codec_, reader));
+      tensor::Matrix part = decode_matrix(codec_, reader);
+      if (part.rows() != 1 || part.cols() != cfg.hidden_size) {
+        throw std::runtime_error("get: stored state geometry " +
+                                 part.shape_string() +
+                                 " mismatches model hidden size " +
+                                 std::to_string(cfg.hidden_size));
+      }
+      state.state.layers[l].push_back(std::move(part));
     }
   }
-  (void)network;
   return state;
+}
+
+std::optional<QuantizedStoredState> HiddenStateStore::get_q8(
+    std::uint64_t user_id, const train::RnnNetwork& network) const {
+  if (codec_ != StateCodec::kInt8) {
+    throw std::logic_error("get_q8: store must use the kInt8 codec");
+  }
+  auto bytes = store_->get(key(user_id));
+  if (!bytes.has_value()) return std::nullopt;
+  BinaryReader reader(std::move(*bytes));
+  QuantizedStoredState state;
+  state.last_update_time = reader.read_i64();
+  state.updates = reader.read_u32();
+  const std::uint32_t layers = reader.read_u32();
+  const auto& cfg = network.config();
+  if (layers != static_cast<std::uint32_t>(cfg.num_layers)) {
+    throw std::runtime_error("get_q8: stored layer count mismatches model");
+  }
+  state.state.layers.reserve(layers);
+  for (std::uint32_t l = 0; l < layers; ++l) {
+    const std::uint32_t parts = reader.read_u32();
+    if (parts != 1) {
+      throw std::runtime_error(
+          "get_q8: multi-part (LSTM) states have no quantized serving path");
+    }
+    const std::uint32_t rows = reader.read_u32();
+    const std::uint32_t cols = reader.read_u32();
+    // Callers memcpy cols bytes out of the returned state; a record
+    // written by a differently-sized model must not read out of bounds.
+    if (rows != 1 || cols != cfg.hidden_size) {
+      throw std::runtime_error("get_q8: stored state geometry " +
+                               std::to_string(rows) + "x" +
+                               std::to_string(cols) +
+                               " mismatches model hidden size " +
+                               std::to_string(cfg.hidden_size));
+    }
+    const float scale = reader.read_f32();
+    std::vector<std::int8_t> data(static_cast<std::size_t>(rows) * cols);
+    reader.read_bytes(data.data(), data.size());
+    state.state.layers.push_back(tensor::QuantizedMatrix::from_raw(
+        rows, cols, scale, std::move(data)));
+  }
+  return state;
+}
+
+void HiddenStateStore::put_q8(std::uint64_t user_id,
+                              const QuantizedStoredState& state) {
+  if (codec_ != StateCodec::kInt8) {
+    throw std::logic_error("put_q8: store must use the kInt8 codec");
+  }
+  BinaryWriter writer;
+  writer.write_i64(state.last_update_time);
+  writer.write_u32(state.updates);
+  writer.write_u32(static_cast<std::uint32_t>(state.state.layers.size()));
+  for (const auto& layer : state.state.layers) {
+    if (!layer.per_tensor()) {
+      throw std::invalid_argument(
+          "put_q8: per-user states carry one scale (got a per-row batch)");
+    }
+    writer.write_u32(1);  // parts: GRU h only
+    writer.write_u32(static_cast<std::uint32_t>(layer.rows()));
+    writer.write_u32(static_cast<std::uint32_t>(layer.cols()));
+    writer.write_f32(layer.scale());
+    writer.write_bytes(layer.data(), layer.size());
+  }
+  store_->put(key(user_id), writer.take());
 }
 
 std::size_t HiddenStateStore::encoded_bytes(

@@ -26,6 +26,16 @@ struct StoredState {
   std::uint32_t updates = 0;
 };
 
+/// The int8 twin of StoredState for the quantized serving mode: the state
+/// matrices stay in their stored byte form (scale + int8 vector). The wire
+/// format is identical to the kInt8 codec, so put/put_q8 and get/get_q8
+/// are freely interchangeable on one store.
+struct QuantizedStoredState {
+  train::QuantizedInferenceState state;
+  std::int64_t last_update_time = 0;
+  std::uint32_t updates = 0;
+};
+
 class HiddenStateStore {
  public:
   HiddenStateStore(KvStore& store, StateCodec codec = StateCodec::kFloat32)
@@ -36,6 +46,20 @@ class HiddenStateStore {
   /// supplies the expected state geometry.
   std::optional<StoredState> get(std::uint64_t user_id,
                                  const train::RnnNetwork& network) const;
+
+  /// Raw int8 read for the quantized serving path: the stored bytes and
+  /// scale are handed over as-is — no f32 decode happens. Requires the
+  /// kInt8 codec and a single-part (GRU) state record whose geometry
+  /// matches `network` (callers memcpy hidden_size bytes straight out of
+  /// the returned state, so a stale record from a differently-sized model
+  /// must fail loudly here); throws std::logic_error / std::runtime_error
+  /// otherwise.
+  std::optional<QuantizedStoredState> get_q8(
+      std::uint64_t user_id, const train::RnnNetwork& network) const;
+  /// Writes an already-quantized state without an f32 encode pass (the
+  /// GRU step re-quantized the updated hidden; its bytes go straight to
+  /// the wire). Same format as put() under kInt8.
+  void put_q8(std::uint64_t user_id, const QuantizedStoredState& state);
 
   /// Serialized size of one state (the per-user storage footprint).
   std::size_t encoded_bytes(const train::RnnNetwork& network) const;

@@ -28,11 +28,25 @@ std::vector<double> PrecomputePolicy::score_sessions(
 
 // --------------------------------------------------------------- RnnPolicy
 
-RnnPolicy::RnnPolicy(const models::RnnModel& model, HiddenStateStore& store)
+RnnPolicy::RnnPolicy(const models::RnnModel& model, HiddenStateStore& store,
+                     ScorePrecision precision)
     : model_(&model),
       store_(&store),
+      precision_(precision),
       bucketizer_(
-          static_cast<int>(model.network().config().time_buckets)) {}
+          static_cast<int>(model.network().config().time_buckets)) {
+  if (precision_ == ScorePrecision::kInt8) {
+    if (store.codec() != StateCodec::kInt8) {
+      throw std::invalid_argument(
+          "RnnPolicy: int8 scoring needs a kInt8-codec HiddenStateStore");
+    }
+    if (!model.quantized_serving()) {
+      throw std::invalid_argument(
+          "RnnPolicy: call RnnModel::enable_quantized_serving() before "
+          "constructing an int8 policy");
+    }
+  }
+}
 
 double RnnPolicy::score_session(std::uint64_t user_id, std::int64_t t,
                                 std::span<const std::uint32_t> context) {
@@ -54,35 +68,66 @@ std::vector<double> RnnPolicy::score_sessions(
   const auto& seq_cfg = model_->sequence_config();
   const std::size_t fw = net.config().feature_size;
   const std::size_t tb = net.config().time_buckets;
+  const std::size_t hidden_size = net.config().hidden_size;
+  const bool q8 = precision_ == ScorePrecision::kInt8;
 
   tensor::Matrix x(batch, fw + tb);
-  tensor::Matrix h(batch, net.config().hidden_size);
-  const train::InferenceState cold = net.infer_initial_state();
+  // f32 mode gathers decoded hidden rows; int8 mode gathers the stored
+  // bytes themselves (per-row scales). Cold users get the cell's actual
+  // initial state (not an assumed zero fill) in either precision.
+  tensor::Matrix h(q8 ? 0 : batch, hidden_size);
+  tensor::QuantizedMatrix h_q8(q8 ? batch : 0, hidden_size);
+  const train::InferenceState cold =
+      q8 ? train::InferenceState{} : net.infer_initial_state();
+  const train::QuantizedInferenceState cold_q8 =
+      q8 ? net.infer_initial_state_q8() : train::QuantizedInferenceState{};
   for (std::size_t b = 0; b < batch; ++b) {
     const SessionStart& s = sessions[b];
     // Still one KV lookup per session (§9's dominant serving cost term);
     // only the model evaluation is batched. The stripe lock orders the
     // snapshot read against any concurrent on_session_complete for the
     // same user.
-    std::optional<StoredState> stored;
-    {
-      std::lock_guard<std::mutex> lock(stripe_for(s.user_id));
-      stored = store_->get(s.user_id, net);
+    std::int64_t last_update_time = 0;
+    std::uint32_t updates = 0;
+    if (q8) {
+      std::optional<QuantizedStoredState> stored;
+      {
+        std::lock_guard<std::mutex> lock(stripe_for(s.user_id));
+        stored = store_->get_q8(s.user_id, net);
+      }
+      if (stored.has_value()) {
+        last_update_time = stored->last_update_time;
+        updates = stored->updates;
+      }
+      const tensor::QuantizedMatrix& hidden =
+          stored.has_value() ? stored->state.hidden() : cold_q8.hidden();
+      std::memcpy(h_q8.row_data(b), hidden.data(), hidden_size);
+      h_q8.set_row_scale(b, hidden.scale());
+    } else {
+      std::optional<StoredState> stored;
+      {
+        std::lock_guard<std::mutex> lock(stripe_for(s.user_id));
+        stored = store_->get(s.user_id, net);
+      }
+      if (stored.has_value()) {
+        last_update_time = stored->last_update_time;
+        updates = stored->updates;
+      }
+      const tensor::Matrix& hidden =
+          stored.has_value() ? stored->state.hidden() : cold.hidden();
+      std::memcpy(h.row(b).data(), hidden.data(),
+                  hidden_size * sizeof(float));
     }
     if (seq_cfg.context_at_predict && fw > 0) {
       train::encode_step_features(model_->schema(), seq_cfg.feature_mode,
                                   s.t, s.context, x.row(b));
     }
-    const std::int64_t gap = stored.has_value() && stored->updates > 0
-                                 ? s.t - stored->last_update_time
-                                 : 0;
+    const std::int64_t gap = updates > 0 ? s.t - last_update_time : 0;
     bucketizer_.encode(gap, x.row(b).subspan(fw, tb));
-    const tensor::Matrix& hidden =
-        stored.has_value() ? stored->state.hidden() : cold.hidden();
-    std::memcpy(h.row(b).data(), hidden.data(), h.cols() * sizeof(float));
   }
 
-  std::vector<double> scores = model_->score_session_batch(h, x);
+  std::vector<double> scores = q8 ? model_->score_session_batch_q8(h_q8, x)
+                                  : model_->score_session_batch(h, x);
   predictions_.fetch_add(batch, std::memory_order_relaxed);
   model_flops_.fetch_add(batch * net.predict_flops(),
                          std::memory_order_relaxed);
@@ -100,11 +145,31 @@ void RnnPolicy::on_session_complete(const JoinedSession& joined) {
   // the same user strictly ordered (no lost updates).
   std::lock_guard<std::mutex> lock(stripe_for(joined.user_id));
 
+  // Read the prior state in the active precision. The int8 mode keeps the
+  // stored bytes as-is: they feed the quantized GRU products directly and
+  // only the updated hidden is re-encoded.
   StoredState state;
-  if (auto stored = store_->get(joined.user_id, net); stored.has_value()) {
-    state = std::move(*stored);
+  QuantizedStoredState state_q8;
+  const bool q8 = precision_ == ScorePrecision::kInt8;
+  std::int64_t last_update_time = 0;
+  std::uint32_t updates = 0;
+  if (q8) {
+    if (auto stored = store_->get_q8(joined.user_id, net);
+        stored.has_value()) {
+      state_q8 = std::move(*stored);
+    } else {
+      state_q8.state = net.infer_initial_state_q8();
+    }
+    last_update_time = state_q8.last_update_time;
+    updates = state_q8.updates;
   } else {
-    state.state = net.infer_initial_state();
+    if (auto stored = store_->get(joined.user_id, net); stored.has_value()) {
+      state = std::move(*stored);
+    } else {
+      state.state = net.infer_initial_state();
+    }
+    last_update_time = state.last_update_time;
+    updates = state.updates;
   }
 
   tensor::Matrix row(1, fw + tb + 1);
@@ -113,16 +178,22 @@ void RnnPolicy::on_session_complete(const JoinedSession& joined) {
                                 joined.session_start, joined.context,
                                 row.row(0));
   }
-  const std::int64_t dt = state.updates > 0
-                              ? joined.session_start - state.last_update_time
-                              : 0;
+  const std::int64_t dt =
+      updates > 0 ? joined.session_start - last_update_time : 0;
   bucketizer_.encode(dt, row.row(0).subspan(fw, tb));
   row.row(0)[fw + tb] = joined.access ? 1.0f : 0.0f;
 
-  net.infer_update(state.state, row);
-  state.last_update_time = joined.session_start;
-  state.updates += 1;
-  store_->put(joined.user_id, state);
+  if (q8) {
+    net.infer_update_q8(state_q8.state, row);
+    state_q8.last_update_time = joined.session_start;
+    state_q8.updates += 1;
+    store_->put_q8(joined.user_id, state_q8);
+  } else {
+    net.infer_update(state.state, row);
+    state.last_update_time = joined.session_start;
+    state.updates += 1;
+    store_->put(joined.user_id, state);
+  }
   state_updates_.fetch_add(1, std::memory_order_relaxed);
   model_flops_.fetch_add(net.update_flops(), std::memory_order_relaxed);
 }

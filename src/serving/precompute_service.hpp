@@ -74,6 +74,12 @@ class PrecomputePolicy {
   virtual const char* name() const = 0;
 };
 
+/// Numeric mode of the RNN serving path. kInt8 scores directly on the
+/// stored single-byte hidden states (§9): the KV bytes feed the quantized
+/// GRU update and the batched int8 RNNpredict head with no f32 decode of
+/// the state and no f32 weight matrix at serve time.
+enum class ScorePrecision { kFloat32, kInt8 };
+
 /// RNN serving (§9): hidden state + t_k in the KV store; TorchScript-like
 /// split execution — MLP at session start, GRU at session end.
 ///
@@ -82,9 +88,16 @@ class PrecomputePolicy {
 /// striped locks keyed by user_id (the Graves-style ordering constraint:
 /// each user's recurrent state update is strictly ordered, everything else
 /// fans out), and the cost counters are atomics.
+///
+/// kInt8 requires a kInt8-codec store and a model with
+/// enable_quantized_serving() already called (throws otherwise). The int8
+/// mode keeps every batching/threading invariant of the f32 path: per-row
+/// activation quantization plus exact integer accumulation make batched,
+/// single, and thread-partitioned scoring bit-identical.
 class RnnPolicy final : public PrecomputePolicy {
  public:
-  RnnPolicy(const models::RnnModel& model, HiddenStateStore& store);
+  RnnPolicy(const models::RnnModel& model, HiddenStateStore& store,
+            ScorePrecision precision = ScorePrecision::kFloat32);
 
   double score_session(std::uint64_t user_id, std::int64_t t,
                        std::span<const std::uint32_t> context) override;
@@ -96,7 +109,10 @@ class RnnPolicy final : public PrecomputePolicy {
   void on_session_complete(const JoinedSession& joined) override;
   bool concurrent_safe() const override { return true; }
   ServingCostSummary cost_summary() const override;
-  const char* name() const override { return "rnn"; }
+  const char* name() const override {
+    return precision_ == ScorePrecision::kInt8 ? "rnn-int8" : "rnn";
+  }
+  ScorePrecision precision() const { return precision_; }
 
  private:
   std::mutex& stripe_for(std::uint64_t user_id) {
@@ -107,6 +123,7 @@ class RnnPolicy final : public PrecomputePolicy {
 
   const models::RnnModel* model_;
   HiddenStateStore* store_;
+  ScorePrecision precision_;
   features::LogBucketizer bucketizer_;
   /// Striped per-user locks: one stripe serializes the read-modify-write
   /// of every user hashing to it; different stripes never contend.

@@ -291,6 +291,12 @@ GemmConfigScope::~GemmConfigScope() {
   set_gemm_parallel_threshold(saved_threshold_);
 }
 
+void gemm_partition_rows(
+    std::size_t rows, std::size_t macs,
+    const std::function<void(std::size_t, std::size_t)>& range_fn) {
+  run_partitioned(rows, macs, range_fn);
+}
+
 // ---- public kernels --------------------------------------------------------
 
 void gemm_nn_naive(const Matrix& a, const Matrix& b, Matrix& c) {

@@ -22,6 +22,7 @@
 #pragma once
 
 #include <cstddef>
+#include <functional>
 
 namespace pp::tensor {
 
@@ -71,6 +72,15 @@ void gemm_tn_naive(const Matrix& a, const Matrix& b, Matrix& c);
 void gemm_tn_blocked(const Matrix& a, const Matrix& b, Matrix& c);
 void gemm_nt_naive(const Matrix& a, const Matrix& b, Matrix& c);
 void gemm_nt_blocked(const Matrix& a, const Matrix& b, Matrix& c);
+
+/// Row-partitions [0, rows) across the shared GEMM thread pool according
+/// to the global (threads, parallel-threshold) configuration; `macs` is
+/// the multiply-accumulate count weighed against the threshold, and the
+/// sequential path simply runs range_fn(0, rows) on the caller. Exposed so
+/// sibling kernels (the int8 qgemm) share one pool and one set of knobs.
+void gemm_partition_rows(
+    std::size_t rows, std::size_t macs,
+    const std::function<void(std::size_t, std::size_t)>& range_fn);
 
 // ---- dispatchers used by Matrix (kernel + threading per global config) ----
 void gemm_nn_dispatch(const Matrix& a, const Matrix& b, Matrix& c);

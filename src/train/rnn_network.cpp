@@ -118,6 +118,99 @@ std::vector<double> RnnNetwork::infer_logits(const Matrix& h_block,
   return out;
 }
 
+void RnnNetwork::deserialize(BinaryReader& reader) {
+  nn::Module::deserialize(reader);
+  if (quantized_ready()) prepare_quantized();
+}
+
+void RnnNetwork::prepare_quantized() {
+  auto weights = std::make_unique<QuantizedNetworkWeights>();
+  weights->cells.reserve(cells_.size());
+  for (const auto& cell : cells_) {
+    const auto* gru = dynamic_cast<const nn::GruCell*>(cell.get());
+    if (gru == nullptr) {
+      throw std::invalid_argument(
+          "prepare_quantized: int8 serving supports the GRU cell only");
+    }
+    weights->cells.emplace_back(*gru);
+  }
+  if (latent_) weights->latent = std::make_unique<nn::QuantizedLinear>(*latent_);
+  weights->w1 = std::make_unique<nn::QuantizedLinear>(*w1_);
+  weights->w2 = std::make_unique<nn::QuantizedLinear>(*w2_);
+  qweights_ = std::move(weights);
+}
+
+const QuantizedNetworkWeights& RnnNetwork::quantized_weights() const {
+  if (!qweights_) {
+    throw std::logic_error(
+        "quantized_weights: call prepare_quantized() at load time first");
+  }
+  return *qweights_;
+}
+
+QuantizedInferenceState RnnNetwork::infer_initial_state_q8() const {
+  QuantizedInferenceState state;
+  state.layers.assign(cells_.size(),
+                      tensor::QuantizedMatrix(1, config_.hidden_size));
+  return state;
+}
+
+void RnnNetwork::infer_update_q8(QuantizedInferenceState& state,
+                                 const Matrix& x) const {
+  const QuantizedNetworkWeights& qw = quantized_weights();
+  const Matrix* input = &x;
+  Matrix carried;
+  for (std::size_t l = 0; l < qw.cells.size(); ++l) {
+    carried = qw.cells[l].infer_step(state.layers[l], *input);
+    input = &carried;
+  }
+}
+
+std::vector<double> RnnNetwork::infer_logits_q8(
+    const tensor::QuantizedMatrix& h_block, const Matrix& x_block) const {
+  const QuantizedNetworkWeights& qw = quantized_weights();
+  if (h_block.rows() != x_block.rows()) {
+    throw std::invalid_argument("infer_logits_q8: batch mismatch");
+  }
+  const std::size_t B = h_block.rows();
+  const std::size_t H = config_.hidden_size;
+
+  // Latent cross: h' = h ∘ (1 + L(x)). The stored int8 h enters only this
+  // elementwise product, dequantized value-by-value with its per-row
+  // scale; the L(x) product itself is int8.
+  Matrix crossed(B, H);
+  if (config_.latent_cross) {
+    const tensor::QuantizedMatrix qx =
+        tensor::QuantizedMatrix::quantize_rows(x_block);
+    const Matrix factor = qw.latent->infer(qx);
+    for (std::size_t b = 0; b < B; ++b) {
+      for (std::size_t j = 0; j < H; ++j) {
+        crossed.at(b, j) = h_block.dequant(b, j) * (1.0f + factor.at(b, j));
+      }
+    }
+  } else {
+    for (std::size_t b = 0; b < B; ++b) {
+      for (std::size_t j = 0; j < H; ++j) {
+        crossed.at(b, j) = h_block.dequant(b, j);
+      }
+    }
+  }
+
+  // MLP head: activations are requantized per row in front of each int8
+  // product; the ReLU output is one-sided so the affine form buys a bit.
+  const Matrix mlp_in = Matrix::concat_cols(crossed, x_block);
+  Matrix hidden =
+      qw.w1->infer(tensor::QuantizedMatrix::quantize_rows(mlp_in));
+  for (std::size_t i = 0; i < hidden.size(); ++i) {
+    hidden[i] = hidden[i] > 0 ? hidden[i] : 0.0f;
+  }
+  const Matrix logit =
+      qw.w2->infer(tensor::QuantizedMatrix::quantize_rows_affine(hidden));
+  std::vector<double> out(B);
+  for (std::size_t b = 0; b < B; ++b) out[b] = logit.at(b, 0);
+  return out;
+}
+
 std::size_t RnnNetwork::predict_flops() const {
   const std::size_t pred_in = config_.predict_input_size();
   const std::size_t h = config_.hidden_size;

@@ -57,6 +57,26 @@ struct InferenceState {
   const Matrix& hidden() const { return layers.back().front(); }
 };
 
+/// Int8 recurrent state for the quantized serving mode (GRU only: one
+/// hidden matrix per layer). The matrices hold the same bytes + scale the
+/// KV tier stores — scoring consumes them without an f32 decode.
+struct QuantizedInferenceState {
+  std::vector<tensor::QuantizedMatrix> layers;
+  const tensor::QuantizedMatrix& hidden() const { return layers.back(); }
+  tensor::QuantizedMatrix& hidden() { return layers.back(); }
+};
+
+/// Int8 weight replicas for the quantized serving path, built once from
+/// the trained f32 parameters (prepare_quantized). Wrapped layers are
+/// heap-held so the struct stays movable while QuantizedLinear is
+/// construct-only.
+struct QuantizedNetworkWeights {
+  std::vector<nn::QuantizedGruCell> cells;
+  std::unique_ptr<nn::QuantizedLinear> latent;  // null without latent cross
+  std::unique_ptr<nn::QuantizedLinear> w1;
+  std::unique_ptr<nn::QuantizedLinear> w2;
+};
+
 class RnnNetwork : public nn::Module {
  public:
   RnnNetwork(const RnnNetworkConfig& config, Rng& rng);
@@ -85,6 +105,36 @@ class RnnNetwork : public nn::Module {
   std::vector<double> infer_logits(const Matrix& h_block,
                                    const Matrix& x_block) const;
 
+  /// Weight load that keeps the int8 replicas fresh: shadows
+  /// Module::deserialize so every path installing new f32 weights through
+  /// an RnnNetwork (RnnModel::load or a direct network().deserialize)
+  /// also refreshes an enabled quantized serving mode.
+  void deserialize(BinaryReader& reader);
+
+  // ---- quantized serving path (int8 weights + int8 states, §9) ----
+  /// (Re)builds the int8 weight replicas from the current f32 parameters.
+  /// Requires the GRU cell (throws std::invalid_argument otherwise); call
+  /// once at load. Weight-mutating entry points (deserialize,
+  /// RnnTrainer::fit) refresh an already-enabled mode themselves.
+  void prepare_quantized();
+  bool quantized_ready() const { return qweights_ != nullptr; }
+  const QuantizedNetworkWeights& quantized_weights() const;
+
+  /// Zero int8 state: all-zero bytes with scale 1 — bit-identical to the
+  /// int8 codec's encoding of a cold f32 state.
+  QuantizedInferenceState infer_initial_state_q8() const;
+  /// Int8 RNNupdate: the stored int8 hidden feeds the quantized GRU gate
+  /// products directly; only the updated state is re-encoded.
+  void infer_update_q8(QuantizedInferenceState& state, const Matrix& x) const;
+  /// Batched int8 RNNpredict. `h_block` is [B x hidden] int8 with per-row
+  /// scales (row b = user b's stored bytes); `x_block` is f32
+  /// [B x predict_input_size()], quantized per row internally. All weight
+  /// products run on the int8 kernel; no f32 weight matrix is formed. Row
+  /// b equals the same row scored alone (per-row activation quantization +
+  /// exact integer accumulation keep batching bit-transparent).
+  std::vector<double> infer_logits_q8(const tensor::QuantizedMatrix& h_block,
+                                      const Matrix& x_block) const;
+
   /// Approximate multiply-accumulate count of one infer_logit call (the
   /// §9 compute-cost model).
   std::size_t predict_flops() const;
@@ -101,6 +151,9 @@ class RnnNetwork : public nn::Module {
   std::unique_ptr<nn::Linear> latent_;  // L of the latent cross
   std::unique_ptr<nn::Linear> w1_;
   std::unique_ptr<nn::Linear> w2_;
+  /// Int8 replicas (null until prepare_quantized). Built at setup time,
+  /// read-only during concurrent serving.
+  std::unique_ptr<QuantizedNetworkWeights> qweights_;
 };
 
 }  // namespace pp::train

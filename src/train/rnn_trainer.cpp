@@ -322,6 +322,9 @@ TrainingCurve RnnTrainer::fit(const data::Dataset& dataset,
                           : 0.0;
   }
   impl_->master.set_training(false);
+  // The int8 serving replicas mirror the f32 weights just trained;
+  // refresh an enabled quantized mode so it never scores stale.
+  if (impl_->master.quantized_ready()) impl_->master.prepare_quantized();
   return curve;
 }
 
@@ -340,7 +343,32 @@ ScoredSeries score_users(const RnnNetwork& network,
                        sequence_config, timeshift);
     InferenceState state = network.infer_initial_state();
     std::uint32_t applied = 0;
-    Matrix row(1, seq.predict_inputs.cols());
+    const std::size_t pred_cols = seq.predict_inputs.cols();
+    const std::size_t hidden_cols = network.config().hidden_size;
+    // Batched replay: each emitted prediction's hidden snapshot — taken at
+    // its exact step depth — and input row are gathered into blocks and
+    // scored through the batched RNNpredict head, one GEMM per block
+    // instead of one gemv per prediction. Row b of infer_logits equals
+    // infer_logit of the same row exactly, so the emitted series is
+    // bit-identical to the per-prediction replay.
+    constexpr std::size_t kBlock = 256;
+    std::vector<float> h_buf, x_buf, labels;
+    std::vector<std::int64_t> stamps;
+    auto flush = [&] {
+      if (stamps.empty()) return;
+      const std::size_t n = stamps.size();
+      Matrix h_block(n, hidden_cols, std::move(h_buf));
+      Matrix x_block(n, pred_cols, std::move(x_buf));
+      const std::vector<double> logits =
+          network.infer_logits(h_block, x_block);
+      for (std::size_t b = 0; b < n; ++b) {
+        partial[i].append(pp::sigmoid(logits[b]), labels[b], stamps[b]);
+      }
+      h_buf.clear();
+      x_buf.clear();
+      labels.clear();
+      stamps.clear();
+    };
     for (std::size_t p = 0; p < seq.num_predictions(); ++p) {
       while (applied < seq.h_index[p]) {
         Matrix x(1, seq.update_inputs.cols());
@@ -354,12 +382,15 @@ ScoredSeries score_users(const RnnNetwork& network,
       }
       const std::int64_t ts = seq.timestamps[p];
       if (ts < emit_from || (emit_to != 0 && ts >= emit_to)) continue;
-      std::memcpy(row.data(),
-                  seq.predict_inputs.data() + p * seq.predict_inputs.cols(),
-                  seq.predict_inputs.cols() * sizeof(float));
-      const double logit = network.infer_logit(state.hidden(), row);
-      partial[i].append(pp::sigmoid(logit), seq.labels[p], ts);
+      const float* hidden = state.hidden().data();
+      h_buf.insert(h_buf.end(), hidden, hidden + hidden_cols);
+      const float* row = seq.predict_inputs.data() + p * pred_cols;
+      x_buf.insert(x_buf.end(), row, row + pred_cols);
+      labels.push_back(seq.labels[p]);
+      stamps.push_back(ts);
+      if (stamps.size() >= kBlock) flush();
     }
+    flush();
   };
   if (num_threads > 1 && user_indices.size() > 1) {
     ThreadPool pool(num_threads);

@@ -39,6 +39,13 @@ class BinaryWriter {
     bytes_.insert(bytes_.end(), p, p + v.size() * sizeof(T));
   }
 
+  /// Appends n raw bytes with no length prefix (fixed-layout payloads
+  /// whose size the reader derives from context, e.g. int8 state vectors).
+  void write_bytes(const void* data, std::size_t n) {
+    const auto* p = static_cast<const std::uint8_t*>(data);
+    bytes_.insert(bytes_.end(), p, p + n);
+  }
+
   const std::vector<std::uint8_t>& bytes() const { return bytes_; }
   std::vector<std::uint8_t> take() { return std::move(bytes_); }
 
@@ -91,6 +98,13 @@ class BinaryReader {
     std::memcpy(v.data(), bytes_.data() + pos_, n * sizeof(T));
     pos_ += n * sizeof(T);
     return v;
+  }
+
+  /// Reads n raw bytes (the write_bytes counterpart).
+  void read_bytes(void* out, std::size_t n) {
+    require(n);
+    std::memcpy(out, bytes_.data() + pos_, n);
+    pos_ += n;
   }
 
   bool at_end() const { return pos_ == bytes_.size(); }

@@ -1,0 +1,57 @@
+// Shared assertions for the serving parity suites (serving_test,
+// serving_stress_test, quantized_inference_test): one definition of
+// ledger/joiner equality and of the sequential replay order, so a field
+// added to ServingCostSummary or JoinerStats is covered by every parity
+// test at once.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <span>
+#include <vector>
+
+#include "serving/precompute_service.hpp"
+
+namespace pp::serving {
+
+inline void expect_equal_ledgers(const ServingCostSummary& a,
+                                 const ServingCostSummary& b) {
+  EXPECT_EQ(a.predictions, b.predictions);
+  EXPECT_EQ(a.state_updates, b.state_updates);
+  EXPECT_EQ(a.model_flops, b.model_flops);
+  EXPECT_EQ(a.kv.lookups, b.kv.lookups);
+  EXPECT_EQ(a.kv.hits, b.kv.hits);
+  EXPECT_EQ(a.kv.writes, b.kv.writes);
+  EXPECT_EQ(a.kv.bytes_read, b.kv.bytes_read);
+  EXPECT_EQ(a.kv.bytes_written, b.kv.bytes_written);
+  EXPECT_EQ(a.storage_bytes, b.storage_bytes);
+  EXPECT_EQ(a.live_keys, b.live_keys);
+}
+
+inline void expect_equal_joiners(const JoinerStats& a, const JoinerStats& b) {
+  EXPECT_EQ(a.contexts, b.contexts);
+  EXPECT_EQ(a.accesses, b.accesses);
+  EXPECT_EQ(a.joined, b.joined);
+  EXPECT_EQ(a.duplicate_contexts, b.duplicate_contexts);
+  EXPECT_EQ(a.duplicate_accesses, b.duplicate_accesses);
+  EXPECT_EQ(a.orphan_accesses, b.orphan_accesses);
+  EXPECT_EQ(a.orphan_drops, b.orphan_drops);
+  EXPECT_EQ(a.late_accesses, b.late_accesses);
+}
+
+/// Stable time-order of a batch: the sequential replay order the batched
+/// paths must reproduce.
+inline std::vector<std::size_t> time_order(
+    std::span<const SessionStart> batch) {
+  std::vector<std::size_t> order(batch.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&batch](std::size_t a, std::size_t b) {
+                     return batch[a].t < batch[b].t;
+                   });
+  return order;
+}
+
+}  // namespace pp::serving

@@ -5,10 +5,13 @@
 // kernel bit-for-bit.
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <string>
 #include <vector>
 
 #include "tensor/gemm.hpp"
 #include "tensor/matrix.hpp"
+#include "tensor/qgemm.hpp"
 #include "util/rng.hpp"
 
 namespace pp::tensor {
@@ -200,6 +203,116 @@ TEST(Gemm, BatchedRowsMatchSingleRowProducts) {
       EXPECT_EQ(single[j], batched.at(b, j)) << "row " << b << " col " << j;
     }
   }
+}
+
+// ---- int8 qgemm kernels ----------------------------------------------------
+
+/// Random int8 values in [-127, 127].
+std::vector<std::int8_t> random_int8(std::size_t n, Rng& rng) {
+  std::vector<std::int8_t> v(n);
+  for (auto& x : v) {
+    x = static_cast<std::int8_t>(rng.uniform_int(-127, 127));
+  }
+  return v;
+}
+
+class QGemmParity : public ::testing::TestWithParam<GemmShape> {};
+
+TEST_P(QGemmParity, BlockedAndThreadedMatchNaiveExactly) {
+  // Integer accumulation is exact, so naive / blocked / threaded must be
+  // identical — no float-tolerance escape hatch.
+  const auto [m, k, n] = GetParam();
+  Rng rng(shape_seed(GetParam()) ^ 0x1111);
+  const auto a = random_int8(m * k, rng);
+  const auto b = random_int8(k * n, rng);
+  std::vector<std::int32_t> c_naive(m * n, 0), c_blocked(m * n, 0),
+      c_threaded(m * n, 0);
+  qgemm_nn_i32_naive(a.data(), b.data(), c_naive.data(), m, k, n);
+  {
+    GemmConfigScope scope(GemmKernel::kBlocked, 1);
+    qgemm_nn_i32_blocked(a.data(), b.data(), c_blocked.data(), m, k, n);
+  }
+  {
+    GemmConfigScope scope(GemmKernel::kBlocked, 4, 0);  // force fan-out
+    qgemm_nn_i32_blocked(a.data(), b.data(), c_threaded.data(), m, k, n);
+  }
+  EXPECT_EQ(c_naive, c_blocked);
+  EXPECT_EQ(c_naive, c_threaded);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, QGemmParity,
+                         ::testing::ValuesIn(test_shapes()),
+                         [](const auto& info) {
+                           return "m" + std::to_string(info.param.m) + "_k" +
+                                  std::to_string(info.param.k) + "_n" +
+                                  std::to_string(info.param.n);
+                         });
+
+TEST(QGemm, MatchesDequantizedReferenceProduct) {
+  // qgemm(A, W) must equal sa(i) * sw * sum(qa * qw) computed exactly in
+  // double — the dequantizing epilogue is one float multiply per element.
+  Rng rng(91);
+  const Matrix a = Matrix::randn(5, 37, rng);
+  const Matrix w = Matrix::randn(37, 11, rng);
+  const QuantizedMatrix qa = QuantizedMatrix::quantize_rows(a);
+  const QuantizedMatrix qw = QuantizedMatrix::quantize(w);
+  const Matrix out = qgemm(qa, qw);
+  for (std::size_t i = 0; i < 5; ++i) {
+    for (std::size_t j = 0; j < 11; ++j) {
+      double acc = 0;
+      for (std::size_t p = 0; p < 37; ++p) {
+        acc += static_cast<double>(qa.data()[i * 37 + p]) *
+               qw.data()[p * 11 + j];
+      }
+      const float expected = static_cast<float>(qa.scale(i)) * qw.scale() *
+                             static_cast<float>(acc);
+      EXPECT_FLOAT_EQ(out.at(i, j), expected) << i << "," << j;
+    }
+  }
+  // And the whole thing approximates the f32 product of the dequantized
+  // operands (sanity on the affine algebra, loose float tolerance).
+  const Matrix ref = reference_matmul(qa.dequantize(), qw.dequantize());
+  EXPECT_TRUE(out.approx_equal(ref, 1e-3f));
+}
+
+TEST(QGemm, AffineZeroPointCorrectionIsExact) {
+  // One-sided activations (ReLU output shape) use per-row affine
+  // quantization; the column-sum correction must reproduce
+  // sum((qa - za) * qw) exactly.
+  Rng rng(93);
+  Matrix a = Matrix::rand_uniform(4, 29, rng, 0.0f, 3.0f);
+  a.at(2, 5) = 0.0f;  // exact zero stays exact under the nudged range
+  const Matrix w = Matrix::randn(29, 7, rng);
+  const QuantizedMatrix qa = QuantizedMatrix::quantize_rows_affine(a);
+  EXPECT_FALSE(qa.symmetric());  // the correction path actually runs
+  const QuantizedMatrix qw = QuantizedMatrix::quantize(w);
+  const Matrix out = qgemm(qa, qw);
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = 0; j < 7; ++j) {
+      double acc = 0;
+      for (std::size_t p = 0; p < 29; ++p) {
+        acc += static_cast<double>(qa.data()[i * 29 + p] - qa.zero_point(i)) *
+               qw.data()[p * 7 + j];
+      }
+      const float expected = static_cast<float>(qa.scale(i)) * qw.scale() *
+                             static_cast<float>(acc);
+      EXPECT_FLOAT_EQ(out.at(i, j), expected) << i << "," << j;
+    }
+  }
+}
+
+TEST(QGemm, RejectsNonSymmetricOrMismatchedOperands) {
+  Rng rng(95);
+  const Matrix a = Matrix::rand_uniform(2, 8, rng, 0.0f, 1.0f);
+  const Matrix w = Matrix::randn(8, 3, rng);
+  const QuantizedMatrix qa = QuantizedMatrix::quantize_rows(a);
+  const QuantizedMatrix qw = QuantizedMatrix::quantize(w);
+  // B with per-row zero points is not a weight tensor.
+  const QuantizedMatrix bad_b = QuantizedMatrix::quantize_rows_affine(w);
+  EXPECT_THROW(qgemm(qa, bad_b), std::invalid_argument);
+  const QuantizedMatrix wrong_k = QuantizedMatrix::quantize(
+      Matrix::randn(9, 3, rng));
+  EXPECT_THROW(qgemm(qa, wrong_k), std::invalid_argument);
 }
 
 TEST(Gemm, ConfigScopeRestoresGlobals) {

@@ -1,6 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
 #include "tensor/matrix.hpp"
+#include "tensor/qgemm.hpp"
 #include "util/rng.hpp"
 
 namespace pp::tensor {
@@ -150,6 +154,131 @@ TEST(Matrix, GemmAccumulateAddsIntoExisting) {
   Matrix expected = naive_matmul(a, b);
   expected.add_inplace(Matrix::ones(3, 5));
   EXPECT_TRUE(c.approx_equal(expected, 1e-4f));
+}
+
+// ---- int8 quantization property tests -------------------------------------
+// QuantizedMatrix::quantize implements the HiddenStateStore int8 codec
+// rules (single source of truth), so these generative cases are the
+// state-codec round-trip guarantee: for every finite entry the
+// reconstruction error is bounded by scale/2, and non-finite entries are
+// sanitized (NaN -> 0, ±Inf saturates) instead of poisoning the tensor.
+// This extends the fixed-vector NaN/Inf regression of the serving tests
+// into randomized coverage of denormals, all-zero tensors, single
+// outliers, and mixed magnitudes.
+
+/// Fills m according to a fuzz regime; returns a label for diagnostics.
+const char* fill_fuzz_matrix(Matrix& m, int regime, Rng& rng) {
+  switch (regime) {
+    case 0:  // mixed magnitudes across ~6 decades
+      for (std::size_t i = 0; i < m.size(); ++i) {
+        m[i] = static_cast<float>(rng.normal() *
+                                  std::pow(10.0, rng.uniform(-3.0, 3.0)));
+      }
+      return "mixed-magnitude";
+    case 1:  // all zero: scale must default, everything decodes to 0
+      m.fill(0.0f);
+      return "all-zero";
+    case 2: {  // single outlier dominating the scale
+      for (std::size_t i = 0; i < m.size(); ++i) {
+        m[i] = static_cast<float>(rng.normal());
+      }
+      m[rng.uniform_index(m.size())] *= 1e4f;
+      return "single-outlier";
+    }
+    case 3:  // denormals: the scale division must not underflow to zero
+      for (std::size_t i = 0; i < m.size(); ++i) {
+        m[i] = static_cast<float>(rng.uniform(-1.0, 1.0)) * 1e-41f;
+      }
+      return "denormal";
+    case 4:  // near-float-limit magnitudes of both signs: the affine range
+             // (hi - lo) must not overflow to Inf
+      for (std::size_t i = 0; i < m.size(); ++i) {
+        m[i] = static_cast<float>(rng.uniform(-1.0, 1.0)) * 3e38f;
+      }
+      return "extreme-magnitude";
+    default:  // non-finite injections into normal data
+      for (std::size_t i = 0; i < m.size(); ++i) {
+        const double u = rng.uniform();
+        if (u < 0.1) {
+          m[i] = std::numeric_limits<float>::quiet_NaN();
+        } else if (u < 0.2) {
+          m[i] = std::numeric_limits<float>::infinity() *
+                 (rng.bernoulli(0.5) ? 1.0f : -1.0f);
+        } else {
+          m[i] = static_cast<float>(rng.normal());
+        }
+      }
+      return "non-finite";
+  }
+}
+
+TEST(QuantizedMatrix, GenerativeRoundTripBoundsError) {
+  Rng rng(2024);
+  for (int trial = 0; trial < 250; ++trial) {
+    const std::size_t rows = 1 + rng.uniform_index(6);
+    const std::size_t cols = 1 + rng.uniform_index(48);
+    Matrix m(rows, cols);
+    const char* regime = fill_fuzz_matrix(m, trial % 6, rng);
+
+    // Per-tensor (the codec) and per-row symmetric forms share the rules.
+    for (const bool per_row : {false, true}) {
+      const QuantizedMatrix q = per_row ? QuantizedMatrix::quantize_rows(m)
+                                        : QuantizedMatrix::quantize(m);
+      const Matrix d = q.dequantize();
+      for (std::size_t r = 0; r < rows; ++r) {
+        const float scale = q.scale(r);
+        EXPECT_GT(scale, 0.0f);
+        for (std::size_t c = 0; c < cols; ++c) {
+          const float v = m.at(r, c);
+          const float dv = d.at(r, c);
+          EXPECT_TRUE(std::isfinite(dv))
+              << regime << " trial " << trial << " (" << r << "," << c << ")";
+          if (std::isnan(v)) {
+            EXPECT_EQ(dv, 0.0f) << regime;
+          } else if (std::isinf(v)) {
+            // Saturates to the scale's endpoint with the right sign.
+            EXPECT_EQ(dv, (v > 0 ? 127.0f : -127.0f) * scale) << regime;
+          } else {
+            // The codec guarantee: |v̂ - v| <= scale/2 (+ float epsilon).
+            EXPECT_LE(std::abs(dv - v), 0.501f * scale)
+                << regime << " trial " << trial << " v=" << v;
+          }
+        }
+      }
+    }
+
+    // Affine per-row: coarser guarantee (zero-point rounding and range
+    // clipping can cost up to ~1.5 steps), but exact zeros stay exact.
+    const QuantizedMatrix qa = QuantizedMatrix::quantize_rows_affine(m);
+    const Matrix da = qa.dequantize();
+    for (std::size_t r = 0; r < rows; ++r) {
+      for (std::size_t c = 0; c < cols; ++c) {
+        const float v = m.at(r, c);
+        if (std::isnan(v)) {
+          EXPECT_EQ(da.at(r, c), 0.0f) << regime;
+        } else if (std::isfinite(v)) {
+          EXPECT_LE(std::abs(da.at(r, c) - v), 1.51f * qa.scale(r))
+              << regime << " trial " << trial << " v=" << v;
+          if (v == 0.0f) {
+            EXPECT_EQ(da.at(r, c), 0.0f) << regime;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(QuantizedMatrix, FromRawRoundTripsStoredBytes) {
+  // The stored-state read path: bytes + scale in, identical bytes out,
+  // dequantization = scale * q with no re-encoding drift.
+  Rng rng(77);
+  const Matrix m = Matrix::randn(1, 16, rng, 0.0f, 0.4f);
+  const QuantizedMatrix q = QuantizedMatrix::quantize(m);
+  const QuantizedMatrix raw =
+      QuantizedMatrix::from_raw(1, 16, q.scale(), q.storage());
+  EXPECT_EQ(raw.storage(), q.storage());
+  EXPECT_EQ(raw.scale(), q.scale());
+  EXPECT_EQ(raw.dequantize(), q.dequantize());
 }
 
 }  // namespace

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <numeric>
 
 #include "autograd/ops.hpp"
@@ -182,6 +183,56 @@ TEST(ScoreUsers, MatchesGraphForwardProbabilities) {
         dropout_rng);
     EXPECT_NEAR(series.scores[p], pp::sigmoid(static_cast<double>(logit.value()[0])), 1e-5)
         << "prediction " << p;
+  }
+}
+
+TEST(ScoreUsers, BatchedReplayMatchesPerPredictionReplayExactly) {
+  // score_users now routes every emitted prediction through the batched
+  // infer_logits head (blocks of hidden snapshots at their exact step
+  // depth). GEMM row independence makes that bit-identical to the
+  // per-prediction gemv replay this test performs by hand. 240 days at ~2
+  // sessions/day pushes at least one user past the 256-row block size, so
+  // the flush boundary is crossed too.
+  const auto dataset = small_mobile_tab(6, 240);
+  const auto users = all_users(dataset);
+  Rng rng(21);
+  RnnNetwork network(small_network_config(dataset), rng);
+  network.set_training(false);
+  SequenceConfig seq_config;
+
+  const ScoredSeries series =
+      score_users(network, dataset, users, seq_config, false, 0, 0, 2);
+
+  ScoredSeries ref;
+  std::size_t max_user_predictions = 0;
+  for (const std::size_t u : users) {
+    const UserSequence seq =
+        build_session_sequence(dataset, dataset.users[u], seq_config);
+    max_user_predictions = std::max(max_user_predictions,
+                                    seq.num_predictions());
+    InferenceState state = network.infer_initial_state();
+    std::uint32_t applied = 0;
+    Matrix row(1, seq.predict_inputs.cols());
+    for (std::size_t p = 0; p < seq.num_predictions(); ++p) {
+      while (applied < seq.h_index[p]) {
+        Matrix x(1, seq.update_inputs.cols());
+        std::copy(seq.update_inputs.row(applied).begin(),
+                  seq.update_inputs.row(applied).end(), x.row(0).begin());
+        network.infer_update(state, x);
+        ++applied;
+      }
+      std::copy(seq.predict_inputs.row(p).begin(),
+                seq.predict_inputs.row(p).end(), row.row(0).begin());
+      ref.append(pp::sigmoid(network.infer_logit(state.hidden(), row)),
+                 seq.labels[p], seq.timestamps[p]);
+    }
+  }
+  EXPECT_GT(max_user_predictions, 256u);  // at least one user crosses a block
+  ASSERT_EQ(series.scores.size(), ref.scores.size());
+  for (std::size_t i = 0; i < ref.scores.size(); ++i) {
+    EXPECT_EQ(series.scores[i], ref.scores[i]) << "prediction " << i;
+    EXPECT_EQ(series.labels[i], ref.labels[i]);
+    EXPECT_EQ(series.timestamps[i], ref.timestamps[i]);
   }
 }
 
