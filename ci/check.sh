@@ -13,15 +13,25 @@ cmake -B "${BUILD_DIR}" -S "${REPO_ROOT}"
 echo "== build =="
 cmake --build "${BUILD_DIR}" -j "${JOBS}"
 
-# Tiered: the fast unit + quant labels run (and can fail) first; the
-# serving integration and slow stress tiers only start once they pass.
+# Tiered fail-fast ordering: unit → quant → online → serving → stress.
+# The fast kernel/model tiers run (and can fail) first; the online
+# continual-learning tier gates the serving integration tier, and the slow
+# multi-round stress replays only start once everything else passed.
 echo "== ctest: unit + quant (fail fast) =="
 ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}" \
   -L '^(unit|quant)$'
 
-echo "== ctest: serving + stress =="
+echo "== ctest: online =="
 ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}" \
-  -LE '^(unit|quant)$'
+  -L '^online$'
+
+echo "== ctest: serving =="
+ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}" \
+  -L '^serving$'
+
+echo "== ctest: stress =="
+ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}" \
+  -LE '^(unit|quant|online|serving)$'
 
 echo "== bench smoke: section 7.1 parallelism (old vs new GEMM kernel) =="
 "${BUILD_DIR}/bench_section7_parallelism"

@@ -254,6 +254,30 @@ Variable slice_rows(const Variable& a, std::size_t begin, std::size_t count) {
   return Variable(node);
 }
 
+Variable gather_rows(const Variable& a, std::vector<std::size_t> indices) {
+  Matrix value(indices.size(), a.cols());
+  for (std::size_t r = 0; r < indices.size(); ++r) {
+    if (indices[r] >= a.rows()) {
+      throw std::invalid_argument("gather_rows: index out of range");
+    }
+    std::copy(a.value().row(indices[r]).begin(),
+              a.value().row(indices[r]).end(), value.row(r).begin());
+  }
+  auto node = make_node(std::move(value), {a.node()}, any_requires_grad(a));
+  Node* out = node.get();
+  Node* na = a.raw();
+  node->backward_fn = [out, na, indices = std::move(indices)] {
+    if (!na->requires_grad) return;
+    Matrix& g = na->ensure_grad();
+    for (std::size_t r = 0; r < indices.size(); ++r) {
+      for (std::size_t c = 0; c < out->grad.cols(); ++c) {
+        g.at(indices[r], c) += out->grad.at(r, c);
+      }
+    }
+  };
+  return Variable(node);
+}
+
 Variable sum(const Variable& a) {
   Matrix value(1, 1);
   value[0] = static_cast<float>(a.value().sum());

@@ -44,6 +44,11 @@ Variable slice_cols(const Variable& a, std::size_t begin, std::size_t count);
 /// Rows [begin, begin+count); used to pull one user's hidden row out of a
 /// padded minibatch state.
 Variable slice_rows(const Variable& a, std::size_t begin, std::size_t count);
+/// Rows a[indices[i]] stacked into [indices.size() x cols]; the backward
+/// pass scatter-adds, so duplicate indices accumulate. Used by the padded
+/// trainer to pull every prediction sharing one step depth out of the
+/// [B x H] exposed state as a single batched MLP-head input.
+Variable gather_rows(const Variable& a, std::vector<std::size_t> indices);
 
 /// Sum of all entries -> [1 x 1].
 Variable sum(const Variable& a);

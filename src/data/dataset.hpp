@@ -91,6 +91,21 @@ struct Dataset {
 
   /// δ — the update lag of §6.1.
   std::int64_t delta() const { return session_length + update_latency; }
+  /// Copy of every meta field (schema, timing constants, peak window) with
+  /// an empty user list — the one place that knows the full field set, so
+  /// snapshot/derivation sites can't drift when a field is added.
+  Dataset clone_meta() const {
+    Dataset out;
+    out.name = name;
+    out.schema = schema;
+    out.start_time = start_time;
+    out.end_time = end_time;
+    out.session_length = session_length;
+    out.update_latency = update_latency;
+    out.timeshifted = timeshifted;
+    out.peak = peak;
+    return out;
+  }
   std::size_t total_sessions() const;
   std::size_t total_accesses() const;
   double positive_rate() const;

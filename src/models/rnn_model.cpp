@@ -58,6 +58,26 @@ train::ScoredSeries RnnModel::score(const data::Dataset& dataset,
                             timeshift_, emit_from, emit_to, num_threads);
 }
 
+train::ScoredSeries RnnModel::score_q8(const data::Dataset& dataset,
+                                       std::span<const std::size_t> users,
+                                       std::int64_t emit_from,
+                                       std::int64_t emit_to,
+                                       std::size_t num_threads) const {
+  return train::score_users_q8(*network_, dataset, users, sequence_config_,
+                               timeshift_, emit_from, emit_to, num_threads);
+}
+
+std::unique_ptr<RnnModel> RnnModel::clone() const {
+  data::Dataset meta;
+  meta.schema = schema_;
+  meta.timeshifted = timeshift_;
+  auto copy = std::make_unique<RnnModel>(meta, config_);
+  copy->sequence_config_ = sequence_config_;
+  copy->network_->copy_parameters_from(*network_);
+  copy->network_->set_training(false);
+  return copy;
+}
+
 std::vector<double> RnnModel::score_session_batch(
     const tensor::Matrix& hidden_block, const tensor::Matrix& x_block) const {
   std::vector<double> scores = network_->infer_logits(hidden_block, x_block);

@@ -52,6 +52,22 @@ class RnnModel {
                             std::int64_t emit_to = 0,
                             std::size_t num_threads = 1) const;
 
+  /// Int8 twin of score(): replays through the quantized state/update/head
+  /// path (the numerics kInt8 serving runs). Requires
+  /// enable_quantized_serving().
+  train::ScoredSeries score_q8(const data::Dataset& dataset,
+                               std::span<const std::size_t> user_indices,
+                               std::int64_t emit_from = 0,
+                               std::int64_t emit_to = 0,
+                               std::size_t num_threads = 1) const;
+
+  /// Deep copy: same architecture and sequence semantics, parameter values
+  /// copied, inference mode. Quantized replicas are NOT carried over —
+  /// enable_quantized_serving() on the copy (the ModelRegistry does this at
+  /// publish so replicas always match the published f32 weights). The
+  /// online tier clones the shadow network into fresh immutable versions.
+  std::unique_ptr<RnnModel> clone() const;
+
   /// Batched session-start scoring: `hidden_block` is [B x hidden],
   /// `x_block` is [B x predict_input_size()]; returns B access
   /// probabilities. Row b exactly equals the per-session score of the same

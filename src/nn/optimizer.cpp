@@ -41,6 +41,37 @@ void Adam::step() {
   }
 }
 
+void Adam::serialize(BinaryWriter& writer) const {
+  writer.write_u64(static_cast<std::uint64_t>(t_));
+  writer.write_u64(static_cast<std::uint64_t>(m_.size()));
+  for (std::size_t i = 0; i < m_.size(); ++i) {
+    m_[i].serialize(writer);
+    v_[i].serialize(writer);
+  }
+}
+
+void Adam::deserialize(BinaryReader& reader) {
+  const std::uint64_t t = reader.read_u64();
+  const std::uint64_t count = reader.read_u64();
+  if (count != m_.size()) {
+    throw std::runtime_error("Adam::deserialize: parameter count mismatch");
+  }
+  std::vector<Matrix> m, v;
+  m.reserve(count);
+  v.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    m.push_back(Matrix::deserialize(reader));
+    v.push_back(Matrix::deserialize(reader));
+    if (m.back().rows() != m_[i].rows() || m.back().cols() != m_[i].cols() ||
+        v.back().rows() != v_[i].rows() || v.back().cols() != v_[i].cols()) {
+      throw std::runtime_error("Adam::deserialize: moment shape mismatch");
+    }
+  }
+  t_ = static_cast<std::size_t>(t);
+  m_ = std::move(m);
+  v_ = std::move(v);
+}
+
 Sgd::Sgd(std::vector<Variable> params, SgdConfig config)
     : Optimizer(std::move(params)), config_(config) {
   velocity_.reserve(params_.size());

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "autograd/variable.hpp"
+#include "util/serialize.hpp"
 
 namespace pp::nn {
 
@@ -46,6 +47,14 @@ class Adam final : public Optimizer {
   void step() override;
 
   std::size_t step_count() const { return t_; }
+
+  /// (De)serializes the optimizer *state* — step count and both moment
+  /// estimates — so an incremental trainer can persist Adam across process
+  /// restarts and resume bit-identically. The parameter values themselves
+  /// are not included (Module::serialize owns those); deserialize validates
+  /// the moment shapes against this instance's parameter layout.
+  void serialize(BinaryWriter& writer) const;
+  void deserialize(BinaryReader& reader);
 
  private:
   AdamConfig config_;

@@ -1,0 +1,184 @@
+#include "online/online_learner.hpp"
+
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+#include "eval/metrics.hpp"
+
+namespace pp::online {
+
+namespace {
+
+std::vector<std::size_t> all_users(const data::Dataset& dataset) {
+  std::vector<std::size_t> users(dataset.users.size());
+  std::iota(users.begin(), users.end(), 0);
+  return users;
+}
+
+}  // namespace
+
+OnlineLearner::OnlineLearner(ModelRegistry& registry,
+                             const data::Dataset& dataset_meta,
+                             OnlineLearnerConfig config)
+    : config_(config),
+      registry_(&registry),
+      meta_(dataset_meta.clone_meta()),
+      buffer_(config.buffer) {
+  if (config_.gate_int8 && !registry.quantize_replicas()) {
+    throw std::invalid_argument(
+        "OnlineLearner: gate_int8 needs a registry that rebuilds int8 "
+        "replicas on publish");
+  }
+  const auto current = registry.current();
+  shadow_ = current->model->clone();
+
+  train::RnnTrainerConfig trainer_config;
+  trainer_config.epochs = config_.epochs_per_round;
+  trainer_config.learning_rate = config_.learning_rate;
+  trainer_config.minibatch_users = config_.minibatch_users;
+  trainer_config.grad_clip = config_.grad_clip;
+  // Rounds are small; the sequential strategy keeps the incremental loop
+  // replica-free and deterministic for a given config.
+  trainer_config.strategy = train::BatchStrategy::kSequential;
+  trainer_config.num_threads = 1;
+  trainer_config.sequence = current->model->sequence_config();
+  trainer_config.timeshift = current->model->timeshift();
+  trainer_config.seed = config_.seed;
+  trainer_ =
+      std::make_unique<train::RnnTrainer>(shadow_->network(), trainer_config);
+}
+
+OnlineLearner::~OnlineLearner() = default;
+
+void OnlineLearner::observe(const serving::JoinedSession& joined) {
+  // Deliberately does NOT take mutex_: observe runs on the serving side
+  // (under the service mutex) and must never block behind a training
+  // round. The buffer has its own short-lived lock and already counts
+  // observations; stats() reads the count from there.
+  buffer_.add(joined.user_id, joined.session_start, joined.context,
+              joined.access);
+}
+
+double OnlineLearner::gate_pr_auc(const models::RnnModel& model,
+                                  const data::Dataset& eval_ds,
+                                  std::span<const std::size_t> users,
+                                  std::int64_t emit_from,
+                                  std::size_t* predictions) const {
+  const train::ScoredSeries series =
+      config_.gate_int8 ? model.score_q8(eval_ds, users, emit_from)
+                        : model.score(eval_ds, users, emit_from);
+  *predictions = series.scores.size();
+  bool has_positive = false, has_negative = false;
+  for (const float y : series.labels) {
+    (y > 0.5f ? has_positive : has_negative) = true;
+  }
+  if (!has_positive || !has_negative) {
+    return std::numeric_limits<double>::quiet_NaN();  // ungateable window
+  }
+  return eval::pr_auc(series.scores, series.labels);
+}
+
+OnlineUpdateReport OnlineLearner::run_update_round() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  OnlineUpdateReport report;
+  ++stats_.rounds;
+  report.version = registry_->current_version();
+
+  const std::int64_t latest = buffer_.latest_time();
+  const std::int64_t holdout_start = latest - config_.holdout_window;
+  // holdout_start <= 0 means the buffer doesn't even span one holdout
+  // window yet — and 0 in particular would collide with the "keep all" /
+  // "emit all" sentinels of snapshot() and score_users, silently training
+  // on the holdout. No gateable round exists either way.
+  if (holdout_start <= 0) {
+    ++stats_.skipped;
+    return report;
+  }
+  // Both datasets come from snapshot() so there is exactly one
+  // implementation of the time cutoff (and of the day-bound recompute);
+  // the two short buffer locks are cheaper than semantic drift between a
+  // hand-rolled filter and the tested `until` path.
+  const data::Dataset train_ds = buffer_.snapshot(meta_, holdout_start);
+  const data::Dataset eval_ds = buffer_.snapshot(meta_);
+  report.train_sessions = train_ds.total_sessions();
+  if (report.train_sessions < config_.min_train_sessions) {
+    ++stats_.skipped;
+    return report;
+  }
+
+  // ---- incremental fit on everything strictly before the holdout ----
+  trainer_->set_loss_from(
+      config_.loss_window > 0 ? holdout_start - config_.loss_window : 0);
+  trainer_->fit(train_ds, all_users(train_ds));
+  report.ran = true;
+  if (config_.gate_int8 && !shadow_->quantized_serving()) {
+    // First round only; RnnTrainer::fit refreshes the replicas afterwards.
+    shadow_->enable_quantized_serving();
+  }
+
+  // ---- prequential gate on the held-out window ----
+  const std::vector<std::size_t> eval_users = all_users(eval_ds);
+  const auto current = registry_->current();
+  std::size_t candidate_preds = 0, published_preds = 0;
+  const double candidate_pr = gate_pr_auc(*shadow_, eval_ds, eval_users,
+                                          holdout_start, &candidate_preds);
+  const double published_pr = gate_pr_auc(*current->model, eval_ds,
+                                          eval_users, holdout_start,
+                                          &published_preds);
+  report.candidate_pr_auc = candidate_pr;
+  report.published_pr_auc = published_pr;
+  report.holdout_predictions = candidate_preds;
+  if (candidate_preds < config_.min_holdout_predictions ||
+      std::isnan(candidate_pr) || std::isnan(published_pr)) {
+    ++stats_.skipped;  // trained, but no gate decision was possible
+    return report;
+  }
+
+  if (candidate_pr >= published_pr - config_.max_pr_auc_regression) {
+    report.version = registry_->publish(
+        std::shared_ptr<models::RnnModel>(shadow_->clone()));
+    report.published = true;
+    ++stats_.publishes;
+    return report;
+  }
+
+  ++stats_.rejects;
+  if (config_.rollback_on_regression) {
+    if (const auto prev = registry_->previous(); prev != nullptr) {
+      std::size_t prev_preds = 0;
+      const double prev_pr = gate_pr_auc(*prev->model, eval_ds, eval_users,
+                                         holdout_start, &prev_preds);
+      if (!std::isnan(prev_pr) &&
+          published_pr < prev_pr - config_.max_pr_auc_regression &&
+          registry_->rollback()) {
+        report.rolled_back = true;
+        ++stats_.rollbacks;
+      }
+    }
+  }
+  report.version = registry_->current_version();
+  return report;
+}
+
+OnlineLearnerStats OnlineLearner::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  OnlineLearnerStats out = stats_;
+  out.observed_sessions = buffer_.stats().observed;
+  return out;
+}
+
+void OnlineLearner::save_state(BinaryWriter& writer) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  shadow_->network().serialize(writer);
+  trainer_->serialize_optimizer(writer);
+}
+
+void OnlineLearner::load_state(BinaryReader& reader) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  shadow_->network().deserialize(reader);
+  trainer_->deserialize_optimizer(reader);
+}
+
+}  // namespace pp::online

@@ -1,0 +1,149 @@
+#include "online/replay_buffer.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+namespace pp::online {
+
+SessionReplayBuffer::SessionReplayBuffer(ReplayBufferConfig config)
+    : config_(config) {
+  if (config_.capacity == 0 || config_.per_user_cap == 0) {
+    throw std::invalid_argument("SessionReplayBuffer: zero capacity");
+  }
+}
+
+void SessionReplayBuffer::add(
+    std::uint64_t user_id, std::int64_t session_start,
+    const std::array<std::uint32_t, data::kMaxContextFields>& context,
+    bool access) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.observed;
+  latest_time_ = std::max(latest_time_, session_start);
+
+  Entry entry;
+  entry.session.timestamp = session_start;
+  entry.session.context = context;
+  entry.session.access = access ? 1 : 0;
+  entry.seq = next_seq_++;
+
+  std::deque<Entry>& log = per_user_[user_id];
+  log.push_back(entry);
+  arrival_.emplace_back(user_id, entry.seq);
+  ++total_;
+
+  if (log.size() > config_.per_user_cap) {
+    log.pop_front();
+    --total_;
+    ++stats_.evicted_user_cap;
+  }
+  if (total_ > config_.capacity) evict_capacity_locked();
+  // Per-user-cap evictions leave stale entries behind in the arrival
+  // FIFO (only capacity evictions pop it); without a bound a few heavy
+  // users would grow arrival_ forever. Compact once it exceeds twice the
+  // live count — amortized O(1) per add.
+  if (arrival_.size() > std::max<std::size_t>(64, 2 * config_.capacity)) {
+    compact_arrival_locked();
+  }
+}
+
+void SessionReplayBuffer::compact_arrival_locked() {
+  std::deque<std::pair<std::uint64_t, std::uint64_t>> live;
+  for (const auto& [user_id, seq] : arrival_) {
+    const auto it = per_user_.find(user_id);
+    // Per-user deques hold strictly increasing seqs, so an entry is live
+    // iff its seq is still at or after the retained front.
+    if (it != per_user_.end() && !it->second.empty() &&
+        seq >= it->second.front().seq) {
+      live.emplace_back(user_id, seq);
+    }
+  }
+  arrival_.swap(live);
+}
+
+void SessionReplayBuffer::evict_capacity_locked() {
+  while (total_ > config_.capacity && !arrival_.empty()) {
+    const auto [user_id, seq] = arrival_.front();
+    arrival_.pop_front();
+    const auto it = per_user_.find(user_id);
+    if (it == per_user_.end() || it->second.empty() ||
+        it->second.front().seq != seq) {
+      continue;  // already gone via the per-user cap — stale FIFO entry
+    }
+    it->second.pop_front();
+    if (it->second.empty()) per_user_.erase(it);
+    --total_;
+    ++stats_.evicted_capacity;
+  }
+}
+
+std::size_t SessionReplayBuffer::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return total_;
+}
+
+std::size_t SessionReplayBuffer::arrival_entries() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return arrival_.size();
+}
+
+std::size_t SessionReplayBuffer::user_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return per_user_.size();
+}
+
+std::int64_t SessionReplayBuffer::latest_time() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return latest_time_;
+}
+
+ReplayBufferStats SessionReplayBuffer::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+data::Dataset SessionReplayBuffer::snapshot(const data::Dataset& meta,
+                                            std::int64_t until) const {
+  data::Dataset out = meta.clone_meta();
+  out.name = meta.name.empty() ? "replay" : meta.name + "-replay";
+  // start/end_time are recomputed below from the included sessions.
+  out.start_time = 0;
+  out.end_time = 0;
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::int64_t min_t = 0, max_t = 0;
+  bool any = false;
+  // Deterministic user order regardless of hash-map layout.
+  std::vector<std::uint64_t> user_ids;
+  user_ids.reserve(per_user_.size());
+  for (const auto& [user_id, log] : per_user_) user_ids.push_back(user_id);
+  std::sort(user_ids.begin(), user_ids.end());
+  for (const std::uint64_t user_id : user_ids) {
+    const std::deque<Entry>& log = per_user_.at(user_id);
+    data::UserLog user;
+    user.user_id = user_id;
+    for (const Entry& e : log) {
+      if (until != 0 && e.session.timestamp >= until) continue;
+      user.sessions.push_back(e.session);
+      if (!any || e.session.timestamp < min_t) min_t = e.session.timestamp;
+      if (!any || e.session.timestamp > max_t) max_t = e.session.timestamp;
+      any = true;
+    }
+    if (user.sessions.empty()) continue;
+    // The joiner delivers in fire order (ascending per user), but a
+    // restored or merged buffer may not be; the UserLog contract is
+    // ascending timestamps.
+    std::stable_sort(user.sessions.begin(), user.sessions.end(),
+                     [](const data::Session& a, const data::Session& b) {
+                       return a.timestamp < b.timestamp;
+                     });
+    out.users.push_back(std::move(user));
+  }
+  if (any) {
+    out.start_time = data::day_start(min_t);
+    out.end_time = data::day_start(max_t) + 86400;
+  }
+  return out;
+}
+
+}  // namespace pp::online

@@ -1,0 +1,90 @@
+// Bounded session replay buffer — the capture half of the §10 "reusable
+// models" loop. Completed labeled sessions flow out of the serving tier's
+// stream joiner into this buffer; the OnlineLearner periodically compiles
+// its contents into a Dataset snapshot and runs incremental fits on it.
+//
+// Retention is FIFO-with-recency under two caps:
+//  * a per-user cap, so a heavy user's firehose cannot crowd the cohort
+//    out of the buffer (their own oldest sessions go first), and
+//  * a global capacity, evicting the globally oldest retained session
+//    (across users) once exceeded.
+// Both evictions drop from the *old* end, so the buffer always holds the
+// most recent behaviour — what an online learner should be tracking.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <unordered_map>
+
+#include "data/dataset.hpp"
+
+namespace pp::online {
+
+struct ReplayBufferConfig {
+  /// Global bound on buffered sessions.
+  std::size_t capacity = 100000;
+  /// Per-user bound (heavy users don't dominate the replay set).
+  std::size_t per_user_cap = 512;
+};
+
+struct ReplayBufferStats {
+  std::size_t observed = 0;
+  std::size_t evicted_user_cap = 0;
+  std::size_t evicted_capacity = 0;
+};
+
+/// Thread-safe: the serving tier adds from its completion callback while
+/// the learner snapshots from an update thread; one internal mutex guards
+/// everything (the add path is O(1) amortized).
+class SessionReplayBuffer {
+ public:
+  explicit SessionReplayBuffer(ReplayBufferConfig config);
+
+  /// Captures one completed (context, access) session.
+  void add(std::uint64_t user_id, std::int64_t session_start,
+           const std::array<std::uint32_t, data::kMaxContextFields>& context,
+           bool access);
+
+  std::size_t size() const;
+  std::size_t user_count() const;
+  /// Diagnostic: live arrival-FIFO length (compaction bounds it at ~2x
+  /// capacity even when only the per-user cap is evicting).
+  std::size_t arrival_entries() const;
+  /// Largest session_start observed (not evicted-aware); 0 when empty.
+  std::int64_t latest_time() const;
+  ReplayBufferStats stats() const;
+
+  /// Compiles the retained sessions with session_start < `until` (0 keeps
+  /// all) into a Dataset: meta fields (schema, session length, latency,
+  /// timeshift, peak) are copied from `meta`, start/end_time are the day
+  /// bounds of the included sessions, and each user's log is ascending by
+  /// timestamp. Users with no included sessions are omitted.
+  data::Dataset snapshot(const data::Dataset& meta,
+                         std::int64_t until = 0) const;
+
+ private:
+  struct Entry {
+    data::Session session;
+    std::uint64_t seq = 0;  // global arrival order
+  };
+
+  void evict_capacity_locked();
+  /// Drops arrival-FIFO entries already evicted by the per-user cap
+  /// (bounds arrival_ at ~2x capacity).
+  void compact_arrival_locked();
+
+  ReplayBufferConfig config_;
+  mutable std::mutex mutex_;
+  std::unordered_map<std::uint64_t, std::deque<Entry>> per_user_;
+  /// Global arrival FIFO of (user_id, seq); entries already evicted by the
+  /// per-user cap are skipped lazily when the capacity bound pops them.
+  std::deque<std::pair<std::uint64_t, std::uint64_t>> arrival_;
+  std::uint64_t next_seq_ = 0;
+  std::size_t total_ = 0;
+  std::int64_t latest_time_ = 0;
+  ReplayBufferStats stats_;
+};
+
+}  // namespace pp::online

@@ -1,6 +1,7 @@
 #include "serving/online_experiment.hpp"
 
 #include <algorithm>
+#include <stdexcept>
 
 namespace pp::serving {
 
@@ -56,19 +57,71 @@ OnlineExperimentResult run_online_experiment(
                                  cohort.session_length, config.grace,
                                  cohort.start_time);
 
+  // Third arm: the same trained weights, but served through a registry and
+  // continually refit from the arm's own joiner feed. The learner only
+  // ever sees what production would see — joined (context, access) records
+  // delayed by window + grace — and every publish passes the prequential
+  // gate inside run_update_round.
+  std::unique_ptr<LocalKvStore> online_kv;
+  std::unique_ptr<HiddenStateStore> online_store;
+  std::unique_ptr<online::ModelRegistry> registry;
+  std::unique_ptr<online::OnlineLearner> learner;
+  std::unique_ptr<RnnPolicy> online_policy;
+  std::unique_ptr<PrecomputeService> online_service;
+  std::int64_t next_update = 0;
+  if (config.online_rnn_arm) {
+    if (config.online_update_period <= 0) {
+      throw std::invalid_argument(
+          "run_online_experiment: online_update_period must be positive "
+          "(the update schedule advances by it)");
+    }
+    online_kv = std::make_unique<LocalKvStore>();
+    online_store =
+        std::make_unique<HiddenStateStore>(*online_kv, config.rnn_codec);
+    // clone() never carries int8 replicas, so the replica policy must be
+    // explicit: an int8 gate (or an int8-serving source model) needs
+    // every published version rebuilt before the swap.
+    registry = std::make_unique<online::ModelRegistry>(
+        std::shared_ptr<models::RnnModel>(rnn_model.clone()),
+        config.learner.gate_int8 || rnn_model.quantized_serving());
+    learner = std::make_unique<online::OnlineLearner>(*registry, cohort,
+                                                      config.learner);
+    online_policy = std::make_unique<RnnPolicy>(*registry, *online_store);
+    online_service = std::make_unique<PrecomputeService>(
+        *online_policy, config.rnn_threshold, cohort.session_length,
+        config.grace, cohort.start_time);
+    online::OnlineLearner* feed = learner.get();
+    online_service->set_completion_listener(
+        [feed](const JoinedSession& joined) { feed->observe(joined); });
+    if (!stream.empty()) {
+      next_update = stream.front().t + config.online_update_period;
+    }
+  }
+
   std::uint64_t next_session_id = 1;
   for (const Item& item : stream) {
+    if (online_service != nullptr && item.t >= next_update) {
+      learner->run_update_round();
+      while (next_update <= item.t) next_update += config.online_update_period;
+    }
     const std::uint64_t session_id = next_session_id++;
     const std::uint64_t user_id = cohort.users[item.user].user_id;
     rnn_service.on_session_start(session_id, user_id, item.t,
                                  item.session->context);
     gbdt_service.on_session_start(session_id, user_id, item.t,
                                   item.session->context);
+    if (online_service != nullptr) {
+      online_service->on_session_start(session_id, user_id, item.t,
+                                       item.session->context);
+    }
     if (item.session->access) {
       // The access lands midway through the session window.
       const std::int64_t access_time = item.t + cohort.session_length / 2;
       rnn_service.on_access(session_id, access_time);
       gbdt_service.on_access(session_id, access_time);
+      if (online_service != nullptr) {
+        online_service->on_access(session_id, access_time);
+      }
     }
   }
 
@@ -76,6 +129,12 @@ OnlineExperimentResult run_online_experiment(
   result.sessions = stream.size();
   result.rnn = collect(rnn_service);
   result.gbdt = collect(gbdt_service);
+  if (online_service != nullptr) {
+    result.rnn_online = collect(*online_service);
+    result.learner = learner->stats();
+    result.registry = registry->stats();
+    result.online_versions = registry->current_version();
+  }
   return result;
 }
 

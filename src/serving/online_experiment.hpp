@@ -8,6 +8,7 @@
 
 #include <span>
 
+#include "online/online_learner.hpp"
 #include "serving/precompute_service.hpp"
 
 namespace pp::serving {
@@ -27,6 +28,14 @@ struct PolicyOutcome {
 struct OnlineExperimentResult {
   PolicyOutcome rnn;
   PolicyOutcome gbdt;
+  /// The continual-learning arm (populated when online_rnn_arm is set):
+  /// same initial weights as `rnn`, but served through a ModelRegistry and
+  /// incrementally refit from its own joiner feed.
+  PolicyOutcome rnn_online;
+  online::OnlineLearnerStats learner;
+  online::ModelRegistryStats registry;
+  /// Final published version of the online arm (1 = never republished).
+  std::uint64_t online_versions = 0;
   std::size_t sessions = 0;
 };
 
@@ -36,6 +45,12 @@ struct OnlineExperimentConfig {
   /// Stream grace period ε added to the session-length timer.
   std::int64_t grace = 60;
   StateCodec rnn_codec = StateCodec::kFloat32;
+  /// Enables the third (online-RNN) arm: frozen vs continually-learned
+  /// replay over the same stream (Figure 7 bent upward).
+  bool online_rnn_arm = false;
+  online::OnlineLearnerConfig learner;
+  /// Event-time period between OnlineLearner update rounds.
+  std::int64_t online_update_period = 86400;
 };
 
 /// Replays the selected users' sessions (time-ordered across users)

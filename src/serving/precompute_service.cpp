@@ -48,6 +48,36 @@ RnnPolicy::RnnPolicy(const models::RnnModel& model, HiddenStateStore& store,
   }
 }
 
+RnnPolicy::RnnPolicy(const online::ModelRegistry& registry,
+                     HiddenStateStore& store, ScorePrecision precision)
+    : model_(nullptr),
+      registry_(&registry),
+      active_(registry.current()),
+      store_(&store),
+      precision_(precision),
+      // Geometry is fixed across publishes (the registry enforces it), so
+      // the seed version's time encoding is every version's time encoding.
+      bucketizer_(static_cast<int>(
+          registry.current()->model->network().config().time_buckets)) {
+  if (precision_ == ScorePrecision::kInt8) {
+    if (store.codec() != StateCodec::kInt8) {
+      throw std::invalid_argument(
+          "RnnPolicy: int8 scoring needs a kInt8-codec HiddenStateStore");
+    }
+    if (!active_->model->quantized_serving() ||
+        !registry.quantize_replicas()) {
+      throw std::invalid_argument(
+          "RnnPolicy: int8 scoring through a registry requires "
+          "quantize_replicas (every published version needs fresh int8 "
+          "replicas)");
+    }
+  }
+}
+
+void RnnPolicy::begin_batch() {
+  if (registry_ != nullptr) active_ = registry_->current();
+}
+
 double RnnPolicy::score_session(std::uint64_t user_id, std::int64_t t,
                                 std::span<const std::uint32_t> context) {
   // One-element batch: score_sessions owns the encode/gap/cold-start and
@@ -64,8 +94,9 @@ std::vector<double> RnnPolicy::score_sessions(
     std::span<const SessionStart> sessions) {
   const std::size_t batch = sessions.size();
   if (batch == 0) return {};
-  const train::RnnNetwork& net = model_->network();
-  const auto& seq_cfg = model_->sequence_config();
+  const models::RnnModel& active = model();
+  const train::RnnNetwork& net = active.network();
+  const auto& seq_cfg = active.sequence_config();
   const std::size_t fw = net.config().feature_size;
   const std::size_t tb = net.config().time_buckets;
   const std::size_t hidden_size = net.config().hidden_size;
@@ -119,15 +150,15 @@ std::vector<double> RnnPolicy::score_sessions(
                   hidden_size * sizeof(float));
     }
     if (seq_cfg.context_at_predict && fw > 0) {
-      train::encode_step_features(model_->schema(), seq_cfg.feature_mode,
+      train::encode_step_features(active.schema(), seq_cfg.feature_mode,
                                   s.t, s.context, x.row(b));
     }
     const std::int64_t gap = updates > 0 ? s.t - last_update_time : 0;
     bucketizer_.encode(gap, x.row(b).subspan(fw, tb));
   }
 
-  std::vector<double> scores = q8 ? model_->score_session_batch_q8(h_q8, x)
-                                  : model_->score_session_batch(h, x);
+  std::vector<double> scores = q8 ? active.score_session_batch_q8(h_q8, x)
+                                  : active.score_session_batch(h, x);
   predictions_.fetch_add(batch, std::memory_order_relaxed);
   model_flops_.fetch_add(batch * net.predict_flops(),
                          std::memory_order_relaxed);
@@ -135,8 +166,9 @@ std::vector<double> RnnPolicy::score_sessions(
 }
 
 void RnnPolicy::on_session_complete(const JoinedSession& joined) {
-  const train::RnnNetwork& net = model_->network();
-  const auto& seq_cfg = model_->sequence_config();
+  const models::RnnModel& active = model();
+  const train::RnnNetwork& net = active.network();
+  const auto& seq_cfg = active.sequence_config();
   const std::size_t fw = net.config().feature_size;
   const std::size_t tb = net.config().time_buckets;
 
@@ -174,7 +206,7 @@ void RnnPolicy::on_session_complete(const JoinedSession& joined) {
 
   tensor::Matrix row(1, fw + tb + 1);
   if (fw > 0) {
-    train::encode_step_features(model_->schema(), seq_cfg.feature_mode,
+    train::encode_step_features(active.schema(), seq_cfg.feature_mode,
                                 joined.session_start, joined.context,
                                 row.row(0));
   }
@@ -319,6 +351,9 @@ PrecomputeService::PrecomputeService(PrecomputePolicy& policy,
                   pending_.erase(it);
                 }
                 policy_->on_session_complete(joined);
+                // Joiner→learner feed: the listener sees the session after
+                // the state update, still under the service mutex.
+                if (completion_listener_) completion_listener_(joined);
               }),
       metrics_(metrics_start) {}
 
@@ -326,6 +361,9 @@ bool PrecomputeService::on_session_start(
     std::uint64_t session_id, std::uint64_t user_id, std::int64_t t,
     const std::array<std::uint32_t, data::kMaxContextFields>& context) {
   std::lock_guard<std::mutex> guard(mutex_);
+  // Hot-swap observation point: a single session start is its own
+  // snapshot group, so completions and scoring below share one version.
+  policy_->begin_batch();
   // Fire due timers first: hidden updates become visible exactly delta
   // after their session start, matching the offline lag-δ semantics.
   joiner_.advance_to(t);
@@ -477,6 +515,10 @@ std::vector<bool> PrecomputeService::run_session_starts(
   std::size_t begin = 0;
   while (begin < order.size()) {
     const std::int64_t t = sessions[order[begin]].t;
+    // Model hot-swaps are observed between snapshot groups: the pin below
+    // covers this group's timer-driven completions and its scoring, so a
+    // concurrent publish can never mix versions inside one group.
+    policy_->begin_batch();
     joiner_.advance_to(t);
 
     // Extend the group while no timer can fire before the next session:
@@ -515,12 +557,20 @@ void PrecomputeService::on_access(std::uint64_t session_id, std::int64_t t) {
 
 void PrecomputeService::advance_to(std::int64_t t) {
   std::lock_guard<std::mutex> guard(mutex_);
+  policy_->begin_batch();
   joiner_.advance_to(t);
 }
 
 void PrecomputeService::flush() {
   std::lock_guard<std::mutex> guard(mutex_);
+  policy_->begin_batch();
   joiner_.flush();
+}
+
+void PrecomputeService::set_completion_listener(
+    std::function<void(const JoinedSession&)> listener) {
+  std::lock_guard<std::mutex> guard(mutex_);
+  completion_listener_ = std::move(listener);
 }
 
 }  // namespace pp::serving

@@ -16,6 +16,7 @@
 
 #include "models/gbdt_model.hpp"
 #include "models/rnn_model.hpp"
+#include "online/model_registry.hpp"
 #include "serving/aggregation_service.hpp"
 #include "serving/hidden_store.hpp"
 #include "serving/stream.hpp"
@@ -66,6 +67,13 @@ class PrecomputePolicy {
       std::span<const SessionStart> sessions);
   /// Completed-session callback from the stream joiner.
   virtual void on_session_complete(const JoinedSession& joined) = 0;
+  /// Called by the service — under its mutex, never concurrently with
+  /// scoring — at every point a model hot-swap may be observed: before
+  /// each single session start and before each batch snapshot group.
+  /// Registry-backed policies re-pin their model snapshot here, so one
+  /// snapshot group is always scored (and its timer-driven completions
+  /// applied) by exactly one model version. Default: no-op.
+  virtual void begin_batch() {}
   /// Whether score_sessions / on_session_complete tolerate concurrent
   /// callers. The threaded service driver only fans out over policies
   /// that opt in; everything else is scored on the calling thread.
@@ -98,6 +106,13 @@ class RnnPolicy final : public PrecomputePolicy {
  public:
   RnnPolicy(const models::RnnModel& model, HiddenStateStore& store,
             ScorePrecision precision = ScorePrecision::kFloat32);
+  /// Registry-backed (hot-swappable) policy: the model is re-resolved from
+  /// the registry at every begin_batch() and pinned until the next one, so
+  /// scoring/completions between two begin_batch() calls always use one
+  /// version. kInt8 additionally requires the registry to rebuild int8
+  /// replicas on publish (so no published version can ever lack them).
+  RnnPolicy(const online::ModelRegistry& registry, HiddenStateStore& store,
+            ScorePrecision precision = ScorePrecision::kFloat32);
 
   double score_session(std::uint64_t user_id, std::int64_t t,
                        std::span<const std::uint32_t> context) override;
@@ -107,21 +122,35 @@ class RnnPolicy final : public PrecomputePolicy {
   std::vector<double> score_sessions(
       std::span<const SessionStart> sessions) override;
   void on_session_complete(const JoinedSession& joined) override;
+  void begin_batch() override;
   bool concurrent_safe() const override { return true; }
   ServingCostSummary cost_summary() const override;
   const char* name() const override {
     return precision_ == ScorePrecision::kInt8 ? "rnn-int8" : "rnn";
   }
   ScorePrecision precision() const { return precision_; }
+  /// Version pinned by the last begin_batch() (0 for a fixed model).
+  std::uint64_t model_version() const {
+    return active_ ? active_->version : 0;
+  }
 
  private:
   std::mutex& stripe_for(std::uint64_t user_id) {
     return stripes_[user_id % kLockStripes];
   }
+  /// The model every score/update in the current pin window uses. Fixed
+  /// model or the pinned registry snapshot; read concurrently by scoring
+  /// workers, written only by begin_batch() (which the service serializes
+  /// against scoring).
+  const models::RnnModel& model() const {
+    return registry_ != nullptr ? *active_->model : *model_;
+  }
 
   static constexpr std::size_t kLockStripes = 64;
 
   const models::RnnModel* model_;
+  const online::ModelRegistry* registry_ = nullptr;
+  std::shared_ptr<const online::ModelVersion> active_;
   HiddenStateStore* store_;
   ScorePrecision precision_;
   features::LogBucketizer bucketizer_;
@@ -223,6 +252,13 @@ class PrecomputeService {
   void advance_to(std::int64_t t);
   void flush();
 
+  /// Joiner→learner feed: `listener` receives every joined session right
+  /// after the policy's state update, under the service mutex (keep it
+  /// cheap — e.g. OnlineLearner::observe, which just appends to the replay
+  /// buffer). Pass nullptr to detach.
+  void set_completion_listener(
+      std::function<void(const JoinedSession&)> listener);
+
   /// Snapshots (copies) taken under the service mutex: safe to call from
   /// a monitoring thread while drivers are mid-batch.
   OnlineMetrics metrics() const {
@@ -262,6 +298,7 @@ class PrecomputeService {
   SessionJoiner joiner_;
   OnlineMetrics metrics_;
   std::unordered_map<std::uint64_t, PendingScore> pending_;
+  std::function<void(const JoinedSession&)> completion_listener_;
 };
 
 }  // namespace pp::serving

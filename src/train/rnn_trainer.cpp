@@ -237,21 +237,45 @@ struct RnnTrainer::Impl {
       exposed.push_back(state.back().front());
     }
 
-    Variable loss_sum;
-    double total_weight = 0, loss_value = 0;
+    // Batched MLP head: predictions are grouped by the step depth k of
+    // the hidden state they consume, and every group is scored as one
+    // [n_k x d] graph_predict_logit batch — gather_rows pulls the group's
+    // user rows out of exposed[k], and bce_with_logits_sum carries the
+    // per-row labels/weights. One node chain per *step* instead of one
+    // per prediction row, the same [B x d] batching the serving path uses.
+    std::vector<std::vector<std::size_t>> group_rows(max_len + 1);
+    std::vector<std::vector<std::size_t>> group_preds(max_len + 1);
     for (std::size_t b = 0; b < batch; ++b) {
       const UserSequence& seq = seqs[b];
       for (std::size_t p = 0; p < seq.num_predictions(); ++p) {
         if (seq.loss_weights[p] == 0.0f) continue;
-        Variable h_k = slice_rows(exposed[seq.h_index[p]], b, 1);
-        Variable logit = master.graph_predict_logit(
-            h_k, row_input(seq.predict_inputs, p), replica_rngs[0]);
-        Matrix label(1, 1, seq.labels[p]);
-        Matrix weight(1, 1, seq.loss_weights[p]);
-        Variable term = bce_with_logits_sum(logit, label, weight);
-        loss_sum = loss_sum.defined() ? add(loss_sum, term) : term;
+        group_rows[seq.h_index[p]].push_back(b);
+        group_preds[seq.h_index[p]].push_back(p);
+      }
+    }
+    const std::size_t pred_cols = master.config().predict_input_size();
+    Variable loss_sum;
+    double total_weight = 0, loss_value = 0;
+    for (std::size_t k = 0; k <= max_len; ++k) {
+      const std::size_t n = group_rows[k].size();
+      if (n == 0) continue;
+      Matrix x(n, pred_cols);
+      Matrix labels(n, 1);
+      Matrix weights(n, 1);
+      for (std::size_t r = 0; r < n; ++r) {
+        const UserSequence& seq = seqs[group_rows[k][r]];
+        const std::size_t p = group_preds[k][r];
+        std::copy(seq.predict_inputs.row(p).begin(),
+                  seq.predict_inputs.row(p).end(), x.row(r).begin());
+        labels.at(r, 0) = seq.labels[p];
+        weights.at(r, 0) = seq.loss_weights[p];
         total_weight += seq.loss_weights[p];
       }
+      Variable h_block = gather_rows(exposed[k], std::move(group_rows[k]));
+      Variable logits = master.graph_predict_logit(
+          h_block, Variable(std::move(x)), replica_rngs[0]);
+      Variable term = bce_with_logits_sum(logits, labels, weights);
+      loss_sum = loss_sum.defined() ? add(loss_sum, term) : term;
     }
     if (loss_sum.defined()) {
       loss_value = loss_sum.value()[0];
@@ -282,6 +306,22 @@ RnnTrainer::RnnTrainer(RnnNetwork& network, RnnTrainerConfig config)
 RnnTrainer::~RnnTrainer() = default;
 
 const RnnTrainerConfig& RnnTrainer::config() const { return impl_->config; }
+
+void RnnTrainer::set_loss_from(std::int64_t loss_from) {
+  impl_->config.sequence.loss_from = loss_from;
+}
+
+std::size_t RnnTrainer::optimizer_steps() const {
+  return impl_->optimizer.step_count();
+}
+
+void RnnTrainer::serialize_optimizer(BinaryWriter& writer) const {
+  impl_->optimizer.serialize(writer);
+}
+
+void RnnTrainer::deserialize_optimizer(BinaryReader& reader) {
+  impl_->optimizer.deserialize(reader);
+}
 
 TrainingCurve RnnTrainer::fit(const data::Dataset& dataset,
                               std::span<const std::size_t> user_indices) {
@@ -330,41 +370,42 @@ TrainingCurve RnnTrainer::fit(const data::Dataset& dataset,
 
 // ---------------------------------------------------------------- scoring
 
-ScoredSeries score_users(const RnnNetwork& network,
-                         const data::Dataset& dataset,
-                         std::span<const std::size_t> user_indices,
-                         const SequenceConfig& sequence_config,
-                         bool timeshift, std::int64_t emit_from,
-                         std::int64_t emit_to, std::size_t num_threads) {
+namespace {
+
+/// Shared tape-free replay scaffold of score_users / score_users_q8: the
+/// per-user sequence walk with lazy update application, the
+/// [emit_from, emit_to) emission filter, ~256-row flush blocks through the
+/// batched RNNpredict head, optional per-user thread fan-out, and the
+/// deterministic (user-order) series merge. `Path` supplies the numerics —
+/// state representation, update step, hidden-snapshot gather, and the
+/// batched head — so the f32 and int8 replays cannot drift apart in
+/// emission semantics (the prequential gate compares their series 1:1).
+template <typename Path>
+ScoredSeries replay_users(const RnnNetwork& network,
+                          const data::Dataset& dataset,
+                          std::span<const std::size_t> user_indices,
+                          const SequenceConfig& sequence_config,
+                          bool timeshift, std::int64_t emit_from,
+                          std::int64_t emit_to, std::size_t num_threads) {
   std::vector<ScoredSeries> partial(user_indices.size());
   auto score_one = [&](std::size_t i) {
     const UserSequence seq =
         build_sequence(dataset, dataset.users[user_indices[i]],
                        sequence_config, timeshift);
-    InferenceState state = network.infer_initial_state();
+    Path path(network);
     std::uint32_t applied = 0;
     const std::size_t pred_cols = seq.predict_inputs.cols();
-    const std::size_t hidden_cols = network.config().hidden_size;
-    // Batched replay: each emitted prediction's hidden snapshot — taken at
-    // its exact step depth — and input row are gathered into blocks and
-    // scored through the batched RNNpredict head, one GEMM per block
-    // instead of one gemv per prediction. Row b of infer_logits equals
-    // infer_logit of the same row exactly, so the emitted series is
-    // bit-identical to the per-prediction replay.
     constexpr std::size_t kBlock = 256;
-    std::vector<float> h_buf, x_buf, labels;
+    std::vector<float> x_buf, labels;
     std::vector<std::int64_t> stamps;
     auto flush = [&] {
       if (stamps.empty()) return;
       const std::size_t n = stamps.size();
-      Matrix h_block(n, hidden_cols, std::move(h_buf));
       Matrix x_block(n, pred_cols, std::move(x_buf));
-      const std::vector<double> logits =
-          network.infer_logits(h_block, x_block);
+      const std::vector<double> logits = path.infer_block(n, x_block);
       for (std::size_t b = 0; b < n; ++b) {
         partial[i].append(pp::sigmoid(logits[b]), labels[b], stamps[b]);
       }
-      h_buf.clear();
       x_buf.clear();
       labels.clear();
       stamps.clear();
@@ -377,13 +418,12 @@ ScoredSeries score_users(const RnnNetwork& network,
                         static_cast<std::size_t>(applied) *
                             seq.update_inputs.cols(),
                     seq.update_inputs.cols() * sizeof(float));
-        network.infer_update(state, x);
+        path.update(x);
         ++applied;
       }
       const std::int64_t ts = seq.timestamps[p];
       if (ts < emit_from || (emit_to != 0 && ts >= emit_to)) continue;
-      const float* hidden = state.hidden().data();
-      h_buf.insert(h_buf.end(), hidden, hidden + hidden_cols);
+      path.gather_hidden();
       const float* row = seq.predict_inputs.data() + p * pred_cols;
       x_buf.insert(x_buf.end(), row, row + pred_cols);
       labels.push_back(seq.labels[p]);
@@ -401,6 +441,96 @@ ScoredSeries score_users(const RnnNetwork& network,
   ScoredSeries out;
   for (const auto& s : partial) out.append_series(s);
   return out;
+}
+
+/// f32 numerics: decoded hidden rows, f32 GRU update, batched
+/// infer_logits head. Row b of a block equals the same row scored alone
+/// (GEMM row independence), so blocking is bit-transparent.
+struct F32ReplayPath {
+  const RnnNetwork& network;
+  InferenceState state;
+  std::size_t hidden_cols;
+  std::vector<float> h_buf;
+
+  explicit F32ReplayPath(const RnnNetwork& net)
+      : network(net),
+        state(net.infer_initial_state()),
+        hidden_cols(net.config().hidden_size) {}
+
+  void update(const Matrix& x) { network.infer_update(state, x); }
+  void gather_hidden() {
+    const float* hidden = state.hidden().data();
+    h_buf.insert(h_buf.end(), hidden, hidden + hidden_cols);
+  }
+  std::vector<double> infer_block(std::size_t n, const Matrix& x_block) {
+    Matrix h_block(n, hidden_cols, std::move(h_buf));
+    h_buf.clear();
+    return network.infer_logits(h_block, x_block);
+  }
+};
+
+/// Int8 numerics: the gathered hidden snapshots are the stored bytes
+/// themselves (per-row scales), the update is the quantized GRU step, and
+/// the head runs on the int8 kernels — exactly what the kInt8 serving
+/// mode produces, block-size independent thanks to per-row quantization.
+struct Q8ReplayPath {
+  const RnnNetwork& network;
+  QuantizedInferenceState state;
+  std::size_t hidden_cols;
+  std::vector<std::int8_t> h_bytes;
+  std::vector<float> h_scales;
+
+  explicit Q8ReplayPath(const RnnNetwork& net)
+      : network(net),
+        state(net.infer_initial_state_q8()),
+        hidden_cols(net.config().hidden_size) {}
+
+  void update(const Matrix& x) { network.infer_update_q8(state, x); }
+  void gather_hidden() {
+    const tensor::QuantizedMatrix& hidden = state.hidden();
+    h_bytes.insert(h_bytes.end(), hidden.data(),
+                   hidden.data() + hidden_cols);
+    h_scales.push_back(hidden.scale());
+  }
+  std::vector<double> infer_block(std::size_t n, const Matrix& x_block) {
+    tensor::QuantizedMatrix h_block(n, hidden_cols);
+    for (std::size_t b = 0; b < n; ++b) {
+      std::memcpy(h_block.row_data(b), h_bytes.data() + b * hidden_cols,
+                  hidden_cols);
+      h_block.set_row_scale(b, h_scales[b]);
+    }
+    h_bytes.clear();
+    h_scales.clear();
+    return network.infer_logits_q8(h_block, x_block);
+  }
+};
+
+}  // namespace
+
+ScoredSeries score_users(const RnnNetwork& network,
+                         const data::Dataset& dataset,
+                         std::span<const std::size_t> user_indices,
+                         const SequenceConfig& sequence_config,
+                         bool timeshift, std::int64_t emit_from,
+                         std::int64_t emit_to, std::size_t num_threads) {
+  return replay_users<F32ReplayPath>(network, dataset, user_indices,
+                                     sequence_config, timeshift, emit_from,
+                                     emit_to, num_threads);
+}
+
+ScoredSeries score_users_q8(const RnnNetwork& network,
+                            const data::Dataset& dataset,
+                            std::span<const std::size_t> user_indices,
+                            const SequenceConfig& sequence_config,
+                            bool timeshift, std::int64_t emit_from,
+                            std::int64_t emit_to, std::size_t num_threads) {
+  if (!network.quantized_ready()) {
+    throw std::logic_error(
+        "score_users_q8: call prepare_quantized() on the network first");
+  }
+  return replay_users<Q8ReplayPath>(network, dataset, user_indices,
+                                    sequence_config, timeshift, emit_from,
+                                    emit_to, num_threads);
 }
 
 void ScoredSeries::append_series(const ScoredSeries& other) {

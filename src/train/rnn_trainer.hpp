@@ -56,8 +56,26 @@ class RnnTrainer {
   ~RnnTrainer();
 
   /// Trains on the given users of the dataset; returns the loss curve.
+  ///
+  /// Incremental training: the trainer object is the unit of optimizer
+  /// continuity — calling fit() repeatedly on growing/rolling datasets
+  /// reuses the Adam moment estimates and step count across rounds (the
+  /// §10 "reusable models" loop), instead of cold-starting the optimizer
+  /// like constructing a fresh trainer would.
   TrainingCurve fit(const data::Dataset& dataset,
                     std::span<const std::size_t> user_indices);
+
+  /// Moves the §6.3 loss mask between incremental fit() rounds:
+  /// predictions at/after `loss_from` carry weight 1, earlier ones 0.
+  void set_loss_from(std::int64_t loss_from);
+
+  /// Adam steps applied so far (persists across fit() rounds).
+  std::size_t optimizer_steps() const;
+  /// (De)serializes the Adam state (step count + moments) so an
+  /// incremental trainer can resume bit-identically after a restart.
+  /// Weights are the network's to save; pair with Module::serialize.
+  void serialize_optimizer(BinaryWriter& writer) const;
+  void deserialize_optimizer(BinaryReader& reader);
 
   const RnnTrainerConfig& config() const;
 
@@ -92,5 +110,19 @@ ScoredSeries score_users(const RnnNetwork& network,
                          bool timeshift, std::int64_t emit_from = 0,
                          std::int64_t emit_to = 0,
                          std::size_t num_threads = 1);
+
+/// Int8 twin of score_users: the replay holds each user's state in its
+/// stored byte form (scale + int8 vector), advances it with the quantized
+/// GRU update, and scores emitted predictions in blocks through the batched
+/// int8 RNNpredict head — exactly the numerics the kInt8 serving mode runs,
+/// so golden-accuracy checks and the online prequential gate can evaluate
+/// the int8 path directly. Requires prepare_quantized() on `network`.
+ScoredSeries score_users_q8(const RnnNetwork& network,
+                            const data::Dataset& dataset,
+                            std::span<const std::size_t> user_indices,
+                            const SequenceConfig& sequence_config,
+                            bool timeshift, std::int64_t emit_from = 0,
+                            std::int64_t emit_to = 0,
+                            std::size_t num_threads = 1);
 
 }  // namespace pp::train

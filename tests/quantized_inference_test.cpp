@@ -21,6 +21,7 @@
 #include "models/rnn_model.hpp"
 #include "serving/precompute_service.hpp"
 #include "serving_test_util.hpp"
+#include "train/sequence.hpp"
 #include "util/math.hpp"
 #include "util/thread_pool.hpp"
 
@@ -418,6 +419,75 @@ TEST(QuantizedInference, ThreadedShardedReplayMatchesSequentialExactly) {
   EXPECT_GT(kv_par.size(), 0u);
   EXPECT_EQ(kv_par.value_bytes(),
             kv_par.size() * store_par.encoded_bytes(model.network()));
+}
+
+TEST(ScoreUsersQ8, MatchesPerPredictionQuantizedReplayExactly) {
+  // The offline int8 replay (used by golden-accuracy checks and the
+  // online prequential gate) batches emitted predictions through
+  // infer_logits_q8 in ~256-row blocks; per-row activation quantization
+  // keeps that bit-identical to this hand-rolled per-prediction replay —
+  // 240 days x ~2 sessions/day pushes users across the block boundary.
+  const auto dataset = quant_dataset(4, 240);
+  const models::RnnModel model = make_model(dataset, 12);
+  const train::RnnNetwork& net = model.network();
+  std::vector<std::size_t> users(dataset.users.size());
+  std::iota(users.begin(), users.end(), 0);
+
+  const train::ScoredSeries series = train::score_users_q8(
+      net, dataset, users, model.sequence_config(), false, 0, 0, 2);
+
+  train::ScoredSeries ref;
+  std::size_t max_user_predictions = 0;
+  const std::size_t hidden = net.config().hidden_size;
+  for (const std::size_t u : users) {
+    const train::UserSequence seq = train::build_session_sequence(
+        dataset, dataset.users[u], model.sequence_config());
+    max_user_predictions =
+        std::max(max_user_predictions, seq.num_predictions());
+    train::QuantizedInferenceState state = net.infer_initial_state_q8();
+    std::uint32_t applied = 0;
+    for (std::size_t p = 0; p < seq.num_predictions(); ++p) {
+      while (applied < seq.h_index[p]) {
+        tensor::Matrix x(1, seq.update_inputs.cols());
+        std::copy(seq.update_inputs.row(applied).begin(),
+                  seq.update_inputs.row(applied).end(), x.row(0).begin());
+        net.infer_update_q8(state, x);
+        ++applied;
+      }
+      tensor::QuantizedMatrix h_one(1, hidden);
+      std::copy(state.hidden().data(), state.hidden().data() + hidden,
+                h_one.row_data(0));
+      h_one.set_row_scale(0, state.hidden().scale());
+      tensor::Matrix x_one(1, seq.predict_inputs.cols());
+      std::copy(seq.predict_inputs.row(p).begin(),
+                seq.predict_inputs.row(p).end(), x_one.row(0).begin());
+      ref.append(pp::sigmoid(net.infer_logits_q8(h_one, x_one).front()),
+                 seq.labels[p], seq.timestamps[p]);
+    }
+  }
+  EXPECT_GT(max_user_predictions, 256u);  // the flush boundary is crossed
+  ASSERT_EQ(series.scores.size(), ref.scores.size());
+  for (std::size_t i = 0; i < ref.scores.size(); ++i) {
+    EXPECT_EQ(series.scores[i], ref.scores[i]) << "prediction " << i;
+    EXPECT_EQ(series.labels[i], ref.labels[i]);
+    EXPECT_EQ(series.timestamps[i], ref.timestamps[i]);
+  }
+  // Same emission schedule as the f32 replay (labels/timestamps align),
+  // so gate comparisons of f32 vs int8 series are apples to apples.
+  const train::ScoredSeries f32 = train::score_users(
+      net, dataset, users, model.sequence_config(), false, 0, 0, 2);
+  ASSERT_EQ(f32.timestamps.size(), series.timestamps.size());
+  EXPECT_EQ(f32.timestamps, series.timestamps);
+  EXPECT_EQ(f32.labels, series.labels);
+
+  // Guard: the q8 replay requires prepared replicas.
+  models::RnnModelConfig plain_config;
+  plain_config.hidden_size = 12;
+  plain_config.mlp_hidden = 12;
+  const models::RnnModel plain(dataset, plain_config);
+  EXPECT_THROW(train::score_users_q8(plain.network(), dataset, users,
+                                     plain.sequence_config(), false),
+               std::logic_error);
 }
 
 }  // namespace

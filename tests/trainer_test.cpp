@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 #include <numeric>
 
 #include "autograd/ops.hpp"
@@ -96,6 +97,75 @@ TEST(RnnTrainer, StrategiesProduceIdenticalUpdates) {
   }
   EXPECT_TRUE(results[0].approx_equal(results[1], 2e-4f));
   EXPECT_TRUE(results[0].approx_equal(results[2], 2e-4f));
+}
+
+TEST(RnnTrainer, PaddedBatchedHeadLossMatchesPerRowPath) {
+  // The padded trainer now routes all predictions sharing one step depth
+  // through a single [n_k x d] batched MLP head (gather_rows +
+  // graph_predict_logit). The per-row reference path (kSequential, one
+  // graph node chain per prediction) must produce the same minibatch
+  // losses up to float summation order.
+  const auto dataset = small_mobile_tab(12, 10);
+  const auto users = all_users(dataset);
+
+  std::vector<std::vector<double>> losses;
+  for (const BatchStrategy strategy :
+       {BatchStrategy::kSequential, BatchStrategy::kPaddedBatch}) {
+    Rng rng(33);
+    RnnNetwork network(small_network_config(dataset), rng);
+    RnnTrainerConfig config;
+    config.epochs = 2;
+    config.minibatch_users = 6;
+    config.strategy = strategy;
+    config.seed = 11;
+    config.sequence.truncate_history = 60;
+    RnnTrainer trainer(network, config);
+    losses.push_back(trainer.fit(dataset, users).minibatch_loss);
+  }
+  ASSERT_EQ(losses[0].size(), losses[1].size());
+  for (std::size_t i = 0; i < losses[0].size(); ++i) {
+    EXPECT_NEAR(losses[0][i], losses[1][i],
+                1e-4 * (1.0 + std::abs(losses[0][i])))
+        << "minibatch " << i;
+  }
+}
+
+TEST(RnnTrainer, OptimizerStatePersistsAcrossIncrementalFits) {
+  // The trainer object is the unit of optimizer continuity: repeated
+  // fit() calls keep stepping the same Adam instance, and the state
+  // serializes/deserializes through the trainer API.
+  const auto dataset = small_mobile_tab(8, 6);
+  const auto users = all_users(dataset);
+  Rng rng(17);
+  RnnNetwork network(small_network_config(dataset), rng);
+  RnnTrainerConfig config;
+  config.epochs = 1;
+  config.minibatch_users = 4;
+  config.strategy = BatchStrategy::kSequential;
+  RnnTrainer trainer(network, config);
+
+  trainer.fit(dataset, users);
+  const std::size_t steps_after_first = trainer.optimizer_steps();
+  EXPECT_GT(steps_after_first, 0u);
+  trainer.fit(dataset, users);
+  EXPECT_EQ(trainer.optimizer_steps(), 2 * steps_after_first);
+
+  BinaryWriter writer;
+  trainer.serialize_optimizer(writer);
+  Rng rng2(18);
+  RnnNetwork network2(small_network_config(dataset), rng2);
+  RnnTrainer trainer2(network2, config);
+  EXPECT_EQ(trainer2.optimizer_steps(), 0u);
+  BinaryReader reader(writer.take());
+  trainer2.deserialize_optimizer(reader);
+  EXPECT_EQ(trainer2.optimizer_steps(), 2 * steps_after_first);
+
+  // set_loss_from moves the §6.3 mask between rounds: masking everything
+  // beyond the dataset end yields zero-weight minibatches (no steps).
+  trainer2.set_loss_from(dataset.end_time + 1);
+  const std::size_t before = trainer2.optimizer_steps();
+  trainer2.fit(dataset, users);
+  EXPECT_EQ(trainer2.optimizer_steps(), before);
 }
 
 TEST(RnnTrainer, LossDecreasesOverEpochs) {
