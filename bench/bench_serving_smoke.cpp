@@ -1,0 +1,279 @@
+// CI bench-regression gate: a fast, google-benchmark-free measurement of
+// serving throughput (sessions/s through RnnPolicy::score_sessions) for
+// f32 and int8 at batch 1 and 256, emitted as machine-readable JSON so
+// ci/check.sh can diff it against a checked-in baseline instead of merely
+// smoke-running the benches. Weight values don't affect throughput, so the
+// model is used untrained and the whole gate runs in a few seconds.
+//
+//   bench_serving_smoke --out BENCH_serving.json
+//       [--baseline ci/bench_baseline.json] [--min-ratio 0.30]
+//       [--time-per-case 0.15]
+//
+// The gate fails (exit 1) when any measured case drops below
+// min_ratio x baseline. The band is deliberately wide: it catches
+// order-of-magnitude regressions (an accidentally-disabled kernel, a lock
+// on the score path) across differently-sized CI runners, not percent
+// noise. Regenerate the baseline on the reference runner with
+// --write-baseline.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "serving/hidden_store.hpp"
+#include "serving/precompute_service.hpp"
+#include "util/stopwatch.hpp"
+
+namespace {
+
+using namespace pp;
+
+struct Case {
+  std::string precision;  // "f32" | "int8"
+  std::size_t batch;
+  double sessions_per_sec = 0;
+};
+
+// One cached bench dataset (schema + timing meta for the store).
+const data::Dataset* model_dataset() {
+  static const data::Dataset dataset = [] {
+    data::MobileTabConfig config;
+    config.num_users = 32;
+    config.days = 2;
+    return data::generate_mobile_tab(config);
+  }();
+  return &dataset;
+}
+
+double measure_case(const models::RnnModel& model, bool q8,
+                    std::size_t batch, double time_per_case) {
+  const auto codec =
+      q8 ? serving::StateCodec::kInt8 : serving::StateCodec::kFloat32;
+  serving::LocalKvStore kv;
+  serving::HiddenStateStore store(kv, codec);
+  serving::RnnPolicy policy(model, store,
+                            q8 ? serving::ScorePrecision::kInt8
+                               : serving::ScorePrecision::kFloat32);
+  // Warm every cohort user so each score pays the real lookup + state
+  // ingest cost of its precision.
+  constexpr std::size_t kUsers = 256;
+  const data::Dataset& dataset = *model_dataset();
+  for (std::size_t u = 0; u < kUsers; ++u) {
+    serving::JoinedSession joined;
+    joined.session_id = 10000 + u;
+    joined.user_id = u;
+    joined.session_start = dataset.end_time - 3600;
+    joined.access = u % 2 == 0;
+    policy.on_session_complete(joined);
+  }
+  std::vector<serving::SessionStart> starts;
+  for (std::size_t b = 0; b < batch; ++b) {
+    serving::SessionStart s;
+    s.session_id = b;
+    s.user_id = b % kUsers;
+    s.t = dataset.end_time + static_cast<std::int64_t>(b);
+    s.context = {static_cast<std::uint32_t>(b % 4), 0, 0, 0};
+    starts.push_back(s);
+  }
+  // Best of 3 timed reps (after one warmup pass) to shrug off scheduler
+  // noise on shared CI runners. No sink is needed: score_sessions bumps
+  // the policy's atomic cost counters, so the calls cannot be elided.
+  policy.score_sessions(starts);
+  double best = 0;
+  for (int rep = 0; rep < 3; ++rep) {
+    std::size_t iters = 0;
+    Stopwatch watch;
+    do {
+      policy.score_sessions(starts);
+      ++iters;
+    } while (watch.elapsed_seconds() < time_per_case);
+    const double rate =
+        static_cast<double>(iters * batch) / watch.elapsed_seconds();
+    if (rate > best) best = rate;
+  }
+  return best;
+}
+
+void write_json(const std::string& path, const std::vector<Case>& cases,
+                std::size_t hidden) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    std::exit(1);
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"serving_smoke\",\n");
+  std::fprintf(f, "  \"schema\": 1,\n");
+  std::fprintf(f, "  \"hidden\": %zu,\n", hidden);
+  std::fprintf(f, "  \"results\": [\n");
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    // One result object per line: the baseline comparator is a line parser.
+    std::fprintf(f,
+                 "    {\"precision\": \"%s\", \"batch\": %zu, "
+                 "\"sessions_per_sec\": %.1f}%s\n",
+                 cases[i].precision.c_str(), cases[i].batch,
+                 cases[i].sessions_per_sec,
+                 i + 1 < cases.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+}
+
+/// Parses the one-result-per-line JSON emitted by write_json. Tolerant of
+/// whitespace but intentionally not a general JSON parser — both sides of
+/// the comparison are produced by this binary.
+std::vector<Case> parse_json(const std::string& path, bool* ok) {
+  *ok = false;
+  std::vector<Case> cases;
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) return cases;
+  char line[512];
+  while (std::fgets(line, sizeof line, f) != nullptr) {
+    const char* p = std::strstr(line, "\"precision\"");
+    if (p == nullptr) continue;
+    char precision[8] = {0};
+    std::size_t batch = 0;
+    double rate = 0;
+    const char* b = std::strstr(line, "\"batch\"");
+    const char* r = std::strstr(line, "\"sessions_per_sec\"");
+    if (b == nullptr || r == nullptr) continue;
+    if (std::sscanf(p, "\"precision\": \"%7[^\"]\"", precision) != 1)
+      continue;
+    if (std::sscanf(b, "\"batch\": %zu", &batch) != 1) continue;
+    if (std::sscanf(r, "\"sessions_per_sec\": %lf", &rate) != 1) continue;
+    Case c;
+    c.precision = precision;
+    c.batch = batch;
+    c.sessions_per_sec = rate;
+    cases.push_back(c);
+  }
+  std::fclose(f);
+  *ok = !cases.empty();
+  return cases;
+}
+
+const Case* find_case(const std::vector<Case>& cases,
+                      const std::string& precision, std::size_t batch) {
+  for (const Case& c : cases) {
+    if (c.precision == precision && c.batch == batch) return &c;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_serving.json";
+  std::string baseline_path;
+  bool write_baseline = false;
+  double min_ratio = 0.30;
+  double time_per_case = 0.15;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    auto next_double = [&]() {
+      const char* s = next();
+      char* end = nullptr;
+      const double v = std::strtod(s, &end);
+      // A zero (or malformed → 0) gate ratio would wave every regression
+      // through; both fail loudly like unknown flags do.
+      if (end == s || *end != '\0' || v <= 0) {
+        std::fprintf(stderr, "%s: not a positive number: '%s'\n",
+                     arg.c_str(), s);
+        std::exit(2);
+      }
+      return v;
+    };
+    if (arg == "--out") {
+      out_path = next();
+    } else if (arg == "--baseline") {
+      baseline_path = next();
+    } else if (arg == "--min-ratio") {
+      min_ratio = next_double();
+    } else if (arg == "--time-per-case") {
+      time_per_case = next_double();
+    } else if (arg == "--write-baseline") {
+      write_baseline = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--out path] [--baseline path] "
+                   "[--min-ratio r] [--time-per-case s] [--write-baseline]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  const data::Dataset& dataset = *model_dataset();
+  models::RnnModelConfig rnn_config;
+  rnn_config.hidden_size = 64;
+  rnn_config.mlp_hidden = 64;
+  models::RnnModel model(dataset, rnn_config);
+  model.enable_quantized_serving();
+
+  std::vector<Case> cases = {{"f32", 1}, {"f32", 256},
+                             {"int8", 1}, {"int8", 256}};
+  std::printf("serving smoke (hidden=%zu, %.2fs/case):\n",
+              static_cast<std::size_t>(rnn_config.hidden_size),
+              time_per_case);
+  for (Case& c : cases) {
+    c.sessions_per_sec =
+        measure_case(model, c.precision == "int8", c.batch, time_per_case);
+    std::printf("  %-4s batch %-3zu : %12.1f sessions/s\n",
+                c.precision.c_str(), c.batch, c.sessions_per_sec);
+  }
+  write_json(out_path, cases,
+             static_cast<std::size_t>(rnn_config.hidden_size));
+  std::printf("wrote %s\n", out_path.c_str());
+
+  if (write_baseline) {
+    if (baseline_path.empty()) {
+      std::fprintf(stderr,
+                   "--write-baseline needs --baseline <path> (the file to "
+                   "regenerate)\n");
+      return 2;
+    }
+    write_json(baseline_path, cases,
+               static_cast<std::size_t>(rnn_config.hidden_size));
+    std::printf("wrote baseline %s\n", baseline_path.c_str());
+    return 0;
+  }
+  if (baseline_path.empty()) return 0;
+
+  bool parsed = false;
+  const std::vector<Case> baseline = parse_json(baseline_path, &parsed);
+  if (!parsed) {
+    std::fprintf(stderr, "cannot parse baseline %s\n",
+                 baseline_path.c_str());
+    return 1;
+  }
+  bool failed = false;
+  std::printf("regression gate vs %s (min ratio %.2f):\n",
+              baseline_path.c_str(), min_ratio);
+  for (const Case& base : baseline) {
+    const Case* measured = find_case(cases, base.precision, base.batch);
+    if (measured == nullptr) {
+      std::printf("  %-4s batch %-3zu : MISSING from this run\n",
+                  base.precision.c_str(), base.batch);
+      failed = true;
+      continue;
+    }
+    const double ratio =
+        base.sessions_per_sec > 0
+            ? measured->sessions_per_sec / base.sessions_per_sec
+            : 1.0;
+    const bool ok = ratio >= min_ratio;
+    std::printf("  %-4s batch %-3zu : %.2fx baseline %s\n",
+                base.precision.c_str(), base.batch, ratio,
+                ok ? "ok" : "REGRESSION");
+    failed = failed || !ok;
+  }
+  return failed ? 1 : 0;
+}

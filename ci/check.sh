@@ -1,39 +1,127 @@
 #!/usr/bin/env bash
-# Tier-1 verify plus a smoke run of the §7.1 parallelism bench so the perf
-# benches can't bit-rot. Usage: ci/check.sh [build-dir]
+# Tier-1 verify + bench regression gate, with optional sanitizer lanes.
+#
+# Usage:
+#   ci/check.sh [build-dir]                 # Release lane + bench gate
+#   ci/check.sh --sanitize asan [build-dir] # Debug + ASan/UBSan, tiers only
+#   ci/check.sh --sanitize tsan [build-dir] # RelWithDebInfo + TSan (incl. stress)
+#   ci/check.sh --sanitize ubsan [build-dir]# Debug + UBSan, tiers only
+#
+# Tiered fail-fast ordering in every lane: unit → quant → online → serving
+# (→ stress). The fast kernel/model tiers run (and can fail) first; the
+# online continual-learning tier gates the serving integration tier. The
+# stress tier is selected with an explicit -L '^stress$' — the tier
+# partition being total (every test exactly one tier label) is itself
+# asserted by the tier_labels_check test in the unit tier. The TSan lane
+# additionally runs the stress tier: that is where the threaded serving
+# replays and the online-update daemon races live.
 set -euo pipefail
 
 REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
-BUILD_DIR="${1:-${REPO_ROOT}/build}"
-JOBS="$(nproc 2>/dev/null || echo 2)"
+SANITIZE=""
+BUILD_DIR=""
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --sanitize)
+      [[ $# -ge 2 ]] || { echo "--sanitize needs a lane" >&2; exit 2; }
+      SANITIZE="$2"; shift 2 ;;
+    --sanitize=*)
+      SANITIZE="${1#--sanitize=}"; shift ;;
+    -h|--help)
+      sed -n '2,12p' "${BASH_SOURCE[0]}"; exit 0 ;;
+    -*)
+      # Reject unknown flags loudly: silently treating a typoed --sanitize
+      # as the build dir would run the wrong lane and report green.
+      echo "unknown option '$1' (see --help)" >&2; exit 2 ;;
+    *)
+      BUILD_DIR="$1"; shift ;;
+  esac
+done
 
-echo "== configure =="
-cmake -B "${BUILD_DIR}" -S "${REPO_ROOT}"
+CMAKE_ARGS=()
+RUN_STRESS=1
+RUN_BENCH=1
+case "${SANITIZE}" in
+  "")
+    BUILD_DIR="${BUILD_DIR:-${REPO_ROOT}/build}"
+    ;;
+  asan|address)
+    BUILD_DIR="${BUILD_DIR:-${REPO_ROOT}/build-asan}"
+    CMAKE_ARGS+=(-DPP_SANITIZE=address,undefined -DCMAKE_BUILD_TYPE=Debug)
+    RUN_STRESS=0; RUN_BENCH=0
+    ;;
+  tsan|thread)
+    BUILD_DIR="${BUILD_DIR:-${REPO_ROOT}/build-tsan}"
+    # RelWithDebInfo: plain Debug under TSan is too slow to be useful, and
+    # the races TSan hunts are in the threading structure, not the -O level.
+    CMAKE_ARGS+=(-DPP_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo)
+    RUN_BENCH=0
+    ;;
+  ubsan|undefined)
+    BUILD_DIR="${BUILD_DIR:-${REPO_ROOT}/build-ubsan}"
+    CMAKE_ARGS+=(-DPP_SANITIZE=undefined -DCMAKE_BUILD_TYPE=Debug)
+    RUN_STRESS=0; RUN_BENCH=0
+    ;;
+  *)
+    echo "unknown sanitize lane '${SANITIZE}' (asan|tsan|ubsan)" >&2
+    exit 2 ;;
+esac
+
+JOBS="$(nproc 2>/dev/null || echo 2)"
+# Sanitizer runtime knobs: every finding is fatal, so a green tier really
+# means zero findings. second_deadlock_stack aids lock-order reports; the
+# TSan suppressions file carries exactly one entry for libstdc++'s
+# std::atomic<shared_ptr> lock-bit protocol (GCC PR 101761) — see
+# ci/tsan.supp before adding anything to it.
+export ASAN_OPTIONS="${ASAN_OPTIONS:-halt_on_error=1:detect_leaks=1}"
+export UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1:print_stacktrace=1}"
+export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1:second_deadlock_stack=1:suppressions=${REPO_ROOT}/ci/tsan.supp}"
+
+if command -v ccache >/dev/null 2>&1; then
+  CMAKE_ARGS+=(-DCMAKE_CXX_COMPILER_LAUNCHER=ccache)
+fi
+# Extra configure args (e.g. CI passes -DPP_SANITIZE_FETCH_GTEST=ON so the
+# sanitizer lanes compile gtest from source with matching instrumentation).
+if [[ -n "${PP_CHECK_CMAKE_ARGS:-}" ]]; then
+  read -r -a EXTRA_ARGS <<< "${PP_CHECK_CMAKE_ARGS}"
+  CMAKE_ARGS+=("${EXTRA_ARGS[@]}")
+fi
+
+echo "== configure (${SANITIZE:-release} lane: ${BUILD_DIR}) =="
+# The ${arr[@]+...} form keeps an empty array from tripping `set -u` on
+# bash < 4.4 (macOS ships 3.2).
+cmake -B "${BUILD_DIR}" -S "${REPO_ROOT}" \
+  ${CMAKE_ARGS[@]+"${CMAKE_ARGS[@]}"}
 
 echo "== build =="
 cmake --build "${BUILD_DIR}" -j "${JOBS}"
 
-# Tiered fail-fast ordering: unit → quant → online → serving → stress.
-# The fast kernel/model tiers run (and can fail) first; the online
-# continual-learning tier gates the serving integration tier, and the slow
-# multi-round stress replays only start once everything else passed.
-echo "== ctest: unit + quant (fail fast) =="
-ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}" \
-  -L '^(unit|quant)$'
+run_tier() {
+  local label_regex="$1" title="$2"
+  echo "== ctest: ${title} =="
+  ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}" \
+    -L "${label_regex}"
+}
 
-echo "== ctest: online =="
-ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}" \
-  -L '^online$'
+run_tier '^(unit|quant)$' "unit + quant (fail fast)"
+run_tier '^online$' "online"
+run_tier '^serving$' "serving"
+if [[ "${RUN_STRESS}" == 1 ]]; then
+  run_tier '^stress$' "stress"
+fi
 
-echo "== ctest: serving =="
-ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}" \
-  -L '^serving$'
+if [[ "${RUN_BENCH}" == 1 ]]; then
+  echo "== bench smoke: section 7.1 parallelism (old vs new GEMM kernel) =="
+  "${BUILD_DIR}/bench_section7_parallelism"
 
-echo "== ctest: stress =="
-ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}" \
-  -LE '^(unit|quant|online|serving)$'
+  echo "== bench gate: serving sessions/s vs ci/bench_baseline.json =="
+  # Wide tolerance band (override: PP_BENCH_GATE_MIN_RATIO): the gate
+  # exists to catch order-of-magnitude regressions across heterogeneous
+  # runners, not percent-level noise.
+  "${BUILD_DIR}/bench_serving_smoke" \
+    --out "${BUILD_DIR}/BENCH_serving.json" \
+    --baseline "${REPO_ROOT}/ci/bench_baseline.json" \
+    --min-ratio "${PP_BENCH_GATE_MIN_RATIO:-0.30}"
+fi
 
-echo "== bench smoke: section 7.1 parallelism (old vs new GEMM kernel) =="
-"${BUILD_DIR}/bench_section7_parallelism"
-
-echo "== OK =="
+echo "== OK (${SANITIZE:-release} lane) =="

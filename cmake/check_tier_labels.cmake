@@ -1,0 +1,83 @@
+# Ran as a ctest test (see CMakeLists.txt): asserts the tier partition is
+# total — every registered test carries exactly one tier label out of
+# unit/quant/online/serving/stress, and every test has a positive TIMEOUT
+# so a hang fails CI instead of wedging it. Run with:
+#   cmake -DBUILD_DIR=<build> -DCTEST_EXECUTABLE=<ctest> -P check_tier_labels.cmake
+cmake_minimum_required(VERSION 3.24)
+
+if(NOT DEFINED BUILD_DIR OR NOT DEFINED CTEST_EXECUTABLE)
+  message(FATAL_ERROR "usage: cmake -DBUILD_DIR=... -DCTEST_EXECUTABLE=... "
+                      "-P check_tier_labels.cmake")
+endif()
+
+set(PP_TIERS unit quant online serving stress)
+
+execute_process(
+  COMMAND ${CTEST_EXECUTABLE} --show-only=json-v1
+  WORKING_DIRECTORY ${BUILD_DIR}
+  OUTPUT_VARIABLE pp_json
+  RESULT_VARIABLE pp_rc)
+if(NOT pp_rc EQUAL 0)
+  message(FATAL_ERROR "ctest --show-only=json-v1 failed (${pp_rc})")
+endif()
+
+string(JSON pp_num_tests LENGTH "${pp_json}" tests)
+if(pp_num_tests EQUAL 0)
+  message(FATAL_ERROR "no tests registered — build the test targets first")
+endif()
+
+set(pp_errors "")
+math(EXPR pp_last "${pp_num_tests} - 1")
+foreach(pp_i RANGE ${pp_last})
+  string(JSON pp_name GET "${pp_json}" tests ${pp_i} name)
+  string(JSON pp_num_props LENGTH "${pp_json}" tests ${pp_i} properties)
+
+  set(pp_tier_count 0)
+  set(pp_tiers_found "")
+  set(pp_timeout 0)
+  if(pp_num_props GREATER 0)
+    math(EXPR pp_last_prop "${pp_num_props} - 1")
+    foreach(pp_p RANGE ${pp_last_prop})
+      string(JSON pp_prop_name GET "${pp_json}" tests ${pp_i} properties
+             ${pp_p} name)
+      if(pp_prop_name STREQUAL "LABELS")
+        string(JSON pp_num_labels LENGTH "${pp_json}" tests ${pp_i}
+               properties ${pp_p} value)
+        if(pp_num_labels GREATER 0)
+          math(EXPR pp_last_label "${pp_num_labels} - 1")
+          foreach(pp_l RANGE ${pp_last_label})
+            string(JSON pp_label GET "${pp_json}" tests ${pp_i} properties
+                   ${pp_p} value ${pp_l})
+            if(pp_label IN_LIST PP_TIERS)
+              math(EXPR pp_tier_count "${pp_tier_count} + 1")
+              list(APPEND pp_tiers_found ${pp_label})
+            endif()
+          endforeach()
+        endif()
+      elseif(pp_prop_name STREQUAL "TIMEOUT")
+        string(JSON pp_timeout GET "${pp_json}" tests ${pp_i} properties
+               ${pp_p} value)
+      endif()
+    endforeach()
+  endif()
+
+  if(NOT pp_tier_count EQUAL 1)
+    list(APPEND pp_errors
+         "${pp_name}: carries ${pp_tier_count} tier labels "
+         "[${pp_tiers_found}] — every test needs exactly one of "
+         "unit/quant/online/serving/stress\n")
+  endif()
+  if(NOT pp_timeout GREATER 0)
+    list(APPEND pp_errors
+         "${pp_name}: no positive TIMEOUT property — a hang would wedge "
+         "CI\n")
+  endif()
+endforeach()
+
+if(pp_errors)
+  string(REPLACE ";" "" pp_errors_text "${pp_errors}")
+  message(FATAL_ERROR "tier label check failed:\n${pp_errors_text}")
+endif()
+message(STATUS
+        "tier labels ok: ${pp_num_tests} tests, each exactly one tier + "
+        "TIMEOUT")

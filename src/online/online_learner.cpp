@@ -1,6 +1,9 @@
 #include "online/online_learner.hpp"
 
+#include <cerrno>
 #include <cmath>
+#include <cstdio>
+#include <cstring>
 #include <limits>
 #include <numeric>
 #include <stdexcept>
@@ -16,6 +19,9 @@ std::vector<std::size_t> all_users(const data::Dataset& dataset) {
   std::iota(users.begin(), users.end(), 0);
   return users;
 }
+
+constexpr std::uint32_t kCheckpointMagic = 0x5050434bu;  // "KCPP" LE
+constexpr std::uint32_t kCheckpointVersion = 1;
 
 }  // namespace
 
@@ -179,6 +185,42 @@ void OnlineLearner::load_state(BinaryReader& reader) {
   std::lock_guard<std::mutex> lock(mutex_);
   shadow_->network().deserialize(reader);
   trainer_->deserialize_optimizer(reader);
+}
+
+void OnlineLearner::save_checkpoint(const std::string& path) const {
+  BinaryWriter writer;
+  writer.reserve(1 << 12);
+  // One u64 header: version << 32 | magic.
+  writer.write_u64(static_cast<std::uint64_t>(kCheckpointVersion) << 32 |
+                   kCheckpointMagic);
+  save_state(writer);
+  // Write beside the target and rename into place: rename(2) is atomic on
+  // POSIX, so a reader (or a restart after a kill) only ever sees either
+  // the previous complete checkpoint or the new complete one.
+  const std::string tmp = path + ".tmp";
+  writer.save_file(tmp);
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    throw std::runtime_error("OnlineLearner: checkpoint rename failed: " +
+                             path + ": " + std::strerror(errno));
+  }
+}
+
+bool OnlineLearner::load_checkpoint(const std::string& path) {
+  BinaryReader reader({});
+  if (!BinaryReader::try_from_file(path, &reader)) {
+    return false;  // fresh start — no checkpoint written yet
+  }
+  const std::uint64_t header = reader.read_u64();
+  if (static_cast<std::uint32_t>(header) != kCheckpointMagic) {
+    throw std::runtime_error("OnlineLearner: not a checkpoint file: " + path);
+  }
+  if (const auto v = static_cast<std::uint32_t>(header >> 32);
+      v != kCheckpointVersion) {
+    throw std::runtime_error("OnlineLearner: unsupported checkpoint version " +
+                             std::to_string(v) + ": " + path);
+  }
+  load_state(reader);
+  return true;
 }
 
 }  // namespace pp::online

@@ -110,6 +110,15 @@ class OnlineLearner {
   void save_state(BinaryWriter& writer) const;
   void load_state(BinaryReader& reader);
 
+  /// File-backed checkpoint of save_state/load_state with a versioned
+  /// header, written atomically (tmp file + rename) so a process killed
+  /// mid-write never leaves a torn checkpoint behind. The
+  /// OnlineUpdateDaemon calls save_checkpoint on its cadence;
+  /// load_checkpoint returns false when no checkpoint exists yet (fresh
+  /// start) and throws on a corrupt or mismatched file.
+  void save_checkpoint(const std::string& path) const;
+  bool load_checkpoint(const std::string& path);
+
  private:
   double gate_pr_auc(const models::RnnModel& model,
                      const data::Dataset& eval_ds,

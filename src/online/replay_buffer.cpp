@@ -7,9 +7,12 @@
 namespace pp::online {
 
 SessionReplayBuffer::SessionReplayBuffer(ReplayBufferConfig config)
-    : config_(config) {
+    : config_(config), admission_rng_(config.admission_seed) {
   if (config_.capacity == 0 || config_.per_user_cap == 0) {
     throw std::invalid_argument("SessionReplayBuffer: zero capacity");
+  }
+  if (config_.admission == AdmissionPolicy::kReservoir) {
+    reservoir_.reserve(config_.capacity);
   }
 }
 
@@ -26,6 +29,11 @@ void SessionReplayBuffer::add(
   entry.session.context = context;
   entry.session.access = access ? 1 : 0;
   entry.seq = next_seq_++;
+
+  if (config_.admission == AdmissionPolicy::kReservoir) {
+    add_reservoir_locked(user_id, entry);
+    return;
+  }
 
   std::deque<Entry>& log = per_user_[user_id];
   log.push_back(entry);
@@ -45,6 +53,38 @@ void SessionReplayBuffer::add(
   if (arrival_.size() > std::max<std::size_t>(64, 2 * config_.capacity)) {
     compact_arrival_locked();
   }
+}
+
+void SessionReplayBuffer::add_reservoir_locked(std::uint64_t user_id,
+                                               Entry entry) {
+  if (total_ < config_.capacity) {
+    per_user_[user_id].push_back(entry);
+    reservoir_.emplace_back(user_id, entry.seq);
+    ++total_;
+    return;
+  }
+  // Algorithm R: observation n (== stats_.observed, already counted) is
+  // admitted with probability capacity/n by drawing a uniform slot in
+  // [0, n) and replacing only when it lands inside the reservoir. Every
+  // retained entry is then a uniform sample over the whole stream.
+  const std::uint64_t slot = admission_rng_.uniform_index(stats_.observed);
+  if (slot >= reservoir_.size()) {
+    ++stats_.rejected_reservoir;
+    return;
+  }
+  const auto [victim_user, victim_seq] = reservoir_[slot];
+  std::deque<Entry>& victim_log = per_user_.at(victim_user);
+  // Per-user deques hold strictly increasing seqs (appends only), so the
+  // victim is found by binary search; erasing mid-deque is O(log n +
+  // shift), bounded by the victim user's retained share.
+  const auto it = std::lower_bound(
+      victim_log.begin(), victim_log.end(), victim_seq,
+      [](const Entry& e, std::uint64_t seq) { return e.seq < seq; });
+  victim_log.erase(it);
+  if (victim_log.empty()) per_user_.erase(victim_user);
+  per_user_[user_id].push_back(entry);
+  reservoir_[slot] = {user_id, entry.seq};
+  ++stats_.evicted_reservoir;
 }
 
 void SessionReplayBuffer::compact_arrival_locked() {

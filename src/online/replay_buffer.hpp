@@ -3,13 +3,21 @@
 // stream joiner into this buffer; the OnlineLearner periodically compiles
 // its contents into a Dataset snapshot and runs incremental fits on it.
 //
-// Retention is FIFO-with-recency under two caps:
+// Retention under the default FIFO-with-recency admission is bounded by
+// two caps:
 //  * a per-user cap, so a heavy user's firehose cannot crowd the cohort
 //    out of the buffer (their own oldest sessions go first), and
 //  * a global capacity, evicting the globally oldest retained session
 //    (across users) once exceeded.
 // Both evictions drop from the *old* end, so the buffer always holds the
 // most recent behaviour — what an online learner should be tracking.
+//
+// The alternative kReservoir admission targets heavy-tailed cohorts whose
+// recent window is dominated by a bursty minority: Algorithm R keeps a
+// uniform sample *over the whole observed stream* (each of the n observed
+// sessions is retained with probability capacity/n, independent of arrival
+// order or owner), trading recency for coverage. The sampler is seeded and
+// fully deterministic for a given (seed, stream) pair.
 #pragma once
 
 #include <array>
@@ -17,22 +25,44 @@
 #include <deque>
 #include <mutex>
 #include <unordered_map>
+#include <vector>
 
 #include "data/dataset.hpp"
+#include "util/rng.hpp"
 
 namespace pp::online {
 
+/// How `add` decides what the bounded buffer retains once full.
+enum class AdmissionPolicy {
+  /// Evict oldest-first (per-user cap + global capacity): the buffer
+  /// tracks the most recent behaviour.
+  kFifoRecency,
+  /// Reservoir sampling (Algorithm R): a uniform sample over the entire
+  /// observed stream. The per-user cap is NOT applied — it would bias the
+  /// uniform-over-stream guarantee (heavy users are represented exactly in
+  /// proportion to their share of the stream).
+  kReservoir,
+};
+
 struct ReplayBufferConfig {
-  /// Global bound on buffered sessions.
+  /// Global bound on buffered sessions (the reservoir size in kReservoir).
   std::size_t capacity = 100000;
-  /// Per-user bound (heavy users don't dominate the replay set).
+  /// Per-user bound (heavy users don't dominate the replay set). Ignored
+  /// under kReservoir.
   std::size_t per_user_cap = 512;
+  AdmissionPolicy admission = AdmissionPolicy::kFifoRecency;
+  /// Seed for the kReservoir admission draws (deterministic replay).
+  std::uint64_t admission_seed = 42;
 };
 
 struct ReplayBufferStats {
   std::size_t observed = 0;
   std::size_t evicted_user_cap = 0;
   std::size_t evicted_capacity = 0;
+  /// kReservoir only: retained sessions replaced by a later admission.
+  std::size_t evicted_reservoir = 0;
+  /// kReservoir only: observed sessions the sampler never admitted.
+  std::size_t rejected_reservoir = 0;
 };
 
 /// Thread-safe: the serving tier adds from its completion callback while
@@ -74,13 +104,22 @@ class SessionReplayBuffer {
   /// Drops arrival-FIFO entries already evicted by the per-user cap
   /// (bounds arrival_ at ~2x capacity).
   void compact_arrival_locked();
+  /// Algorithm R admission: below capacity every entry is retained; past
+  /// it, observation n replaces a uniformly random retained slot with
+  /// probability capacity/n.
+  void add_reservoir_locked(std::uint64_t user_id, Entry entry);
 
   ReplayBufferConfig config_;
   mutable std::mutex mutex_;
   std::unordered_map<std::uint64_t, std::deque<Entry>> per_user_;
   /// Global arrival FIFO of (user_id, seq); entries already evicted by the
   /// per-user cap are skipped lazily when the capacity bound pops them.
+  /// Unused under kReservoir.
   std::deque<std::pair<std::uint64_t, std::uint64_t>> arrival_;
+  /// kReservoir only: the retained slots as (user_id, seq), replaceable in
+  /// O(1) by a uniform index draw.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> reservoir_;
+  Rng admission_rng_{0};
   std::uint64_t next_seq_ = 0;
   std::size_t total_ = 0;
   std::int64_t latest_time_ = 0;

@@ -1,6 +1,7 @@
 #include "serving/online_experiment.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <stdexcept>
 
 namespace pp::serving {
@@ -66,8 +67,10 @@ OnlineExperimentResult run_online_experiment(
   std::unique_ptr<HiddenStateStore> online_store;
   std::unique_ptr<online::ModelRegistry> registry;
   std::unique_ptr<online::OnlineLearner> learner;
+  std::unique_ptr<online::OnlineUpdateDaemon> daemon;
   std::unique_ptr<RnnPolicy> online_policy;
   std::unique_ptr<PrecomputeService> online_service;
+  bool resumed_from_checkpoint = false;
   std::int64_t next_update = 0;
   if (config.online_rnn_arm) {
     if (config.online_update_period <= 0) {
@@ -86,6 +89,28 @@ OnlineExperimentResult run_online_experiment(
         config.learner.gate_int8 || rnn_model.quantized_serving());
     learner = std::make_unique<online::OnlineLearner>(*registry, cohort,
                                                       config.learner);
+    if (!config.learner_checkpoint.empty()) {
+      // Resume the incremental-training state (shadow weights + Adam
+      // moments + step count) exactly where a killed process left it.
+      resumed_from_checkpoint =
+          learner->load_checkpoint(config.learner_checkpoint);
+    }
+    if (config.use_update_daemon) {
+      online::OnlineUpdateDaemonConfig daemon_config;
+      // Replays are event-time deterministic: the auto triggers are
+      // parked (no new-session threshold can fire) and every round is an
+      // explicit drive_round() at the event-time schedule below — still
+      // executed on the daemon thread, never on this replay thread.
+      daemon_config.min_new_sessions = std::numeric_limits<std::size_t>::max();
+      daemon_config.min_round_interval = std::chrono::milliseconds(0);
+      if (!config.learner_checkpoint.empty()) {
+        daemon_config.checkpoint_every_rounds = 1;
+        daemon_config.checkpoint_path = config.learner_checkpoint;
+      }
+      daemon = std::make_unique<online::OnlineUpdateDaemon>(*learner,
+                                                            daemon_config);
+      daemon->start();
+    }
     online_policy = std::make_unique<RnnPolicy>(*registry, *online_store);
     online_service = std::make_unique<PrecomputeService>(
         *online_policy, config.rnn_threshold, cohort.session_length,
@@ -101,7 +126,15 @@ OnlineExperimentResult run_online_experiment(
   std::uint64_t next_session_id = 1;
   for (const Item& item : stream) {
     if (online_service != nullptr && item.t >= next_update) {
-      learner->run_update_round();
+      if (daemon != nullptr) {
+        daemon->drive_round();
+      } else {
+        const online::OnlineUpdateReport report =
+            learner->run_update_round();
+        if (report.ran && !config.learner_checkpoint.empty()) {
+          learner->save_checkpoint(config.learner_checkpoint);
+        }
+      }
       while (next_update <= item.t) next_update += config.online_update_period;
     }
     const std::uint64_t session_id = next_session_id++;
@@ -130,9 +163,17 @@ OnlineExperimentResult run_online_experiment(
   result.rnn = collect(rnn_service);
   result.gbdt = collect(gbdt_service);
   if (online_service != nullptr) {
+    if (daemon != nullptr) {
+      daemon->stop();  // join the update thread before reading ledgers
+      result.daemon = daemon->stats();
+    }
+    if (!config.learner_checkpoint.empty()) {
+      learner->save_checkpoint(config.learner_checkpoint);
+    }
     result.rnn_online = collect(*online_service);
     result.learner = learner->stats();
     result.registry = registry->stats();
+    result.resumed_from_checkpoint = resumed_from_checkpoint;
     result.online_versions = registry->current_version();
   }
   return result;

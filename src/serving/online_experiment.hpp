@@ -9,6 +9,7 @@
 #include <span>
 
 #include "online/online_learner.hpp"
+#include "online/update_daemon.hpp"
 #include "serving/precompute_service.hpp"
 
 namespace pp::serving {
@@ -34,6 +35,12 @@ struct OnlineExperimentResult {
   PolicyOutcome rnn_online;
   online::OnlineLearnerStats learner;
   online::ModelRegistryStats registry;
+  /// Round-origin ledger of the background updater (populated when
+  /// use_update_daemon is set): daemon.rounds_driven == learner.rounds
+  /// proves no update round ever ran on the replay (serving) thread.
+  online::OnlineUpdateDaemonStats daemon;
+  /// Whether learner_checkpoint existed and was restored before replay.
+  bool resumed_from_checkpoint = false;
   /// Final published version of the online arm (1 = never republished).
   std::uint64_t online_versions = 0;
   std::size_t sessions = 0;
@@ -51,6 +58,19 @@ struct OnlineExperimentConfig {
   online::OnlineLearnerConfig learner;
   /// Event-time period between OnlineLearner update rounds.
   std::int64_t online_update_period = 86400;
+  /// Route every update round through an OnlineUpdateDaemon: the replay
+  /// thread requests rounds at the same event-time schedule but they
+  /// execute on the daemon's background thread (drive_round), exactly as
+  /// the production wiring would — and the result's daemon ledger proves
+  /// it. The daemon's auto triggers stay disabled so the event-time
+  /// schedule remains deterministic.
+  bool use_update_daemon = false;
+  /// When non-empty: restore the learner from this checkpoint before the
+  /// replay (if the file exists), checkpoint after every round that ran
+  /// (daemon cadence under use_update_daemon, inline otherwise), and write
+  /// a final checkpoint after the replay — so a killed process resumes its
+  /// Adam state bit-identically.
+  std::string learner_checkpoint;
 };
 
 /// Replays the selected users' sessions (time-ordered across users)

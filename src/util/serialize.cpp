@@ -16,18 +16,29 @@ void BinaryWriter::save_file(const std::string& path) const {
 }
 
 BinaryReader BinaryReader::from_file(const std::string& path) {
+  BinaryReader reader({});
+  if (!try_from_file(path, &reader)) {
+    throw std::runtime_error("cannot open for read: " + path);
+  }
+  return reader;
+}
+
+bool BinaryReader::try_from_file(const std::string& path,
+                                 BinaryReader* out) {
   std::unique_ptr<std::FILE, int (*)(std::FILE*)> f(
       std::fopen(path.c_str(), "rb"), &std::fclose);
-  if (!f) throw std::runtime_error("cannot open for read: " + path);
+  if (!f) return false;
   std::fseek(f.get(), 0, SEEK_END);
   const long size = std::ftell(f.get());
+  if (size < 0) return false;  // non-seekable (e.g. FIFO): treat as absent
   std::fseek(f.get(), 0, SEEK_SET);
   std::vector<std::uint8_t> bytes(static_cast<std::size_t>(size));
   if (size > 0 && std::fread(bytes.data(), 1, bytes.size(), f.get()) !=
                       bytes.size()) {
     throw std::runtime_error("short read: " + path);
   }
-  return BinaryReader(std::move(bytes));
+  *out = BinaryReader(std::move(bytes));
+  return true;
 }
 
 }  // namespace pp

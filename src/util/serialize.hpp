@@ -46,6 +46,11 @@ class BinaryWriter {
     bytes_.insert(bytes_.end(), p, p + n);
   }
 
+  /// Pre-sizes the buffer. Besides the allocation saving, writing a small
+  /// header into a fresh writer at -O2 trips GCC 12's -Wstringop-overflow
+  /// false positive on the inlined first growth; reserving sidesteps it.
+  void reserve(std::size_t n) { bytes_.reserve(n); }
+
   const std::vector<std::uint8_t>& bytes() const { return bytes_; }
   std::vector<std::uint8_t> take() { return std::move(bytes_); }
 
@@ -64,6 +69,10 @@ class BinaryReader {
       : bytes_(std::move(bytes)) {}
 
   static BinaryReader from_file(const std::string& path);
+  /// Single-open variant for "missing file = fresh start" callers: returns
+  /// false when the file cannot be opened (no separate existence probe, no
+  /// TOCTOU window); throws only on a short read.
+  static bool try_from_file(const std::string& path, BinaryReader* out);
 
   template <typename T>
   T read_pod() {

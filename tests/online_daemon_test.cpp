@@ -1,0 +1,653 @@
+// The asynchronous multi-tenant half of the `online` tier: the
+// OnlineUpdateDaemon (start/stop/join under load, rate-limit triggers,
+// drive_round round-origin accounting, checkpoint/kill/resume),
+// reservoir admission in the replay buffer (uniform-over-stream,
+// deterministic by seed), the CohortRegistryMap (isolated triples, routed
+// feeds), and the two-cohort drift test: the rule inverts in cohort A
+// only, cohort A relearns through daemon-driven rounds while cohort B's
+// model never moves.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <functional>
+#include <limits>
+#include <thread>
+
+#include "data/generators.hpp"
+#include "eval/metrics.hpp"
+#include "features/examples.hpp"
+#include "models/gbdt_model.hpp"
+#include "online/cohort_map.hpp"
+#include "online/update_daemon.hpp"
+#include "online_test_util.hpp"
+#include "serving/online_experiment.hpp"
+#include "serving/precompute_service.hpp"
+
+namespace pp::online {
+namespace {
+
+using testutil::all_users;
+using testutil::ctx;
+using testutil::drift_cohort;
+using testutil::feed_cohort;
+using testutil::make_joined;
+using testutil::small_rnn_config;
+using testutil::trained_drift_model;
+
+/// Polls `pred` (bounded) — the daemon runs on wall-clock triggers, so
+/// tests wait for its ledger instead of sleeping fixed amounts.
+bool wait_until(const std::function<bool()>& pred,
+                std::chrono::milliseconds timeout =
+                    std::chrono::milliseconds(5000)) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  return pred();
+}
+
+std::string temp_path(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+// ------------------------------------------------------------ update daemon
+
+TEST(OnlineUpdateDaemon, StartStopJoinUnderLoad) {
+  const data::Dataset cohort = drift_cohort(8, 3, 1000, 1);
+  ModelRegistry registry(
+      std::make_shared<models::RnnModel>(cohort, small_rnn_config()));
+  OnlineLearnerConfig learner_config;
+  learner_config.min_train_sessions = 10;
+  learner_config.min_holdout_predictions = 5;
+  // Small buffer: rounds stay cheap even on sanitizer-slowed runners.
+  learner_config.buffer.capacity = 1024;
+  learner_config.buffer.per_user_cap = 64;
+  OnlineLearner learner(registry, cohort, learner_config);
+
+  OnlineUpdateDaemonConfig config;
+  config.poll_interval = std::chrono::milliseconds(2);
+  config.min_round_interval = std::chrono::milliseconds(5);
+  config.min_new_sessions = 1;
+  OnlineUpdateDaemon daemon(learner, config);
+  EXPECT_FALSE(daemon.running());
+
+  daemon.start();
+  EXPECT_TRUE(daemon.running());
+  EXPECT_THROW(daemon.start(), std::logic_error);  // already running
+
+  // Two producers hammer observe() while the daemon auto-runs rounds —
+  // the serving capture path never blocks behind (or runs) a round. The
+  // 1ms nap keeps a 1-core runner from starving the daemon thread.
+  std::atomic<bool> stop_producers{false};
+  auto produce = [&](std::uint64_t base) {
+    std::uint64_t i = 0;
+    while (!stop_producers.load()) {
+      const auto& user = cohort.users[i % cohort.users.size()];
+      const auto& s = user.sessions[i % user.sessions.size()];
+      learner.observe(make_joined(base + user.user_id, s.timestamp,
+                                  s.context[0], s.access != 0));
+      ++i;
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  };
+  std::thread producer_a(produce, 0);
+  std::thread producer_b(produce, 100);
+  EXPECT_TRUE(wait_until([&] { return daemon.stats().rounds_driven >= 2; },
+                         std::chrono::milliseconds(30000)));
+  stop_producers.store(true);
+  producer_a.join();
+  producer_b.join();
+
+  daemon.stop();
+  EXPECT_FALSE(daemon.running());
+  daemon.stop();  // idempotent
+
+  // Round-origin ledger: every learner round was daemon-driven.
+  const OnlineUpdateDaemonStats stats = daemon.stats();
+  EXPECT_GE(stats.rounds_driven, 2u);
+  EXPECT_EQ(learner.stats().rounds, stats.rounds_driven);
+
+  // The daemon restarts cleanly after a stop (fresh thread, same ledger).
+  daemon.start();
+  EXPECT_TRUE(daemon.running());
+  const OnlineUpdateReport report = daemon.drive_round();
+  (void)report;
+  daemon.stop();
+  EXPECT_EQ(learner.stats().rounds, daemon.stats().rounds_driven);
+}
+
+TEST(OnlineUpdateDaemon, MinNewSessionsTriggerGatesRounds) {
+  const data::Dataset cohort = drift_cohort(4, 2, 1000, 1);
+  ModelRegistry registry(
+      std::make_shared<models::RnnModel>(cohort, small_rnn_config()));
+  OnlineLearner learner(registry, cohort, {});
+
+  OnlineUpdateDaemonConfig config;
+  config.poll_interval = std::chrono::milliseconds(2);
+  config.min_round_interval = std::chrono::milliseconds(0);
+  config.min_new_sessions = 50;
+  OnlineUpdateDaemon daemon(learner, config);
+  daemon.start();
+
+  // 10 observed sessions < 50: the trigger must hold the round back.
+  for (int i = 0; i < 10; ++i) {
+    learner.observe(make_joined(1, 1000 + i, 0, false));
+  }
+  EXPECT_TRUE(
+      wait_until([&] { return daemon.stats().deferred_sessions > 0; }));
+  EXPECT_EQ(daemon.stats().rounds_driven, 0u);
+
+  // Crossing the floor releases exactly one round (no new sessions after).
+  for (int i = 0; i < 40; ++i) {
+    learner.observe(make_joined(2, 2000 + i, 0, false));
+  }
+  EXPECT_TRUE(wait_until([&] { return daemon.stats().rounds_driven >= 1; }));
+  const std::size_t rounds_after_burst = daemon.stats().rounds_driven;
+  EXPECT_EQ(rounds_after_burst, 1u);
+  // Let several poll cycles pass: still no second round without new data.
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_EQ(daemon.stats().rounds_driven, rounds_after_burst);
+  daemon.stop();
+}
+
+TEST(OnlineUpdateDaemon, MinRoundIntervalRateLimits) {
+  const data::Dataset cohort = drift_cohort(4, 2, 1000, 1);
+  ModelRegistry registry(
+      std::make_shared<models::RnnModel>(cohort, small_rnn_config()));
+  OnlineLearner learner(registry, cohort, {});
+
+  OnlineUpdateDaemonConfig config;
+  config.poll_interval = std::chrono::milliseconds(2);
+  config.min_round_interval = std::chrono::minutes(10);
+  config.min_new_sessions = 1;
+  OnlineUpdateDaemon daemon(learner, config);
+  daemon.start();
+
+  // A steady feed: the first round fires immediately, then the wall-clock
+  // floor defers everything else for the rest of the test even though the
+  // session trigger keeps being satisfied.
+  for (int i = 0; i < 100; ++i) {
+    learner.observe(make_joined(1, 1000 + i, 0, false));
+  }
+  EXPECT_TRUE(wait_until([&] { return daemon.stats().rounds_driven >= 1; }));
+  std::atomic<bool> stop_feed{false};
+  std::thread feeder([&] {
+    std::int64_t t = 5000;
+    while (!stop_feed.load()) {
+      learner.observe(make_joined(2, t++, 0, false));
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+  EXPECT_TRUE(
+      wait_until([&] { return daemon.stats().deferred_interval > 0; }));
+  stop_feed.store(true);
+  feeder.join();
+  EXPECT_EQ(daemon.stats().rounds_driven, 1u);
+  daemon.stop();
+}
+
+TEST(OnlineUpdateDaemon, DriveRoundRunsOnDaemonAndFailsWhenStopped) {
+  const data::Dataset cohort = drift_cohort(8, 3, 1000, 1);
+  ModelRegistry registry(trained_drift_model());
+  OnlineLearnerConfig learner_config;
+  learner_config.min_train_sessions = 10;
+  learner_config.min_holdout_predictions = 5;
+  OnlineLearner learner(registry, cohort, learner_config);
+
+  OnlineUpdateDaemonConfig config;
+  // Auto triggers parked: only drive_round may run rounds.
+  config.min_new_sessions = std::numeric_limits<std::size_t>::max();
+  OnlineUpdateDaemon daemon(learner, config);
+  EXPECT_THROW(daemon.drive_round(), std::logic_error);  // not running
+
+  daemon.start();
+  const OnlineUpdateReport empty_round = daemon.drive_round();
+  EXPECT_FALSE(empty_round.ran);  // empty buffer — skipped, but driven
+
+  feed_cohort(learner, cohort);
+  const OnlineUpdateReport fed_round = daemon.drive_round();
+  EXPECT_TRUE(fed_round.ran);
+
+  // drive_round bypasses the triggers but still owns every round: the
+  // learner's ledger equals the daemon's, so zero rounds ran on this
+  // (caller) thread.
+  EXPECT_EQ(daemon.stats().rounds_driven, 2u);
+  EXPECT_EQ(learner.stats().rounds, 2u);
+  EXPECT_EQ(daemon.stats().rounds_ran, 1u);
+
+  daemon.stop();
+  EXPECT_THROW(daemon.drive_round(), std::logic_error);
+}
+
+TEST(OnlineUpdateDaemon, ConfigValidation) {
+  const data::Dataset cohort = drift_cohort(2, 1, 1000, 1);
+  ModelRegistry registry(
+      std::make_shared<models::RnnModel>(cohort, small_rnn_config()));
+  OnlineLearner learner(registry, cohort, {});
+
+  OnlineUpdateDaemonConfig bad_poll;
+  bad_poll.poll_interval = std::chrono::milliseconds(0);
+  EXPECT_THROW(OnlineUpdateDaemon(learner, bad_poll), std::invalid_argument);
+
+  OnlineUpdateDaemonConfig no_path;
+  no_path.checkpoint_every_rounds = 1;  // cadence without a path
+  EXPECT_THROW(OnlineUpdateDaemon(learner, no_path), std::invalid_argument);
+}
+
+// ----------------------------------------------------- checkpoint / resume
+
+TEST(OnlineUpdateDaemon, CheckpointKillResumeBitIdenticalAdamState) {
+  const data::Dataset cohort = drift_cohort(8, 3, 1000, 1);
+  const std::string path = temp_path("pp_daemon_ckpt_test.bin");
+  std::filesystem::remove(path);
+
+  ModelRegistry registry(trained_drift_model());
+  OnlineLearnerConfig learner_config;
+  learner_config.min_train_sessions = 10;
+  learner_config.min_holdout_predictions = 5;
+  OnlineLearner learner(registry, cohort, learner_config);
+  feed_cohort(learner, cohort);
+
+  OnlineUpdateDaemonConfig config;
+  config.min_new_sessions = std::numeric_limits<std::size_t>::max();
+  config.checkpoint_every_rounds = 1;
+  config.checkpoint_path = path;
+  OnlineUpdateDaemon daemon(learner, config);
+  daemon.start();
+  EXPECT_TRUE(daemon.drive_round().ran);
+  EXPECT_TRUE(daemon.drive_round().ran);
+  daemon.stop();  // the "kill": all that survives is the checkpoint file
+  EXPECT_EQ(daemon.stats().checkpoints, 2u);
+  EXPECT_EQ(daemon.stats().checkpoint_failures, 0u);
+  ASSERT_TRUE(std::filesystem::exists(path));
+
+  // A fresh process: same seed model, fresh learner, restore from disk.
+  // The restored training state — shadow weights + Adam moments + step
+  // count — must be bit-identical to the killed learner's.
+  ModelRegistry registry2(trained_drift_model());
+  OnlineLearner restored(registry2, cohort, learner_config);
+  EXPECT_TRUE(restored.load_checkpoint(path));
+  BinaryWriter killed_state, restored_state;
+  learner.save_state(killed_state);
+  restored.save_state(restored_state);
+  EXPECT_EQ(killed_state.bytes(), restored_state.bytes());
+
+  // Missing file is a fresh start, not an error; a torn/corrupt file is.
+  std::filesystem::remove(path);
+  EXPECT_FALSE(restored.load_checkpoint(path));
+  BinaryWriter junk;
+  junk.reserve(16);  // GCC 12 -Wstringop-overflow false positive otherwise
+  junk.write_u64(0xdeadbeefdeadbeefull);
+  junk.save_file(path);
+  EXPECT_THROW(restored.load_checkpoint(path), std::runtime_error);
+  std::filesystem::remove(path);
+}
+
+TEST(OnlineExperiment, DaemonDrivenRoundsAndCheckpointResume) {
+  const data::Dataset cohort = drift_cohort(12, 5, 1000, 500);
+  const data::Dataset pretrain = drift_cohort(12, 3, 1000, 1);
+  const std::string path = temp_path("pp_experiment_ckpt_test.bin");
+  std::filesystem::remove(path);
+
+  auto rnn_config = small_rnn_config();
+  rnn_config.epochs = 4;
+  models::RnnModel rnn(pretrain, rnn_config);
+  rnn.fit(pretrain, all_users(pretrain));
+
+  features::FeaturePipeline pipeline(cohort.schema, {},
+                                     features::gbdt_encoding());
+  const auto examples = features::build_session_examples(
+      pretrain, all_users(pretrain), pipeline, 0, 0, 1);
+  models::GbdtModel gbdt;
+  models::GbdtModelConfig gbdt_config;
+  gbdt_config.booster.num_rounds = 3;
+  gbdt_config.depth_search = false;
+  gbdt.fit(examples, examples, gbdt_config);
+
+  serving::OnlineExperimentConfig config;
+  config.online_rnn_arm = true;
+  config.use_update_daemon = true;
+  config.learner_checkpoint = path;
+  config.learner.min_train_sessions = 50;
+  config.learner.min_holdout_predictions = 10;
+  const serving::OnlineExperimentResult first =
+      serving::run_online_experiment(cohort, all_users(cohort), rnn, gbdt,
+                                     pipeline, config);
+  EXPECT_GT(first.learner.rounds, 0u);
+  EXPECT_EQ(first.daemon.rounds_driven, first.learner.rounds);
+  EXPECT_FALSE(first.resumed_from_checkpoint);
+  EXPECT_TRUE(std::filesystem::exists(path));
+
+  // A second process over the same stream resumes from the checkpoint.
+  const serving::OnlineExperimentResult second =
+      serving::run_online_experiment(cohort, all_users(cohort), rnn, gbdt,
+                                     pipeline, config);
+  EXPECT_TRUE(second.resumed_from_checkpoint);
+  EXPECT_EQ(second.daemon.rounds_driven, second.learner.rounds);
+  std::filesystem::remove(path);
+}
+
+// ------------------------------------------------------ reservoir admission
+
+TEST(SessionReplayBuffer, ReservoirUniformOverStream) {
+  // 30 seeded reservoirs over a 2000-session stream, capacity 100 each:
+  // pooled retention must be uniform over the stream. Expected 750 per
+  // time quartile (3000 samples / 4); the ±130 band is ~5.5 sigma of the
+  // binomial sd (~23.7) — deterministic, and far tighter than the FIFO
+  // policy, which would put all 3000 samples in the last quartile.
+  constexpr int kSeeds = 30;
+  constexpr std::size_t kStream = 2000;
+  constexpr std::size_t kCapacity = 100;
+  std::array<std::size_t, 4> quartiles{};
+  for (int seed = 1; seed <= kSeeds; ++seed) {
+    ReplayBufferConfig config;
+    config.capacity = kCapacity;
+    config.admission = AdmissionPolicy::kReservoir;
+    config.admission_seed = static_cast<std::uint64_t>(seed);
+    SessionReplayBuffer buffer(config);
+    for (std::size_t i = 0; i < kStream; ++i) {
+      buffer.add(i % 7, 1000 + static_cast<std::int64_t>(i), ctx(0),
+                 i % 2 == 0);
+    }
+    EXPECT_EQ(buffer.size(), kCapacity);
+    const ReplayBufferStats stats = buffer.stats();
+    EXPECT_EQ(stats.observed, kStream);
+    // Every non-retained observation is accounted one way or the other.
+    EXPECT_EQ(stats.evicted_reservoir + stats.rejected_reservoir,
+              kStream - kCapacity);
+
+    data::Dataset meta;
+    meta.schema.fields = {{"ctx", 2, false, false}};
+    const data::Dataset snap = buffer.snapshot(meta);
+    EXPECT_EQ(snap.total_sessions(), kCapacity);
+    for (const auto& user : snap.users) {
+      for (const auto& s : user.sessions) {
+        const auto pos = static_cast<std::size_t>(s.timestamp - 1000);
+        ++quartiles[pos / (kStream / 4)];
+      }
+    }
+  }
+  const std::size_t expected = kSeeds * kCapacity / 4;
+  for (std::size_t q = 0; q < 4; ++q) {
+    EXPECT_NEAR(static_cast<double>(quartiles[q]),
+                static_cast<double>(expected), 130.0)
+        << "quartile " << q;
+  }
+}
+
+TEST(SessionReplayBuffer, ReservoirDeterministicBySeed) {
+  const auto run = [](std::uint64_t seed) {
+    ReplayBufferConfig config;
+    config.capacity = 64;
+    config.admission = AdmissionPolicy::kReservoir;
+    config.admission_seed = seed;
+    SessionReplayBuffer buffer(config);
+    for (std::size_t i = 0; i < 1000; ++i) {
+      buffer.add(i % 5, 1000 + static_cast<std::int64_t>(i), ctx(0),
+                 false);
+    }
+    data::Dataset meta;
+    meta.schema.fields = {{"ctx", 2, false, false}};
+    std::vector<std::int64_t> kept;
+    for (const auto& user : buffer.snapshot(meta).users) {
+      for (const auto& s : user.sessions) kept.push_back(s.timestamp);
+    }
+    std::sort(kept.begin(), kept.end());
+    return kept;
+  };
+  EXPECT_EQ(run(7), run(7));    // deterministic replay
+  EXPECT_NE(run(7), run(8));    // and seed-sensitive
+}
+
+TEST(SessionReplayBuffer, ReservoirKeepsHeavyTailProportional) {
+  // One firehose user (90% of the stream) + 10 light users. The FIFO
+  // policy with a per-user cap clamps the heavy user; the reservoir keeps
+  // every user proportional to its share of the stream — the heavy user
+  // gets ~90% of the slots, each light user ~1%.
+  ReplayBufferConfig config;
+  config.capacity = 200;
+  config.admission = AdmissionPolicy::kReservoir;
+  config.admission_seed = 3;
+  SessionReplayBuffer buffer(config);
+  for (std::size_t i = 0; i < 5000; ++i) {
+    const std::uint64_t user = i % 10 == 0 ? 1 + (i / 10) % 10 : 0;
+    buffer.add(user, 1000 + static_cast<std::int64_t>(i), ctx(0), false);
+  }
+  data::Dataset meta;
+  meta.schema.fields = {{"ctx", 2, false, false}};
+  std::size_t heavy = 0;
+  for (const auto& user : buffer.snapshot(meta).users) {
+    if (user.user_id == 0) heavy = user.sessions.size();
+  }
+  EXPECT_NEAR(static_cast<double>(heavy), 180.0, 30.0);  // ~90% of 200
+}
+
+// --------------------------------------------------------- cohort registry
+
+TEST(CohortRegistryMap, IsolatedTriplesPerCohort) {
+  const data::Dataset meta = drift_cohort(2, 1, 1000, 1);
+  auto model_config = small_rnn_config();
+
+  CohortRegistryMap cohorts;
+  CohortConfig config;
+  config.daemon.min_new_sessions = std::numeric_limits<std::size_t>::max();
+  cohorts.create("tab", std::make_shared<models::RnnModel>(meta,
+                                                           model_config),
+                 meta, config);
+  cohorts.create("notif", std::make_shared<models::RnnModel>(meta,
+                                                             model_config),
+                 meta, config);
+  EXPECT_EQ(cohorts.size(), 2u);
+  EXPECT_EQ(cohorts.ids(), (std::vector<std::string>{"notif", "tab"}));
+  EXPECT_THROW(cohorts.create("tab",
+                              std::make_shared<models::RnnModel>(
+                                  meta, model_config),
+                              meta, config),
+               std::invalid_argument);
+  EXPECT_THROW(cohorts.create("", nullptr, meta, config),
+               std::invalid_argument);
+  EXPECT_THROW(cohorts.create("null-model", nullptr, meta, config),
+               std::invalid_argument);
+  EXPECT_EQ(cohorts.find("mystery"), nullptr);
+  EXPECT_THROW(cohorts.at("mystery"), std::out_of_range);
+
+  // Feeds route to exactly one cohort's buffer...
+  EXPECT_TRUE(cohorts.observe("tab", make_joined(1, 1000, 0, true)));
+  EXPECT_TRUE(cohorts.observe("tab", make_joined(2, 1001, 1, false)));
+  EXPECT_TRUE(cohorts.observe("notif", make_joined(3, 1002, 0, true)));
+  EXPECT_FALSE(cohorts.observe("mystery", make_joined(4, 1003, 0, true)));
+  EXPECT_EQ(cohorts.at("tab").buffer().size(), 2u);
+  EXPECT_EQ(cohorts.at("notif").buffer().size(), 1u);
+
+  // ...and a publish in one registry never moves another's version.
+  auto candidate = std::make_shared<models::RnnModel>(meta, model_config);
+  cohorts.at("tab").registry().publish(candidate);
+  EXPECT_EQ(cohorts.at("tab").registry().current_version(), 2u);
+  EXPECT_EQ(cohorts.at("notif").registry().current_version(), 1u);
+
+  // Replica policy propagates from the learner config: an int8-gated
+  // cohort gets a replica-rebuilding registry automatically.
+  auto q8_model = std::make_shared<models::RnnModel>(meta, model_config);
+  q8_model->enable_quantized_serving();
+  CohortConfig q8_config = config;
+  q8_config.learner.gate_int8 = true;
+  auto& q8_cohort = cohorts.create("q8", q8_model, meta, q8_config);
+  EXPECT_TRUE(q8_cohort.registry().quantize_replicas());
+}
+
+TEST(CohortRegistryMap, StartStopDaemonsAcrossCohorts) {
+  const data::Dataset meta = drift_cohort(2, 1, 1000, 1);
+  CohortRegistryMap cohorts;
+  CohortConfig config;
+  config.daemon.min_new_sessions = std::numeric_limits<std::size_t>::max();
+  for (const char* id : {"a", "b", "c"}) {
+    cohorts.create(id, std::make_shared<models::RnnModel>(
+                           meta, small_rnn_config()),
+                   meta, config);
+  }
+  cohorts.start_daemons();
+  for (const std::string& id : cohorts.ids()) {
+    EXPECT_TRUE(cohorts.at(id).daemon().running()) << id;
+    cohorts.at(id).daemon().drive_round();
+  }
+  cohorts.start_daemons();  // idempotent: running daemons are skipped
+  cohorts.stop_daemons();
+  for (const std::string& id : cohorts.ids()) {
+    EXPECT_FALSE(cohorts.at(id).daemon().running()) << id;
+    EXPECT_EQ(cohorts.at(id).daemon().stats().rounds_driven, 1u) << id;
+  }
+}
+
+// -------------------------------------------------- two-cohort drift test
+
+TEST(CohortRegistryMap, TwoCohortDriftIsolation) {
+  // Cohort A's context rule inverts at day 4; cohort B is stationary.
+  // Both cohorts serve from one CohortRegistryMap, both feed their own
+  // learners, and every update round is daemon-driven. A must relearn
+  // through its own gated publishes; B's model must not move — its gate
+  // is configured to publish only on (unattainable) strict improvement,
+  // and nothing A's stream does may leak into B's triple.
+  // Same cohort shape the single-arm drift acceptance test converges on
+  // (16 users, rule flip at day 5, measured from flip + 4).
+  const int days = 12, flip_day = 5;
+  const data::Dataset cohort_a = drift_cohort(16, days, flip_day, 1000);
+  const data::Dataset cohort_b = drift_cohort(16, days, 1000, 5000);
+  auto pretrained = trained_drift_model();
+
+  CohortRegistryMap cohorts;
+  CohortConfig config_a;
+  config_a.learner.min_train_sessions = 100;
+  config_a.learner.min_holdout_predictions = 20;
+  config_a.learner.epochs_per_round = 4;
+  config_a.learner.minibatch_users = 4;
+  config_a.learner.learning_rate = 5e-3;
+  config_a.learner.loss_window = 86400;
+  config_a.learner.max_pr_auc_regression = 0.05;
+  config_a.daemon.min_new_sessions = std::numeric_limits<std::size_t>::max();
+  CohortConfig config_b = config_a;
+  config_b.learner.epochs_per_round = 1;
+  // Publish only on >2.0 PR-AUC improvement: unattainable, so cohort B's
+  // served model stays at version 1 by construction while its learner
+  // still trains and gates every round.
+  config_b.learner.max_pr_auc_regression = -2.0;
+
+  auto& a = cohorts.create(
+      "drifting", std::shared_ptr<models::RnnModel>(pretrained->clone()),
+      cohort_a, config_a);
+  auto& b = cohorts.create(
+      "stable", std::shared_ptr<models::RnnModel>(pretrained->clone()),
+      cohort_b, config_b);
+
+  // Independent serving stacks bound to each cohort's registry; the
+  // existing begin_batch() pinning gives each service exactly-one-version
+  // snapshot groups against its own cohort's publishes.
+  serving::LocalKvStore kv_a, kv_b;
+  serving::HiddenStateStore store_a(kv_a), store_b(kv_b);
+  serving::RnnPolicy policy_a(a.registry(), store_a);
+  serving::RnnPolicy policy_b(b.registry(), store_b);
+  serving::PrecomputeService service_a(policy_a, 0.5,
+                                       cohort_a.session_length, 60, 0);
+  serving::PrecomputeService service_b(policy_b, 0.5,
+                                       cohort_b.session_length, 60, 0);
+  service_a.set_completion_listener(
+      [&](const serving::JoinedSession& joined) { a.observe(joined); });
+  service_b.set_completion_listener(
+      [&](const serving::JoinedSession& joined) { b.observe(joined); });
+  cohorts.start_daemons();
+
+  // Day-by-day replay of both surfaces, one daemon-driven round per
+  // cohort per day.
+  const auto replay_day = [](const data::Dataset& cohort,
+                             serving::PrecomputeService& service, int day,
+                             std::uint64_t* next_session_id) {
+    struct Item {
+      std::int64_t t;
+      const data::UserLog* user;
+      const data::Session* session;
+    };
+    std::vector<Item> items;
+    for (const auto& user : cohort.users) {
+      for (const auto& s : user.sessions) {
+        if (s.timestamp / 86400 == day) items.push_back({s.timestamp, &user,
+                                                         &s});
+      }
+    }
+    std::sort(items.begin(), items.end(),
+              [](const Item& x, const Item& y) { return x.t < y.t; });
+    for (const Item& item : items) {
+      const std::uint64_t sid = (*next_session_id)++;
+      service.on_session_start(sid, item.user->user_id, item.t,
+                               item.session->context);
+      if (item.session->access) {
+        service.on_access(sid, item.t + cohort.session_length / 2);
+      }
+    }
+  };
+  std::uint64_t next_session_id = 1;
+  for (int day = 0; day < days; ++day) {
+    replay_day(cohort_a, service_a, day, &next_session_id);
+    replay_day(cohort_b, service_b, day, &next_session_id);
+    if (day >= 1) {
+      a.daemon().drive_round();
+      b.daemon().drive_round();
+    }
+  }
+  service_a.flush();
+  service_b.flush();
+  cohorts.stop_daemons();
+
+  // Round origin: every round in both cohorts came off the daemons.
+  EXPECT_GT(a.daemon().stats().rounds_driven, 0u);
+  EXPECT_EQ(a.learner().stats().rounds, a.daemon().stats().rounds_driven);
+  EXPECT_EQ(b.learner().stats().rounds, b.daemon().stats().rounds_driven);
+
+  // Feeds never crossed: each buffer observed exactly its own cohort.
+  EXPECT_EQ(a.buffer().user_count(), cohort_a.users.size());
+  EXPECT_EQ(b.buffer().user_count(), cohort_b.users.size());
+
+  // Cohort A relearned the inverted rule through gated publishes...
+  EXPECT_GE(a.registry().stats().publishes, 1u);
+  EXPECT_GT(a.registry().current_version(), 1u);
+  // ...while cohort B's served model never moved.
+  EXPECT_EQ(b.registry().stats().publishes, 0u);
+  EXPECT_EQ(b.registry().current_version(), 1u);
+  EXPECT_EQ(b.learner().stats().publishes, 0u);
+
+  // Serving quality: B stays accurate throughout (stationary rule, frozen
+  // model); A recovers decisively in the late days.
+  const auto daily_a = service_a.metrics().daily_pr_auc_series();
+  const auto daily_b = service_b.metrics().daily_pr_auc_series();
+  ASSERT_GE(daily_a.size(), static_cast<std::size_t>(days));
+  double a_late = 0, b_late = 0;
+  std::size_t late_days = 0;
+  for (std::size_t d = flip_day + 4; d < static_cast<std::size_t>(days);
+       ++d) {
+    a_late += daily_a[d];
+    b_late += daily_b[d];
+    ++late_days;
+  }
+  ASSERT_GT(late_days, 0u);
+  a_late /= static_cast<double>(late_days);
+  b_late /= static_cast<double>(late_days);
+  EXPECT_GT(b_late, 0.9) << "stationary cohort degraded";
+  EXPECT_GT(a_late, 0.8) << "drifting cohort failed to relearn";
+
+  // Cross-check on a held-out post-flip A-style day: A's published model
+  // has learned the inverted rule, B's still serves the original one —
+  // the drift never leaked across cohorts.
+  const data::Dataset postflip = drift_cohort(8, 2, 0, 9000);
+  const auto score_model = [&](const ModelRegistry& registry) {
+    const train::ScoredSeries series = registry.current()->model->score(
+        postflip, all_users(postflip), 86400);
+    return eval::pr_auc(series.scores, series.labels);
+  };
+  EXPECT_GT(score_model(a.registry()), 0.8);
+  EXPECT_LT(score_model(b.registry()), 0.6);
+}
+
+}  // namespace
+}  // namespace pp::online

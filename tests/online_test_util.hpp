@@ -1,0 +1,114 @@
+// Shared fixtures for the `online` test tier (online_test.cpp,
+// online_daemon_test.cpp): the synthetic drift cohort, a small RNN config,
+// and the learner feed helpers.
+#pragma once
+
+#include <array>
+#include <memory>
+#include <numeric>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "models/rnn_model.hpp"
+#include "online/online_learner.hpp"
+#include "serving/stream.hpp"
+
+namespace pp::online::testutil {
+
+inline std::array<std::uint32_t, data::kMaxContextFields> ctx(
+    std::uint32_t v) {
+  return {v, 0, 0, 0};
+}
+
+/// Synthetic drift cohort: one binary context field fully determines the
+/// access, and the rule inverts at `flip_day` (before: access ⇔ ctx == 1;
+/// after: access ⇔ ctx == 0). A model frozen on pre-flip data is exactly
+/// anti-correlated after the flip; an online learner should recover.
+inline data::Dataset drift_cohort(std::size_t num_users, int days,
+                                  int flip_day,
+                                  std::uint64_t user_id_base) {
+  data::Dataset ds;
+  ds.name = "drift";
+  data::CategoricalField field;
+  field.name = "ctx";
+  field.cardinality = 2;
+  ds.schema.fields = {field};
+  ds.start_time = 0;
+  ds.end_time = static_cast<std::int64_t>(days) * 86400;
+  ds.session_length = 600;
+  ds.update_latency = 60;
+  const std::int64_t flip = static_cast<std::int64_t>(flip_day) * 86400;
+  for (std::size_t u = 0; u < num_users; ++u) {
+    data::UserLog log;
+    log.user_id = user_id_base + u;
+    for (int d = 0; d < days; ++d) {
+      for (int slot = 0; slot < 8; ++slot) {
+        data::Session s;
+        // 8 sessions/day at 3h spacing, staggered per user so the merged
+        // stream interleaves users deterministically.
+        s.timestamp = static_cast<std::int64_t>(d) * 86400 + slot * 10800 +
+                      static_cast<std::int64_t>((u * 131) % 1800);
+        const std::uint32_t c =
+            static_cast<std::uint32_t>((u + d + slot) % 2);
+        s.context = ctx(c);
+        const bool rule = s.timestamp < flip ? (c == 1) : (c == 0);
+        s.access = rule ? 1 : 0;
+        log.sessions.push_back(s);
+      }
+    }
+    ds.users.push_back(std::move(log));
+  }
+  return ds;
+}
+
+inline models::RnnModelConfig small_rnn_config() {
+  models::RnnModelConfig config;
+  config.hidden_size = 8;
+  config.mlp_hidden = 8;
+  config.dropout = 0.0f;
+  config.epochs = 20;
+  config.minibatch_users = 4;
+  config.learning_rate = 5e-3;
+  config.strategy = train::BatchStrategy::kSequential;
+  config.num_threads = 1;
+  config.truncate_history = 400;
+  config.loss_window_days = 365;
+  return config;
+}
+
+inline std::vector<std::size_t> all_users(const data::Dataset& ds) {
+  std::vector<std::size_t> users(ds.users.size());
+  std::iota(users.begin(), users.end(), 0);
+  return users;
+}
+
+/// A small model fitted on pre-flip drift data (deterministic weights).
+inline std::shared_ptr<models::RnnModel> trained_drift_model() {
+  const data::Dataset pretrain = drift_cohort(16, 4, /*flip_day=*/1000, 1);
+  auto model =
+      std::make_shared<models::RnnModel>(pretrain, small_rnn_config());
+  model->fit(pretrain, all_users(pretrain));
+  return model;
+}
+
+inline serving::JoinedSession make_joined(std::uint64_t user,
+                                          std::int64_t t, std::uint32_t c,
+                                          bool access) {
+  serving::JoinedSession joined;
+  joined.user_id = user;
+  joined.session_start = t;
+  joined.context = ctx(c);
+  joined.access = access;
+  return joined;
+}
+
+inline void feed_cohort(OnlineLearner& learner, const data::Dataset& cohort) {
+  for (const auto& user : cohort.users) {
+    for (const auto& s : user.sessions) {
+      learner.observe(make_joined(user.user_id, s.timestamp, s.context[0],
+                                  s.access != 0));
+    }
+  }
+}
+
+}  // namespace pp::online::testutil
