@@ -99,10 +99,15 @@ int main() {
     tensor::GemmKernel kernel;
     std::size_t threads;
   };
+  // The simd rows dispatch to the AVX2/FMA kernels when the host has them
+  // and degrade to blocked otherwise (resolve_kernel in gemm.cpp), so the
+  // table stays runnable on any machine.
   const KernelChoice kernels[] = {
       {"naive (seed)", tensor::GemmKernel::kNaive, 1},
       {"blocked", tensor::GemmKernel::kBlocked, 1},
       {"blocked + threads", tensor::GemmKernel::kBlocked, 0},
+      {"simd", tensor::GemmKernel::kSimd, 1},
+      {"simd + threads", tensor::GemmKernel::kSimd, 0},
   };
   Table kernel_table({"gemm_kernel", "seconds_per_epoch", "speedup_vs_naive"});
   double naive_time = 0;

@@ -302,7 +302,9 @@ BENCHMARK(BM_GemmKernel)
     ->ArgNames({"kernel", "threads"})
     ->Args({static_cast<long>(tensor::GemmKernel::kNaive), 1})
     ->Args({static_cast<long>(tensor::GemmKernel::kBlocked), 1})
-    ->Args({static_cast<long>(tensor::GemmKernel::kBlocked), 0});
+    ->Args({static_cast<long>(tensor::GemmKernel::kBlocked), 0})
+    ->Args({static_cast<long>(tensor::GemmKernel::kSimd), 1})
+    ->Args({static_cast<long>(tensor::GemmKernel::kSimd), 0});
 
 void BM_GbdtPredict(benchmark::State& state) {
   Fixture& f = Fixture::get();

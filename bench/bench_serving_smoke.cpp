@@ -15,6 +15,15 @@
 // on the score path) across differently-sized CI runners, not percent
 // noise. Regenerate the baseline on the reference runner with
 // --write-baseline.
+//
+// Comparability (schema 2): every result row carries the GEMM kernel it
+// ran ("kernel") and the file records the host ISA ("isa"), because a
+// dispatch-selected SIMD number from an AVX2 runner is not comparable to
+// a portable number from a runner without it. Each case is measured both
+// with the dispatch-selected kernel and with the portable blocked kernel
+// forced; the gate compares like-for-like only — "blocked" rows gate on
+// any runner, kernel rows a runner cannot reproduce (ISA mismatch) are
+// skipped with a note instead of tripping a false regression.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -24,6 +33,8 @@
 #include "bench/common.hpp"
 #include "serving/hidden_store.hpp"
 #include "serving/precompute_service.hpp"
+#include "tensor/cpu_dispatch.hpp"
+#include "tensor/gemm.hpp"
 #include "util/stopwatch.hpp"
 
 namespace {
@@ -33,6 +44,7 @@ using namespace pp;
 struct Case {
   std::string precision;  // "f32" | "int8"
   std::size_t batch;
+  std::string kernel;  // "naive" | "blocked" | "simd" (gemm_kernel_name)
   double sessions_per_sec = 0;
 };
 
@@ -48,7 +60,11 @@ const data::Dataset* model_dataset() {
 }
 
 double measure_case(const models::RnnModel& model, bool q8,
-                    std::size_t batch, double time_per_case) {
+                    std::size_t batch, double time_per_case,
+                    tensor::GemmKernel kernel) {
+  // Pin the GEMM kernel for this case (threads stay at the global
+  // setting); restored on scope exit.
+  tensor::GemmConfigScope kernel_scope(kernel, tensor::gemm_threads());
   const auto codec =
       q8 ? serving::StateCodec::kInt8 : serving::StateCodec::kFloat32;
   serving::LocalKvStore kv;
@@ -105,16 +121,18 @@ void write_json(const std::string& path, const std::vector<Case>& cases,
   }
   std::fprintf(f, "{\n");
   std::fprintf(f, "  \"bench\": \"serving_smoke\",\n");
-  std::fprintf(f, "  \"schema\": 1,\n");
+  std::fprintf(f, "  \"schema\": 2,\n");
+  std::fprintf(f, "  \"isa\": \"%s\",\n",
+               tensor::cpu_isa_name(tensor::detected_cpu_isa()));
   std::fprintf(f, "  \"hidden\": %zu,\n", hidden);
   std::fprintf(f, "  \"results\": [\n");
   for (std::size_t i = 0; i < cases.size(); ++i) {
     // One result object per line: the baseline comparator is a line parser.
     std::fprintf(f,
                  "    {\"precision\": \"%s\", \"batch\": %zu, "
-                 "\"sessions_per_sec\": %.1f}%s\n",
+                 "\"kernel\": \"%s\", \"sessions_per_sec\": %.1f}%s\n",
                  cases[i].precision.c_str(), cases[i].batch,
-                 cases[i].sessions_per_sec,
+                 cases[i].kernel.c_str(), cases[i].sessions_per_sec,
                  i + 1 < cases.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
@@ -124,19 +142,31 @@ void write_json(const std::string& path, const std::vector<Case>& cases,
 /// Parses the one-result-per-line JSON emitted by write_json. Tolerant of
 /// whitespace but intentionally not a general JSON parser — both sides of
 /// the comparison are produced by this binary.
-std::vector<Case> parse_json(const std::string& path, bool* ok) {
+std::vector<Case> parse_json(const std::string& path, bool* ok,
+                             std::string* isa) {
   *ok = false;
+  isa->clear();
   std::vector<Case> cases;
   std::FILE* f = std::fopen(path.c_str(), "r");
   if (f == nullptr) return cases;
   char line[512];
   while (std::fgets(line, sizeof line, f) != nullptr) {
+    char buf[16] = {0};
+    const char* top_isa = std::strstr(line, "\"isa\"");
+    if (top_isa != nullptr &&
+        std::strstr(line, "\"precision\"") == nullptr &&
+        std::sscanf(top_isa, "\"isa\": \"%15[^\"]\"", buf) == 1) {
+      *isa = buf;
+      continue;
+    }
     const char* p = std::strstr(line, "\"precision\"");
     if (p == nullptr) continue;
     char precision[8] = {0};
+    char kernel[16] = {0};
     std::size_t batch = 0;
     double rate = 0;
     const char* b = std::strstr(line, "\"batch\"");
+    const char* kn = std::strstr(line, "\"kernel\"");
     const char* r = std::strstr(line, "\"sessions_per_sec\"");
     if (b == nullptr || r == nullptr) continue;
     if (std::sscanf(p, "\"precision\": \"%7[^\"]\"", precision) != 1)
@@ -146,6 +176,14 @@ std::vector<Case> parse_json(const std::string& path, bool* ok) {
     Case c;
     c.precision = precision;
     c.batch = batch;
+    // Schema-1 files had no kernel field; those rows were produced by the
+    // then-default portable kernel, so "blocked" is the faithful label.
+    if (kn == nullptr ||
+        std::sscanf(kn, "\"kernel\": \"%15[^\"]\"", kernel) != 1) {
+      c.kernel = "blocked";
+    } else {
+      c.kernel = kernel;
+    }
     c.sessions_per_sec = rate;
     cases.push_back(c);
   }
@@ -155,9 +193,12 @@ std::vector<Case> parse_json(const std::string& path, bool* ok) {
 }
 
 const Case* find_case(const std::vector<Case>& cases,
-                      const std::string& precision, std::size_t batch) {
+                      const std::string& precision, std::size_t batch,
+                      const std::string& kernel) {
   for (const Case& c : cases) {
-    if (c.precision == precision && c.batch == batch) return &c;
+    if (c.precision == precision && c.batch == batch && c.kernel == kernel) {
+      return &c;
+    }
   }
   return nullptr;
 }
@@ -218,16 +259,46 @@ int main(int argc, char** argv) {
   models::RnnModel model(dataset, rnn_config);
   model.enable_quantized_serving();
 
-  std::vector<Case> cases = {{"f32", 1}, {"f32", 256},
-                             {"int8", 1}, {"int8", 256}};
-  std::printf("serving smoke (hidden=%zu, %.2fs/case):\n",
+  // Each (precision, batch) runs once per kernel set: the dispatch-selected
+  // kernel (simd on AVX2+FMA hosts) and the forced portable blocked kernel.
+  // When dispatch already resolves to blocked the two sets coincide and
+  // only the blocked rows are emitted. The kernel loop is INNER so the two
+  // rows of a case are measured back-to-back: shared runners drift by tens
+  // of percent over seconds, and measuring all of one kernel before any of
+  // the other folds that drift into the kernel comparison.
+  const tensor::GemmKernel dispatched = tensor::gemm_dispatched_kernel();
+  const std::string dispatched_name = tensor::gemm_kernel_name(dispatched);
+  std::vector<tensor::GemmKernel> kernels = {tensor::GemmKernel::kBlocked};
+  if (dispatched != tensor::GemmKernel::kBlocked) {
+    kernels.insert(kernels.begin(), dispatched);
+  }
+  std::vector<Case> cases;
+  for (const auto& [precision, batch] :
+       {std::pair<const char*, std::size_t>{"f32", 1},
+        {"f32", 256},
+        {"int8", 1},
+        {"int8", 256}}) {
+    for (const tensor::GemmKernel kernel : kernels) {
+      Case c;
+      c.precision = precision;
+      c.batch = batch;
+      c.kernel = tensor::gemm_kernel_name(kernel);
+      cases.push_back(c);
+    }
+  }
+  std::printf("serving smoke (hidden=%zu, isa=%s, dispatch=%s, %.2fs/case):\n",
               static_cast<std::size_t>(rnn_config.hidden_size),
-              time_per_case);
+              tensor::cpu_isa_name(tensor::detected_cpu_isa()),
+              dispatched_name.c_str(), time_per_case);
   for (Case& c : cases) {
-    c.sessions_per_sec =
-        measure_case(model, c.precision == "int8", c.batch, time_per_case);
-    std::printf("  %-4s batch %-3zu : %12.1f sessions/s\n",
-                c.precision.c_str(), c.batch, c.sessions_per_sec);
+    const tensor::GemmKernel kernel = c.kernel == "blocked"
+                                          ? tensor::GemmKernel::kBlocked
+                                          : dispatched;
+    c.sessions_per_sec = measure_case(model, c.precision == "int8", c.batch,
+                                      time_per_case, kernel);
+    std::printf("  %-4s batch %-3zu %-8s : %12.1f sessions/s\n",
+                c.precision.c_str(), c.batch, c.kernel.c_str(),
+                c.sessions_per_sec);
   }
   write_json(out_path, cases,
              static_cast<std::size_t>(rnn_config.hidden_size));
@@ -248,20 +319,36 @@ int main(int argc, char** argv) {
   if (baseline_path.empty()) return 0;
 
   bool parsed = false;
-  const std::vector<Case> baseline = parse_json(baseline_path, &parsed);
+  std::string baseline_isa;
+  const std::vector<Case> baseline =
+      parse_json(baseline_path, &parsed, &baseline_isa);
   if (!parsed) {
     std::fprintf(stderr, "cannot parse baseline %s\n",
                  baseline_path.c_str());
     return 1;
   }
+  const std::string run_isa =
+      tensor::cpu_isa_name(tensor::detected_cpu_isa());
   bool failed = false;
-  std::printf("regression gate vs %s (min ratio %.2f):\n",
-              baseline_path.c_str(), min_ratio);
+  std::printf("regression gate vs %s (min ratio %.2f, baseline isa %s):\n",
+              baseline_path.c_str(), min_ratio,
+              baseline_isa.empty() ? "unrecorded" : baseline_isa.c_str());
   for (const Case& base : baseline) {
-    const Case* measured = find_case(cases, base.precision, base.batch);
+    const Case* measured =
+        find_case(cases, base.precision, base.batch, base.kernel);
     if (measured == nullptr) {
-      std::printf("  %-4s batch %-3zu : MISSING from this run\n",
-                  base.precision.c_str(), base.batch);
+      // Like-for-like only: a kernel row this runner cannot reproduce
+      // (e.g. an avx2_fma "simd" baseline on a generic runner) is not a
+      // regression — the portable "blocked" rows still gate. An absent
+      // blocked row, by contrast, means the run is broken.
+      if (base.kernel != "blocked" && baseline_isa != run_isa) {
+        std::printf("  %-4s batch %-3zu %-8s : skipped (isa %s vs %s)\n",
+                    base.precision.c_str(), base.batch, base.kernel.c_str(),
+                    baseline_isa.c_str(), run_isa.c_str());
+        continue;
+      }
+      std::printf("  %-4s batch %-3zu %-8s : MISSING from this run\n",
+                  base.precision.c_str(), base.batch, base.kernel.c_str());
       failed = true;
       continue;
     }
@@ -270,9 +357,9 @@ int main(int argc, char** argv) {
             ? measured->sessions_per_sec / base.sessions_per_sec
             : 1.0;
     const bool ok = ratio >= min_ratio;
-    std::printf("  %-4s batch %-3zu : %.2fx baseline %s\n",
-                base.precision.c_str(), base.batch, ratio,
-                ok ? "ok" : "REGRESSION");
+    std::printf("  %-4s batch %-3zu %-8s : %.2fx baseline %s\n",
+                base.precision.c_str(), base.batch, base.kernel.c_str(),
+                ratio, ok ? "ok" : "REGRESSION");
     failed = failed || !ok;
   }
   return failed ? 1 : 0;

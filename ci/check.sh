@@ -104,6 +104,25 @@ run_tier() {
 }
 
 run_tier '^(unit|quant)$' "unit + quant (fail fast)"
+
+# Forced-portable lane: on AVX2 runners the dispatcher resolves to the
+# SIMD kernels, which would leave the blocked fallback (the only path
+# non-AVX2 hosts ever run) untested. Re-run the kernel parity suite with
+# the portable kernel forced via the env override.
+echo "== tensor_gemm_test (PP_GEMM_FORCE_KERNEL=blocked, portable path) =="
+PP_GEMM_FORCE_KERNEL=blocked "${BUILD_DIR}/tensor_gemm_test" \
+  --gtest_brief=1
+
+if [[ "${SANITIZE}" == asan || "${SANITIZE}" == address ]]; then
+  # Packed-panel buffer overruns live only in the AVX2 TUs; force the
+  # SIMD kernels on under ASan so tile/tail arithmetic is exercised with
+  # redzones even if this runner's dispatch would pick them anyway (and
+  # loudly exercises the degrade path when it can't).
+  echo "== tensor_gemm_test (PP_GEMM_FORCE_KERNEL=simd, ASan) =="
+  PP_GEMM_FORCE_KERNEL=simd "${BUILD_DIR}/tensor_gemm_test" \
+    --gtest_brief=1
+fi
+
 run_tier '^online$' "online"
 run_tier '^serving$' "serving"
 if [[ "${RUN_STRESS}" == 1 ]]; then

@@ -1,0 +1,81 @@
+#include "tensor/cpu_dispatch.hpp"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace pp::tensor {
+
+namespace {
+
+CpuIsa probe_cpu_isa() {
+#if (defined(__x86_64__) || defined(__i386__)) && \
+    (defined(__GNUC__) || defined(__clang__))
+  if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma")) {
+    return CpuIsa::kAvx2Fma;
+  }
+#endif
+  return CpuIsa::kGeneric;
+}
+
+}  // namespace
+
+CpuIsa detected_cpu_isa() {
+  static const CpuIsa isa = probe_cpu_isa();
+  return isa;
+}
+
+const char* cpu_isa_name(CpuIsa isa) {
+  switch (isa) {
+    case CpuIsa::kAvx2Fma:
+      return "avx2_fma";
+    case CpuIsa::kGeneric:
+      break;
+  }
+  return "generic";
+}
+
+const char* gemm_kernel_name(GemmKernel kernel) {
+  switch (kernel) {
+    case GemmKernel::kNaive:
+      return "naive";
+    case GemmKernel::kBlocked:
+      return "blocked";
+    case GemmKernel::kSimd:
+      return "simd";
+    case GemmKernel::kAuto:
+      break;
+  }
+  return "auto";
+}
+
+bool simd_kernels_compiled() {
+#if defined(PP_SIMD_KERNELS_COMPILED)
+  return true;
+#else
+  return false;
+#endif
+}
+
+bool gemm_simd_available() {
+  return simd_kernels_compiled() && detected_cpu_isa() == CpuIsa::kAvx2Fma;
+}
+
+bool gemm_kernel_from_env(GemmKernel* out) {
+  const char* value = std::getenv("PP_GEMM_FORCE_KERNEL");
+  if (value == nullptr || *value == '\0') return false;
+  if (std::strcmp(value, "naive") == 0) {
+    *out = GemmKernel::kNaive;
+    return true;
+  }
+  if (std::strcmp(value, "blocked") == 0) {
+    *out = GemmKernel::kBlocked;
+    return true;
+  }
+  if (std::strcmp(value, "simd") == 0) {
+    *out = GemmKernel::kSimd;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace pp::tensor

@@ -2,10 +2,14 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cassert>
 #include <memory>
 #include <mutex>
 #include <thread>
+#include <unordered_map>
 
+#include "tensor/cpu_dispatch.hpp"
+#include "tensor/gemm_simd.hpp"
 #include "tensor/matrix.hpp"
 #include "util/thread_pool.hpp"
 
@@ -13,21 +17,29 @@ namespace pp::tensor {
 
 namespace {
 
-std::atomic<GemmKernel> g_kernel{GemmKernel::kBlocked};
+std::atomic<GemmKernel> g_kernel{GemmKernel::kAuto};
 std::atomic<std::size_t> g_threads{1};
 // ~0.25 MMAC: below this a [B x d] product finishes before a pool handoff
 // would even wake a worker.
 std::atomic<std::size_t> g_threshold{256 * 1024};
 
-/// The pool is shared across all gemm call sites and rebuilt when the
-/// requested width changes. Handing out shared_ptr copies keeps a resize
-/// from pulling the pool out from under a concurrent caller.
+std::atomic<std::size_t> g_pool_builds{0};
+
+/// Pools are shared across all gemm call sites and cached per width:
+/// two concurrent callers alternating widths (e.g. a trainer at 8 and a
+/// serving replica at 4) each keep their own pool instead of thrashing
+/// thread creation on the hot path. The cache is bounded by the number
+/// of distinct configured widths, which is a handful in practice.
+/// Handing out shared_ptr copies keeps a cache eviction (none today)
+/// from pulling a pool out from under a concurrent caller.
 std::shared_ptr<ThreadPool> acquire_pool(std::size_t threads) {
   static std::mutex mutex;
-  static std::shared_ptr<ThreadPool> pool;
+  static std::unordered_map<std::size_t, std::shared_ptr<ThreadPool>> pools;
   std::lock_guard<std::mutex> lock(mutex);
-  if (!pool || pool->size() != threads) {
+  std::shared_ptr<ThreadPool>& pool = pools[threads];
+  if (!pool) {
     pool = std::make_shared<ThreadPool>(threads);
+    g_pool_builds.fetch_add(1, std::memory_order_relaxed);
   }
   return pool;
 }
@@ -49,7 +61,9 @@ void nn_naive_range(const float* a, const float* b, float* c, std::size_t k,
     const float* a_row = a + i * k;
     for (std::size_t p = 0; p < k; ++p) {
       const float a_ip = a_row[p];
-      if (a_ip == 0.0f) continue;  // one-hot inputs make this common
+      // One-hot inputs make this common. Skipping is justified by the
+      // finite-weights contract (gemm.hpp): 0 * b == 0 only for finite b.
+      if (a_ip == 0.0f) continue;
       const float* b_row = b + p * n;
       for (std::size_t j = 0; j < n; ++j) c_row[j] += a_ip * b_row[j];
     }
@@ -78,16 +92,38 @@ void nn_blocked_range(const float* a, const float* b, float* c, std::size_t k,
           float* c3 = c + (i + 3) * n;
           for (std::size_t p = pb; p < p_end; ++p) {
             const float v0 = a0[p], v1 = a1[p], v2 = a2[p], v3 = a3[p];
-            if (v0 == 0.0f && v1 == 0.0f && v2 == 0.0f && v3 == 0.0f) {
+            const bool z0 = v0 == 0.0f, z1 = v1 == 0.0f, z2 = v2 == 0.0f,
+                       z3 = v3 == 0.0f;
+            if (z0 && z1 && z2 && z3) {
               continue;  // aligned padding rows in the padded-batch trainer
             }
             const float* b_row = b + p * n;
-            for (std::size_t j = jb; j < j_end; ++j) {
-              const float bv = b_row[j];
-              c0[j] += v0 * bv;
-              c1[j] += v1 * bv;
-              c2[j] += v2 * bv;
-              c3[j] += v3 * bv;
+            if (!z0 && !z1 && !z2 && !z3) {
+              // Dense fast path (the common case for activations).
+              for (std::size_t j = jb; j < j_end; ++j) {
+                const float bv = b_row[j];
+                c0[j] += v0 * bv;
+                c1[j] += v1 * bv;
+                c2[j] += v2 * bv;
+                c3[j] += v3 * bv;
+              }
+            } else {
+              // Mixed zero/nonzero rows: per-row loops keep the skip at
+              // the naive kernel's per-(row, p) granularity — adding
+              // v * b for a zero v would turn a skipped term into
+              // 0 * Inf = NaN when B is non-finite (zero-skip contract).
+              if (!z0) {
+                for (std::size_t j = jb; j < j_end; ++j) c0[j] += v0 * b_row[j];
+              }
+              if (!z1) {
+                for (std::size_t j = jb; j < j_end; ++j) c1[j] += v1 * b_row[j];
+              }
+              if (!z2) {
+                for (std::size_t j = jb; j < j_end; ++j) c2[j] += v2 * b_row[j];
+              }
+              if (!z3) {
+                for (std::size_t j = jb; j < j_end; ++j) c3[j] += v3 * b_row[j];
+              }
             }
           }
         }
@@ -141,14 +177,32 @@ void tn_blocked_range(const float* a, const float* b, float* c, std::size_t k,
           const float* a_row = a + p * m + i;  // four contiguous columns
           const float v0 = a_row[0], v1 = a_row[1], v2 = a_row[2],
                       v3 = a_row[3];
-          if (v0 == 0.0f && v1 == 0.0f && v2 == 0.0f && v3 == 0.0f) continue;
+          const bool z0 = v0 == 0.0f, z1 = v1 == 0.0f, z2 = v2 == 0.0f,
+                     z3 = v3 == 0.0f;
+          if (z0 && z1 && z2 && z3) continue;
           const float* b_row = b + p * n;
-          for (std::size_t j = jb; j < j_end; ++j) {
-            const float bv = b_row[j];
-            c0[j] += v0 * bv;
-            c1[j] += v1 * bv;
-            c2[j] += v2 * bv;
-            c3[j] += v3 * bv;
+          if (!z0 && !z1 && !z2 && !z3) {
+            for (std::size_t j = jb; j < j_end; ++j) {
+              const float bv = b_row[j];
+              c0[j] += v0 * bv;
+              c1[j] += v1 * bv;
+              c2[j] += v2 * bv;
+              c3[j] += v3 * bv;
+            }
+          } else {
+            // Per-(row, p) skip granularity — see nn_blocked_range.
+            if (!z0) {
+              for (std::size_t j = jb; j < j_end; ++j) c0[j] += v0 * b_row[j];
+            }
+            if (!z1) {
+              for (std::size_t j = jb; j < j_end; ++j) c1[j] += v1 * b_row[j];
+            }
+            if (!z2) {
+              for (std::size_t j = jb; j < j_end; ++j) c2[j] += v2 * b_row[j];
+            }
+            if (!z3) {
+              for (std::size_t j = jb; j < j_end; ++j) c3[j] += v3 * b_row[j];
+            }
           }
         }
       }
@@ -167,6 +221,8 @@ void tn_blocked_range(const float* a, const float* b, float* c, std::size_t k,
 
 // ---- nt: c[i0:i1, :] += a[i0:i1, :] * b^T ---------------------------------
 // b is [n x k] row-major; every output element is a row-row dot product.
+// No zero-skip on this path (see the contract in gemm.hpp): every kernel
+// computes every term of the local dot product.
 
 void nt_naive_range(const float* a, const float* b, float* c, std::size_t k,
                     std::size_t n, std::size_t i0, std::size_t i1) {
@@ -223,11 +279,47 @@ void nt_blocked_range(const float* a, const float* b, float* c, std::size_t k,
 
 // ---- dispatch helpers ------------------------------------------------------
 
+/// Resolves the configured kernel knob to the kernel that will run:
+/// kAuto -> process default (env override or best supported), kSimd ->
+/// kBlocked when the AVX2 kernels cannot run here. See cpu_dispatch.hpp.
+GemmKernel resolve_kernel(GemmKernel configured) {
+  static const GemmKernel process_default = [] {
+    GemmKernel forced;
+    if (gemm_kernel_from_env(&forced)) {
+      if (forced == GemmKernel::kSimd && !gemm_simd_available()) {
+        return GemmKernel::kBlocked;
+      }
+      return forced;
+    }
+    return gemm_simd_available() ? GemmKernel::kSimd : GemmKernel::kBlocked;
+  }();
+  switch (configured) {
+    case GemmKernel::kAuto:
+      return process_default;
+    case GemmKernel::kSimd:
+      return gemm_simd_available() ? GemmKernel::kSimd : GemmKernel::kBlocked;
+    default:
+      return configured;
+  }
+}
+
+/// Debug check for the finite-weights contract behind the nn/tn
+/// zero-skip (gemm.hpp). Release builds compile this out.
+inline void debug_check_finite_b(const Matrix& b) {
+#if !defined(NDEBUG)
+  assert(b.all_finite() &&
+         "gemm: non-finite B operand violates the finite-weights "
+         "zero-skip contract (tensor/gemm.hpp)");
+#else
+  (void)b;
+#endif
+}
+
 /// Runs `range_fn(i0, i1)` over [0, rows), striped across the shared pool
 /// when the configured thread count and the product size justify it. The
-/// pool is sized by the configuration alone — only the stripe count is
-/// clamped to the row count — so alternating row shapes never force a
-/// pool teardown/respawn.
+/// pool cache is keyed by the configured width — only the stripe count is
+/// clamped to the row count — so alternating row shapes or widths never
+/// force a pool teardown/respawn.
 template <typename RangeFn>
 void run_partitioned(std::size_t rows, std::size_t macs, RangeFn&& range_fn) {
   std::size_t threads = g_threads.load(std::memory_order_relaxed);
@@ -257,6 +349,10 @@ void set_gemm_kernel(GemmKernel kernel) {
   g_kernel.store(kernel, std::memory_order_relaxed);
 }
 
+GemmKernel gemm_dispatched_kernel() {
+  return resolve_kernel(g_kernel.load(std::memory_order_relaxed));
+}
+
 std::size_t gemm_threads() {
   return g_threads.load(std::memory_order_relaxed);
 }
@@ -269,6 +365,10 @@ std::size_t gemm_parallel_threshold() {
 }
 void set_gemm_parallel_threshold(std::size_t macs) {
   g_threshold.store(macs, std::memory_order_relaxed);
+}
+
+std::size_t gemm_pool_builds() {
+  return g_pool_builds.load(std::memory_order_relaxed);
 }
 
 GemmConfigScope::GemmConfigScope(GemmKernel kernel, std::size_t threads)
@@ -309,6 +409,15 @@ void gemm_nn_blocked(const Matrix& a, const Matrix& b, Matrix& c) {
                    a.rows());
 }
 
+void gemm_nn_simd(const Matrix& a, const Matrix& b, Matrix& c) {
+  if (!gemm_simd_available()) {
+    gemm_nn_blocked(a, b, c);
+    return;
+  }
+  simd::nn_f32_range(a.data(), b.data(), c.data(), a.cols(), b.cols(), 0,
+                     a.rows());
+}
+
 void gemm_tn_naive(const Matrix& a, const Matrix& b, Matrix& c) {
   tn_naive_range(a.data(), b.data(), c.data(), a.rows(), a.cols(), b.cols(),
                  0, a.cols());
@@ -317,6 +426,15 @@ void gemm_tn_naive(const Matrix& a, const Matrix& b, Matrix& c) {
 void gemm_tn_blocked(const Matrix& a, const Matrix& b, Matrix& c) {
   tn_blocked_range(a.data(), b.data(), c.data(), a.rows(), a.cols(), b.cols(),
                    0, a.cols());
+}
+
+void gemm_tn_simd(const Matrix& a, const Matrix& b, Matrix& c) {
+  if (!gemm_simd_available()) {
+    gemm_tn_blocked(a, b, c);
+    return;
+  }
+  simd::tn_f32_range(a.data(), b.data(), c.data(), a.rows(), a.cols(),
+                     b.cols(), 0, a.cols());
 }
 
 void gemm_nt_naive(const Matrix& a, const Matrix& b, Matrix& c) {
@@ -329,42 +447,76 @@ void gemm_nt_blocked(const Matrix& a, const Matrix& b, Matrix& c) {
                    a.rows());
 }
 
+void gemm_nt_simd(const Matrix& a, const Matrix& b, Matrix& c) {
+  if (!gemm_simd_available()) {
+    gemm_nt_blocked(a, b, c);
+    return;
+  }
+  simd::nt_f32_range(a.data(), b.data(), c.data(), a.cols(), b.rows(), 0,
+                     a.rows());
+}
+
+
 // ---- dispatchers -----------------------------------------------------------
 
 void gemm_nn_dispatch(const Matrix& a, const Matrix& b, Matrix& c) {
   const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
   if (m == 0 || k == 0 || n == 0) return;
-  if (gemm_kernel() == GemmKernel::kNaive) {
-    gemm_nn_naive(a, b, c);
-    return;
+  debug_check_finite_b(b);
+  switch (resolve_kernel(g_kernel.load(std::memory_order_relaxed))) {
+    case GemmKernel::kNaive:
+      gemm_nn_naive(a, b, c);
+      return;
+    case GemmKernel::kSimd:
+      run_partitioned(m, m * k * n, [&](std::size_t i0, std::size_t i1) {
+        simd::nn_f32_range(a.data(), b.data(), c.data(), k, n, i0, i1);
+      });
+      return;
+    default:
+      run_partitioned(m, m * k * n, [&](std::size_t i0, std::size_t i1) {
+        nn_blocked_range(a.data(), b.data(), c.data(), k, n, i0, i1);
+      });
   }
-  run_partitioned(m, m * k * n, [&](std::size_t i0, std::size_t i1) {
-    nn_blocked_range(a.data(), b.data(), c.data(), k, n, i0, i1);
-  });
 }
 
 void gemm_tn_dispatch(const Matrix& a, const Matrix& b, Matrix& c) {
   const std::size_t k = a.rows(), m = a.cols(), n = b.cols();
   if (m == 0 || k == 0 || n == 0) return;
-  if (gemm_kernel() == GemmKernel::kNaive) {
-    gemm_tn_naive(a, b, c);
-    return;
+  debug_check_finite_b(b);
+  switch (resolve_kernel(g_kernel.load(std::memory_order_relaxed))) {
+    case GemmKernel::kNaive:
+      gemm_tn_naive(a, b, c);
+      return;
+    case GemmKernel::kSimd:
+      run_partitioned(m, m * k * n, [&](std::size_t i0, std::size_t i1) {
+        simd::tn_f32_range(a.data(), b.data(), c.data(), k, m, n, i0, i1);
+      });
+      return;
+    default:
+      run_partitioned(m, m * k * n, [&](std::size_t i0, std::size_t i1) {
+        tn_blocked_range(a.data(), b.data(), c.data(), k, m, n, i0, i1);
+      });
   }
-  run_partitioned(m, m * k * n, [&](std::size_t i0, std::size_t i1) {
-    tn_blocked_range(a.data(), b.data(), c.data(), k, m, n, i0, i1);
-  });
 }
 
 void gemm_nt_dispatch(const Matrix& a, const Matrix& b, Matrix& c) {
   const std::size_t m = a.rows(), k = a.cols(), n = b.rows();
   if (m == 0 || k == 0 || n == 0) return;
-  if (gemm_kernel() == GemmKernel::kNaive) {
-    gemm_nt_naive(a, b, c);
-    return;
+  debug_check_finite_b(b);
+  switch (resolve_kernel(g_kernel.load(std::memory_order_relaxed))) {
+    case GemmKernel::kNaive:
+      gemm_nt_naive(a, b, c);
+      return;
+    case GemmKernel::kSimd:
+      run_partitioned(m, m * k * n, [&](std::size_t i0, std::size_t i1) {
+        simd::nt_f32_range(a.data(), b.data(), c.data(), k, n, i0, i1);
+      });
+      return;
+    default:
+      run_partitioned(m, m * k * n, [&](std::size_t i0, std::size_t i1) {
+        nt_blocked_range(a.data(), b.data(), c.data(), k, n, i0, i1);
+      });
   }
-  run_partitioned(m, m * k * n, [&](std::size_t i0, std::size_t i1) {
-    nt_blocked_range(a.data(), b.data(), c.data(), k, n, i0, i1);
-  });
 }
 
 }  // namespace pp::tensor

@@ -2,19 +2,42 @@
 // hot path of both training (§7: every BPTT step is two gate matmuls) and
 // serving (§9: FLOPs per prediction).
 //
-// Two kernels are provided:
+// Three kernels are provided, selected per process by runtime CPU
+// dispatch (tensor/cpu_dispatch.hpp):
 //  * kNaive   — the seed's reference loops (i-k-j with a zero-skip for
 //               one-hot rows). Kept as the parity baseline and for the
 //               old-vs-new bench comparison.
 //  * kBlocked — cache-tiled with a 4-row micro-kernel that reuses each B
-//               row across four output rows, plus an optional
-//               row-partitioned ThreadPool variant.
+//               row across four output rows. Portable baseline x86-64;
+//               the fallback when AVX2/FMA is absent.
+//  * kSimd    — explicit register-blocked AVX2/FMA micro-kernels (6x16
+//               broadcast for f32, vpmaddubsw/vpmaddwd for int8) in
+//               dedicated -mavx2 -mfma TUs. Selected by default when the
+//               host CPU supports it; falls back to kBlocked otherwise.
+//  * kAuto    — "use the dispatch default" (the initial configuration).
+// All kernels compose with the optional row-partitioned ThreadPool
+// variant. PP_GEMM_FORCE_KERNEL=naive|blocked|simd overrides the
+// process default (CI uses it to keep the portable path tested on AVX2
+// runners); gemm_dispatched_kernel() reports what would actually run.
 //
-// Accumulation order over the shared dimension is identical (ascending p
-// per output element) in every kernel and stripe partition, so:
-//  * blocked == naive bit-for-bit (up to ±0 on skipped zero terms),
-//  * threaded == sequential bit-for-bit,
-//  * a row of a batched [B x d] product == the same row computed as a
+// Parity contract (pinned by tests/tensor_gemm_test.cpp):
+//  * Accumulation order over the shared dimension is identical
+//    (ascending p per output element) in every kernel and stripe
+//    partition, and FP contraction is pinned OFF in every kernel TU
+//    (-ffp-contract=off; the SIMD kernels use explicit separate
+//    vmulps+vaddps, never fused FMA), so naive == blocked == simd ==
+//    threaded bit-for-bit, int8 and f32 alike.
+//  * Zero-skip contract: the nn/tn kernels skip an individual (row, p)
+//    term exactly when the A operand is 0.0f. Every kernel skips at the
+//    same per-(row, p) granularity, so the equivalence holds bitwise
+//    even for non-finite B. The skip is *semantically* justified only
+//    because model weights are finite (0 * Inf would otherwise be NaN,
+//    not 0): debug builds assert all_finite(B) at the matmul entry
+//    points, and the pinned semantics for a non-finite B operand are
+//    "zero A entries contribute nothing; nonzero A entries propagate
+//    Inf/NaN identically in every kernel". The nt (dot-product) path
+//    has no skip: every kernel computes every term.
+//  * A row of a batched [B x d] product == the same row computed as a
 //    [1 x d] product — the invariant the batched scoring path relies on.
 //
 // Kernel selection and threading are process-global knobs (benches and
@@ -28,12 +51,21 @@ namespace pp::tensor {
 
 class Matrix;
 
-enum class GemmKernel { kNaive, kBlocked };
+enum class GemmKernel { kNaive, kBlocked, kSimd, kAuto };
 
+/// The configured kernel knob (possibly kAuto). See
+/// gemm_dispatched_kernel() for what will actually run.
 GemmKernel gemm_kernel();
 void set_gemm_kernel(GemmKernel kernel);
 
-/// Worker threads for the row-partitioned blocked kernel. 1 = sequential
+/// Resolves the configured knob to the concrete kernel a product would
+/// use right now: kAuto becomes the process default (PP_GEMM_FORCE_KERNEL
+/// env override, else kSimd when the host supports AVX2+FMA and the SIMD
+/// TUs are compiled in, else kBlocked), and kSimd degrades to kBlocked
+/// when SIMD is unavailable. Never returns kAuto.
+GemmKernel gemm_dispatched_kernel();
+
+/// Worker threads for the row-partitioned kernels. 1 = sequential
 /// (the default), 0 = hardware concurrency.
 std::size_t gemm_threads();
 void set_gemm_threads(std::size_t threads);
@@ -42,6 +74,11 @@ void set_gemm_threads(std::size_t threads);
 /// engages; small products are faster on the calling thread.
 std::size_t gemm_parallel_threshold();
 void set_gemm_parallel_threshold(std::size_t macs);
+
+/// Total ThreadPool constructions performed by the shared GEMM pool
+/// cache since process start. Pools are cached per width, so callers
+/// alternating widths must not drive this up (regression-tested).
+std::size_t gemm_pool_builds();
 
 /// RAII guard: selects (kernel, threads[, parallel threshold]) for the
 /// current scope and restores the previous configuration — threshold
@@ -66,12 +103,18 @@ class GemmConfigScope {
 //   nn: c[m x n] += a[m x k] * b[k x n]
 //   tn: c[m x n] += a[k x m]^T * b[k x n]
 //   nt: c[m x n] += a[m x k] * b[n x k]^T
+// The *_simd entry points run the AVX2/FMA kernels when
+// gemm_simd_available() (tensor/cpu_dispatch.hpp) and fall back to the
+// blocked kernel otherwise — results are identical either way.
 void gemm_nn_naive(const Matrix& a, const Matrix& b, Matrix& c);
 void gemm_nn_blocked(const Matrix& a, const Matrix& b, Matrix& c);
+void gemm_nn_simd(const Matrix& a, const Matrix& b, Matrix& c);
 void gemm_tn_naive(const Matrix& a, const Matrix& b, Matrix& c);
 void gemm_tn_blocked(const Matrix& a, const Matrix& b, Matrix& c);
+void gemm_tn_simd(const Matrix& a, const Matrix& b, Matrix& c);
 void gemm_nt_naive(const Matrix& a, const Matrix& b, Matrix& c);
 void gemm_nt_blocked(const Matrix& a, const Matrix& b, Matrix& c);
+void gemm_nt_simd(const Matrix& a, const Matrix& b, Matrix& c);
 
 /// Row-partitions [0, rows) across the shared GEMM thread pool according
 /// to the global (threads, parallel-threshold) configuration; `macs` is

@@ -6,7 +6,9 @@
 #include <limits>
 #include <stdexcept>
 
+#include "tensor/cpu_dispatch.hpp"
 #include "tensor/gemm.hpp"
+#include "tensor/gemm_simd.hpp"
 
 namespace pp::tensor {
 
@@ -56,6 +58,23 @@ float finite_max_abs(const float* v, std::size_t n) {
   std::memcpy(&out, &max_bits, sizeof(out));
   return out;
 }
+
+/// Whether the quantization codec loops should run through the AVX2
+/// kernels in qgemm_avx2.cpp. Gated on the *dispatched* GEMM kernel, not
+/// just ISA support, so PP_GEMM_FORCE_KERNEL=blocked|naive exercises the
+/// fully portable pipeline end to end; the vector codec is bit-exact to
+/// the scalar loops (same rounding, clamps, NaN handling and
+/// order-independent reductions), so the choice never changes encoded
+/// bytes or scales.
+bool simd_codec_active() {
+  return gemm_simd_available() &&
+         gemm_dispatched_kernel() == GemmKernel::kSimd;
+}
+
+float finite_max_abs_dispatch(const float* v, std::size_t n);
+
+void encode_symmetric_dispatch(const float* v, std::int8_t* out,
+                               std::size_t n, float inv_scale);
 
 // Same tiling as the f32 kernel; the B tile is half the bytes, the C tile
 // (i32) the same.
@@ -132,6 +151,22 @@ void nn_i32_blocked_range(const std::int8_t* a, const std::int8_t* b,
   }
 }
 
+float finite_max_abs_dispatch(const float* v, std::size_t n) {
+  return simd_codec_active() ? simd::finite_max_abs_f32(v, n)
+                             : finite_max_abs(v, n);
+}
+
+void encode_symmetric_dispatch(const float* v, std::int8_t* out,
+                               std::size_t n, float inv_scale) {
+  if (simd_codec_active()) {
+    simd::quantize_symmetric_i8(v, out, n, inv_scale);
+    return;
+  }
+  for (std::size_t j = 0; j < n; ++j) {
+    out[j] = quantize_symmetric(v[j], inv_scale);
+  }
+}
+
 }  // namespace
 
 // ---------------------------------------------------------- QuantizedMatrix
@@ -147,13 +182,12 @@ QuantizedMatrix QuantizedMatrix::quantize(const Matrix& m) {
   q.rows_ = m.rows();
   q.cols_ = m.cols();
   q.data_.resize(m.size());
-  const float scale = symmetric_scale(finite_max_abs(m.data(), m.size()));
+  const float scale =
+      symmetric_scale(finite_max_abs_dispatch(m.data(), m.size()));
   q.scales_.assign(1, scale);
   q.zero_points_.assign(1, 0);
   const float inv_scale = 1.0f / scale;
-  for (std::size_t i = 0; i < m.size(); ++i) {
-    q.data_[i] = quantize_symmetric(m[i], inv_scale);
-  }
+  encode_symmetric_dispatch(m.data(), q.data_.data(), m.size(), inv_scale);
   return q;
 }
 
@@ -167,13 +201,11 @@ QuantizedMatrix QuantizedMatrix::quantize_rows(const Matrix& m) {
   const std::size_t cols = m.cols();
   for (std::size_t r = 0; r < m.rows(); ++r) {
     const float* row = m.data() + r * cols;
-    const float scale = symmetric_scale(finite_max_abs(row, cols));
+    const float scale = symmetric_scale(finite_max_abs_dispatch(row, cols));
     q.scales_[r] = scale;
     const float inv_scale = 1.0f / scale;
-    std::int8_t* out = q.data_.data() + r * cols;
-    for (std::size_t j = 0; j < cols; ++j) {
-      out[j] = quantize_symmetric(row[j], inv_scale);
-    }
+    encode_symmetric_dispatch(row, q.data_.data() + r * cols, cols,
+                              inv_scale);
   }
   return q;
 }
@@ -192,20 +224,24 @@ QuantizedMatrix QuantizedMatrix::quantize_rows_affine(const Matrix& m) {
     // stays in int8 range and exact zeros encode exactly. Same bit-pattern
     // trick as finite_max_abs, run per sign: two unsigned-max reductions
     // (largest finite positive, largest-magnitude finite negative).
-    std::uint32_t hi_bits = 0, lo_bits = 0;
-    for (std::size_t j = 0; j < cols; ++j) {
-      std::uint32_t bits;
-      std::memcpy(&bits, &row[j], sizeof(bits));
-      const std::uint32_t mag = bits & 0x7fffffffu;
-      const std::uint32_t keep =
-          -static_cast<std::uint32_t>(mag < kF32InfBits);
-      const std::uint32_t neg = -(bits >> 31);
-      hi_bits = std::max(hi_bits, mag & keep & ~neg);
-      lo_bits = std::max(lo_bits, mag & keep & neg);
-    }
     float hi, lo_mag;
-    std::memcpy(&hi, &hi_bits, sizeof(hi));
-    std::memcpy(&lo_mag, &lo_bits, sizeof(lo_mag));
+    if (simd_codec_active()) {
+      simd::finite_range_f32(row, cols, &hi, &lo_mag);
+    } else {
+      std::uint32_t hi_bits = 0, lo_bits = 0;
+      for (std::size_t j = 0; j < cols; ++j) {
+        std::uint32_t bits;
+        std::memcpy(&bits, &row[j], sizeof(bits));
+        const std::uint32_t mag = bits & 0x7fffffffu;
+        const std::uint32_t keep =
+            -static_cast<std::uint32_t>(mag < kF32InfBits);
+        const std::uint32_t neg = -(bits >> 31);
+        hi_bits = std::max(hi_bits, mag & keep & ~neg);
+        lo_bits = std::max(lo_bits, mag & keep & neg);
+      }
+      std::memcpy(&hi, &hi_bits, sizeof(hi));
+      std::memcpy(&lo_mag, &lo_bits, sizeof(lo_mag));
+    }
     const float lo = -lo_mag;
     // Divide before subtracting: hi - lo can overflow to +Inf for finite
     // extreme-magnitude rows (e.g. hi = 2e38, lo = -2e38), which would
@@ -218,6 +254,10 @@ QuantizedMatrix QuantizedMatrix::quantize_rows_affine(const Matrix& m) {
     q.scales_[r] = scale;
     q.zero_points_[r] = zp;
     std::int8_t* out = q.data_.data() + r * cols;
+    if (simd_codec_active()) {
+      simd::quantize_affine_i8(row, out, cols, inv_scale, zp);
+      continue;
+    }
     const auto zpf = static_cast<float>(zp);
     for (std::size_t j = 0; j < cols; ++j) {
       const float v = row[j];
@@ -285,6 +325,20 @@ void qgemm_nn_i32_blocked(const std::int8_t* a, const std::int8_t* b,
   });
 }
 
+void qgemm_nn_i32_simd(const std::int8_t* a, const std::int8_t* b,
+                       std::int32_t* c, std::size_t m, std::size_t k,
+                       std::size_t n) {
+  // The u8 x s8 kernel's i32 headroom bound (gemm_simd.hpp) caps k; the
+  // blocked kernel is exact for any k reachable here, so fall back.
+  if (!gemm_simd_available() || k > simd::kQGemmSimdMaxK) {
+    qgemm_nn_i32_blocked(a, b, c, m, k, n);
+    return;
+  }
+  gemm_partition_rows(m, m * k * n, [&](std::size_t i0, std::size_t i1) {
+    simd::nn_i8i32_range(a, b, c, k, n, i0, i1);
+  });
+}
+
 Matrix qgemm(const QuantizedMatrix& a, const QuantizedMatrix& b) {
   if (a.cols() != b.rows()) {
     throw std::invalid_argument("qgemm: inner dimension mismatch");
@@ -302,10 +356,16 @@ Matrix qgemm(const QuantizedMatrix& a, const QuantizedMatrix& b) {
   // gemv-sized products (B = 1 scoring).
   thread_local std::vector<std::int32_t> acc;
   acc.assign(m * n, 0);
-  if (gemm_kernel() == GemmKernel::kNaive) {
-    qgemm_nn_i32_naive(a.data(), b.data(), acc.data(), m, k, n);
-  } else {
-    qgemm_nn_i32_blocked(a.data(), b.data(), acc.data(), m, k, n);
+  switch (gemm_dispatched_kernel()) {
+    case GemmKernel::kNaive:
+      qgemm_nn_i32_naive(a.data(), b.data(), acc.data(), m, k, n);
+      break;
+    case GemmKernel::kSimd:
+      qgemm_nn_i32_simd(a.data(), b.data(), acc.data(), m, k, n);
+      break;
+    default:
+      qgemm_nn_i32_blocked(a.data(), b.data(), acc.data(), m, k, n);
+      break;
   }
 
   // Zero-point correction: sum_p (qa - za) * qb = acc - za * colsum(B).
@@ -320,11 +380,16 @@ Matrix qgemm(const QuantizedMatrix& a, const QuantizedMatrix& b) {
     }
   }
   const float sb = b.scale();
+  const bool simd_epilogue = simd_codec_active();
   for (std::size_t i = 0; i < m; ++i) {
     const float s = a.scale(i) * sb;
     const std::int32_t za = a.zero_point(i);
     float* out_row = out.data() + i * n;
     const std::int32_t* acc_row = acc.data() + i * n;
+    if (za == 0 && simd_epilogue) {
+      simd::scale_i32_f32(acc_row, out_row, n, s);
+      continue;
+    }
     for (std::size_t j = 0; j < n; ++j) {
       const std::int32_t corrected =
           za == 0 ? acc_row[j] : acc_row[j] - za * col_sums[j];

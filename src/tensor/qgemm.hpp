@@ -107,13 +107,20 @@ Matrix qgemm(const QuantizedMatrix& a, const QuantizedMatrix& b);
 
 // ---- raw i32 kernels (exposed for parity tests and benches) ----
 // c[m x n] += a[m x k] * b[k x n] over int8 operands with int32
-// accumulation; `blocked` additionally row-partitions across the shared
-// GEMM pool per the global (threads, threshold) knobs.
+// accumulation; `blocked` and `simd` additionally row-partition across
+// the shared GEMM pool per the global (threads, threshold) knobs. `simd`
+// runs the AVX2 vpmaddubsw/vpmaddwd kernel (qgemm_avx2.cpp) when
+// gemm_simd_available() and k fits the u8 x s8 accumulator bound, and
+// falls back to `blocked` otherwise — integer arithmetic is exact, so
+// all three agree bit-for-bit.
 void qgemm_nn_i32_naive(const std::int8_t* a, const std::int8_t* b,
                         std::int32_t* c, std::size_t m, std::size_t k,
                         std::size_t n);
 void qgemm_nn_i32_blocked(const std::int8_t* a, const std::int8_t* b,
                           std::int32_t* c, std::size_t m, std::size_t k,
                           std::size_t n);
+void qgemm_nn_i32_simd(const std::int8_t* a, const std::int8_t* b,
+                       std::int32_t* c, std::size_t m, std::size_t k,
+                       std::size_t n);
 
 }  // namespace pp::tensor
