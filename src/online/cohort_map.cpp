@@ -35,7 +35,7 @@ CohortRegistryMap::Cohort& CohortRegistryMap::create(
   // routing to other cohorts must not wait on an onboarding tenant.
   auto cohort =
       std::make_unique<Cohort>(id, std::move(initial), dataset_meta, config);
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   const auto [it, inserted] = cohorts_.emplace(std::move(id),
                                                std::move(cohort));
   if (!inserted) {
@@ -46,14 +46,14 @@ CohortRegistryMap::Cohort& CohortRegistryMap::create(
 }
 
 CohortRegistryMap::Cohort* CohortRegistryMap::find(std::string_view id) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   const auto it = cohorts_.find(id);
   return it == cohorts_.end() ? nullptr : it->second.get();
 }
 
 const CohortRegistryMap::Cohort* CohortRegistryMap::find(
     std::string_view id) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   const auto it = cohorts_.find(id);
   return it == cohorts_.end() ? nullptr : it->second.get();
 }
@@ -73,12 +73,12 @@ bool CohortRegistryMap::observe(std::string_view id,
 }
 
 std::size_t CohortRegistryMap::size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return cohorts_.size();
 }
 
 std::vector<std::string> CohortRegistryMap::ids() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   std::vector<std::string> out;
   out.reserve(cohorts_.size());
   for (const auto& [id, cohort] : cohorts_) out.push_back(id);
@@ -90,7 +90,7 @@ void CohortRegistryMap::start_daemons() {
   // a thread; stop joins one — neither belongs under the routing lock).
   std::vector<Cohort*> cohorts;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     for (const auto& [id, cohort] : cohorts_) cohorts.push_back(cohort.get());
   }
   for (Cohort* cohort : cohorts) {
@@ -104,7 +104,7 @@ void CohortRegistryMap::start_daemons() {
 void CohortRegistryMap::stop_daemons() {
   std::vector<Cohort*> cohorts;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     for (const auto& [id, cohort] : cohorts_) cohorts.push_back(cohort.get());
   }
   for (Cohort* cohort : cohorts) cohort->daemon().stop();

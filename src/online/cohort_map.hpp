@@ -23,7 +23,6 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -31,6 +30,7 @@
 #include "online/model_registry.hpp"
 #include "online/online_learner.hpp"
 #include "online/update_daemon.hpp"
+#include "util/mutex.hpp"
 
 namespace pp::online {
 
@@ -111,10 +111,11 @@ class CohortRegistryMap {
   void stop_daemons();
 
  private:
-  mutable std::mutex mutex_;
+  mutable Mutex mutex_;
   /// Ordered map: deterministic ids() iteration; unique_ptr keeps Cohort
   /// addresses stable across inserts.
-  std::map<std::string, std::unique_ptr<Cohort>, std::less<>> cohorts_;
+  std::map<std::string, std::unique_ptr<Cohort>, std::less<>> cohorts_
+      PP_GUARDED_BY(mutex_);
 };
 
 }  // namespace pp::online

@@ -55,7 +55,7 @@ std::uint64_t ModelRegistry::publish(
   if (!model) {
     throw std::invalid_argument("ModelRegistry::publish: null model");
   }
-  std::lock_guard<std::mutex> lock(writer_mutex_);
+  MutexLock lock(writer_mutex_);
   check_geometry(*history_.back()->model, *model);
   // Fully initialize the version *before* it becomes visible: inference
   // mode, and int8 replicas rebuilt from these exact f32 weights so a
@@ -77,13 +77,13 @@ std::uint64_t ModelRegistry::publish(
 }
 
 std::shared_ptr<const ModelVersion> ModelRegistry::previous() const {
-  std::lock_guard<std::mutex> lock(writer_mutex_);
+  MutexLock lock(writer_mutex_);
   if (history_.size() < 2) return nullptr;
   return history_[history_.size() - 2];
 }
 
 bool ModelRegistry::rollback() {
-  std::lock_guard<std::mutex> lock(writer_mutex_);
+  MutexLock lock(writer_mutex_);
   if (history_.size() < 2) return false;
   history_.pop_back();
   current_.store(history_.back(), std::memory_order_release);
@@ -92,12 +92,12 @@ bool ModelRegistry::rollback() {
 }
 
 ModelRegistryStats ModelRegistry::stats() const {
-  std::lock_guard<std::mutex> lock(writer_mutex_);
+  MutexLock lock(writer_mutex_);
   return stats_;
 }
 
 std::size_t ModelRegistry::retained_versions() const {
-  std::lock_guard<std::mutex> lock(writer_mutex_);
+  MutexLock lock(writer_mutex_);
   return history_.size();
 }
 

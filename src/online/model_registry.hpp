@@ -17,10 +17,10 @@
 
 #include <atomic>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "models/rnn_model.hpp"
+#include "util/mutex.hpp"
 
 namespace pp::online {
 
@@ -81,13 +81,13 @@ class ModelRegistry {
   static constexpr std::size_t kMaxHistory = 4;
 
   bool quantize_replicas_;
-  mutable std::mutex writer_mutex_;
+  mutable Mutex writer_mutex_;
   std::atomic<std::shared_ptr<const ModelVersion>> current_;
-  /// Retained versions, oldest first; back() == current. Guarded by
-  /// writer_mutex_.
-  std::vector<std::shared_ptr<const ModelVersion>> history_;
-  std::uint64_t next_version_ = 1;
-  ModelRegistryStats stats_;
+  /// Retained versions, oldest first; back() == current.
+  std::vector<std::shared_ptr<const ModelVersion>> history_
+      PP_GUARDED_BY(writer_mutex_);
+  std::uint64_t next_version_ PP_GUARDED_BY(writer_mutex_) = 1;
+  ModelRegistryStats stats_ PP_GUARDED_BY(writer_mutex_);
 };
 
 }  // namespace pp::online

@@ -87,7 +87,7 @@ double OnlineLearner::gate_pr_auc(const models::RnnModel& model,
 }
 
 OnlineUpdateReport OnlineLearner::run_update_round() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   OnlineUpdateReport report;
   ++stats_.rounds;
   report.version = registry_->current_version();
@@ -169,20 +169,20 @@ OnlineUpdateReport OnlineLearner::run_update_round() {
 }
 
 OnlineLearnerStats OnlineLearner::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   OnlineLearnerStats out = stats_;
   out.observed_sessions = buffer_.stats().observed;
   return out;
 }
 
 void OnlineLearner::save_state(BinaryWriter& writer) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   shadow_->network().serialize(writer);
   trainer_->serialize_optimizer(writer);
 }
 
 void OnlineLearner::load_state(BinaryReader& reader) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   shadow_->network().deserialize(reader);
   trainer_->deserialize_optimizer(reader);
 }

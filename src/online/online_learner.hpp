@@ -18,12 +18,12 @@
 #pragma once
 
 #include <memory>
-#include <mutex>
 
 #include "online/model_registry.hpp"
 #include "online/replay_buffer.hpp"
 #include "serving/stream.hpp"
 #include "train/rnn_trainer.hpp"
+#include "util/mutex.hpp"
 
 namespace pp::online {
 
@@ -130,12 +130,12 @@ class OnlineLearner {
   data::Dataset meta_;  // schema + timing constants only, users empty
   SessionReplayBuffer buffer_;
 
-  mutable std::mutex mutex_;  // guards shadow/trainer/stats
+  mutable Mutex mutex_;
   /// Private trainable copy of the published model; never served.
-  std::unique_ptr<models::RnnModel> shadow_;
+  std::unique_ptr<models::RnnModel> shadow_ PP_GUARDED_BY(mutex_);
   /// Persistent trainer: Adam moments and step count survive rounds.
-  std::unique_ptr<train::RnnTrainer> trainer_;
-  OnlineLearnerStats stats_;
+  std::unique_ptr<train::RnnTrainer> trainer_ PP_GUARDED_BY(mutex_);
+  OnlineLearnerStats stats_ PP_GUARDED_BY(mutex_);
 };
 
 }  // namespace pp::online

@@ -20,7 +20,7 @@ void SessionReplayBuffer::add(
     std::uint64_t user_id, std::int64_t session_start,
     const std::array<std::uint32_t, data::kMaxContextFields>& context,
     bool access) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   ++stats_.observed;
   latest_time_ = std::max(latest_time_, session_start);
 
@@ -118,27 +118,27 @@ void SessionReplayBuffer::evict_capacity_locked() {
 }
 
 std::size_t SessionReplayBuffer::size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return total_;
 }
 
 std::size_t SessionReplayBuffer::arrival_entries() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return arrival_.size();
 }
 
 std::size_t SessionReplayBuffer::user_count() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return per_user_.size();
 }
 
 std::int64_t SessionReplayBuffer::latest_time() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return latest_time_;
 }
 
 ReplayBufferStats SessionReplayBuffer::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return stats_;
 }
 
@@ -150,7 +150,7 @@ data::Dataset SessionReplayBuffer::snapshot(const data::Dataset& meta,
   out.start_time = 0;
   out.end_time = 0;
 
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   std::int64_t min_t = 0, max_t = 0;
   bool any = false;
   // Deterministic user order regardless of hash-map layout.

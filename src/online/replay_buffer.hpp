@@ -23,11 +23,11 @@
 #include <array>
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
 #include "data/dataset.hpp"
+#include "util/mutex.hpp"
 #include "util/rng.hpp"
 
 namespace pp::online {
@@ -100,30 +100,34 @@ class SessionReplayBuffer {
     std::uint64_t seq = 0;  // global arrival order
   };
 
-  void evict_capacity_locked();
+  void evict_capacity_locked() PP_REQUIRES(mutex_);
   /// Drops arrival-FIFO entries already evicted by the per-user cap
   /// (bounds arrival_ at ~2x capacity).
-  void compact_arrival_locked();
+  void compact_arrival_locked() PP_REQUIRES(mutex_);
   /// Algorithm R admission: below capacity every entry is retained; past
   /// it, observation n replaces a uniformly random retained slot with
   /// probability capacity/n.
-  void add_reservoir_locked(std::uint64_t user_id, Entry entry);
+  void add_reservoir_locked(std::uint64_t user_id, Entry entry)
+      PP_REQUIRES(mutex_);
 
   ReplayBufferConfig config_;
-  mutable std::mutex mutex_;
-  std::unordered_map<std::uint64_t, std::deque<Entry>> per_user_;
+  mutable Mutex mutex_;
+  std::unordered_map<std::uint64_t, std::deque<Entry>> per_user_
+      PP_GUARDED_BY(mutex_);
   /// Global arrival FIFO of (user_id, seq); entries already evicted by the
   /// per-user cap are skipped lazily when the capacity bound pops them.
   /// Unused under kReservoir.
-  std::deque<std::pair<std::uint64_t, std::uint64_t>> arrival_;
+  std::deque<std::pair<std::uint64_t, std::uint64_t>> arrival_
+      PP_GUARDED_BY(mutex_);
   /// kReservoir only: the retained slots as (user_id, seq), replaceable in
   /// O(1) by a uniform index draw.
-  std::vector<std::pair<std::uint64_t, std::uint64_t>> reservoir_;
-  Rng admission_rng_{0};
-  std::uint64_t next_seq_ = 0;
-  std::size_t total_ = 0;
-  std::int64_t latest_time_ = 0;
-  ReplayBufferStats stats_;
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> reservoir_
+      PP_GUARDED_BY(mutex_);
+  Rng admission_rng_ PP_GUARDED_BY(mutex_){0};
+  std::uint64_t next_seq_ PP_GUARDED_BY(mutex_) = 0;
+  std::size_t total_ PP_GUARDED_BY(mutex_) = 0;
+  std::int64_t latest_time_ PP_GUARDED_BY(mutex_) = 0;
+  ReplayBufferStats stats_ PP_GUARDED_BY(mutex_);
 };
 
 }  // namespace pp::online

@@ -30,22 +30,22 @@ void OnlineUpdateDaemon::start() {
 }
 
 bool OnlineUpdateDaemon::try_start() {
-  std::lock_guard<std::mutex> lifecycle(lifecycle_mutex_);
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lifecycle(lifecycle_mutex_);
+  MutexLock lock(mutex_);
   if (running_) return false;
   stop_requested_ = false;
   running_ = true;
-  thread_ = std::thread(&OnlineUpdateDaemon::thread_main, this);
+  thread_ = Thread(&OnlineUpdateDaemon::thread_main, this);
   return true;
 }
 
 void OnlineUpdateDaemon::stop() {
   // The lifecycle mutex covers the join too: a concurrent start() cannot
   // clear stop_requested_ while the old thread is still winding down.
-  std::lock_guard<std::mutex> lifecycle(lifecycle_mutex_);
-  std::thread to_join;
+  MutexLock lifecycle(lifecycle_mutex_);
+  Thread to_join;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (!running_ && !thread_.joinable()) return;
     stop_requested_ = true;
     running_ = false;  // drive_round() callers fail fast from here on
@@ -63,12 +63,12 @@ void OnlineUpdateDaemon::stop() {
 }
 
 bool OnlineUpdateDaemon::running() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return running_;
 }
 
 OnlineUpdateReport OnlineUpdateDaemon::drive_round() {
-  std::unique_lock<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (!running_) {
     throw std::logic_error("OnlineUpdateDaemon: drive_round on a stopped "
                            "daemon");
@@ -81,11 +81,14 @@ OnlineUpdateReport OnlineUpdateDaemon::drive_round() {
   // (and may have published). Never-started tickets are abandoned — the
   // tombstone check (not `!running_`) makes that stick even when a
   // racing start() flips running_ back on before this caller wakes.
-  drive_cv_.wait(lock, [&] {
-    if (drive_reports_.count(ticket) != 0) return true;
-    if (drive_executing_ == ticket) return false;
-    return ticket <= drive_abandoned_ || !running_;
-  });
+  for (;;) {
+    if (drive_reports_.count(ticket) != 0) break;
+    if (drive_executing_ != ticket &&
+        (ticket <= drive_abandoned_ || !running_)) {
+      break;
+    }
+    drive_cv_.wait(mutex_);
+  }
   const auto it = drive_reports_.find(ticket);
   if (it == drive_reports_.end()) {
     throw std::logic_error("OnlineUpdateDaemon: stopped before the driven "
@@ -97,12 +100,11 @@ OnlineUpdateReport OnlineUpdateDaemon::drive_round() {
 }
 
 OnlineUpdateDaemonStats OnlineUpdateDaemon::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return stats_;
 }
 
-OnlineUpdateReport OnlineUpdateDaemon::execute_round_unlocked(
-    std::unique_lock<std::mutex>& lock) {
+void OnlineUpdateDaemon::note_round_start() {
   last_round_start_ = std::chrono::steady_clock::now();
   any_round_ = true;
   // The observed count is sampled at round start: sessions that arrive
@@ -113,50 +115,55 @@ OnlineUpdateReport OnlineUpdateDaemon::execute_round_unlocked(
   // daemon API for the round's duration).
   observed_at_last_round_ = learner_->buffer().stats().observed;
   ++stats_.rounds_driven;
-  lock.unlock();
+}
 
-  OnlineUpdateReport report;
-  bool round_error = false;
+OnlineUpdateDaemon::RoundOutcome OnlineUpdateDaemon::run_round_outside_lock() {
+  RoundOutcome outcome;
   try {
-    report = learner_->run_update_round();
+    outcome.report = learner_->run_update_round();
   } catch (const std::exception&) {
     // A throwing learner must not terminate() the daemon thread (and with
     // it the serving process); the failure lands in the stats ledger and
     // the round reports ran == false.
-    round_error = true;
+    outcome.round_error = true;
   }
 
-  bool wrote_checkpoint = false, checkpoint_failed = false;
-  if (report.ran) ++rounds_since_checkpoint_;
+  if (outcome.report.ran) ++rounds_since_checkpoint_;
   if (config_.checkpoint_every_rounds > 0 &&
       rounds_since_checkpoint_ >= config_.checkpoint_every_rounds) {
     try {
       learner_->save_checkpoint(config_.checkpoint_path);
       rounds_since_checkpoint_ = 0;
-      wrote_checkpoint = true;
+      outcome.wrote_checkpoint = true;
     } catch (const std::exception&) {
       // An unwritable checkpoint must not kill the update loop; the
       // failure is surfaced through the stats ledger instead.
-      checkpoint_failed = true;
+      outcome.checkpoint_failed = true;
     }
   }
+  return outcome;
+}
 
-  lock.lock();
-  if (report.ran) ++stats_.rounds_ran;
-  if (round_error) ++stats_.round_errors;
-  if (report.published) ++stats_.publishes;
-  if (report.rolled_back) ++stats_.rollbacks;
-  if (wrote_checkpoint) ++stats_.checkpoints;
-  if (checkpoint_failed) ++stats_.checkpoint_failures;
-  return report;
+void OnlineUpdateDaemon::commit_round(const RoundOutcome& outcome) {
+  if (outcome.report.ran) ++stats_.rounds_ran;
+  if (outcome.round_error) ++stats_.round_errors;
+  if (outcome.report.published) ++stats_.publishes;
+  if (outcome.report.rolled_back) ++stats_.rollbacks;
+  if (outcome.wrote_checkpoint) ++stats_.checkpoints;
+  if (outcome.checkpoint_failed) ++stats_.checkpoint_failures;
 }
 
 void OnlineUpdateDaemon::thread_main() {
-  std::unique_lock<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   while (true) {
-    cv_.wait_for(lock, config_.poll_interval, [&] {
-      return stop_requested_ || drive_completed_ < drive_requested_;
-    });
+    // Poll-interval wait, woken early by stop() or a drive ticket. The
+    // loop is explicit (not a predicate overload) so every read of the
+    // guarded flags happens where the analysis can see the lock held.
+    const auto deadline =
+        std::chrono::steady_clock::now() + config_.poll_interval;
+    while (!stop_requested_ && drive_completed_ >= drive_requested_) {
+      if (cv_.wait_until(mutex_, deadline) == std::cv_status::timeout) break;
+    }
     if (stop_requested_) break;
     ++stats_.wakeups;
 
@@ -174,10 +181,14 @@ void OnlineUpdateDaemon::thread_main() {
         continue;
       }
       drive_executing_ = ticket;
-      const OnlineUpdateReport report = execute_round_unlocked(lock);
+      note_round_start();
+      lock.unlock();
+      const RoundOutcome outcome = run_round_outside_lock();
+      lock.lock();
+      commit_round(outcome);
       drive_completed_ = ticket;
       drive_executing_ = 0;
-      drive_reports_[ticket] = report;
+      drive_reports_[ticket] = outcome.report;
       drive_cv_.notify_all();
       continue;
     }
@@ -193,7 +204,11 @@ void OnlineUpdateDaemon::thread_main() {
     const bool sessions_ok =
         observed - observed_at_last_round_ >= config_.min_new_sessions;
     if (interval_ok && sessions_ok) {
-      execute_round_unlocked(lock);
+      note_round_start();
+      lock.unlock();
+      const RoundOutcome outcome = run_round_outside_lock();
+      lock.lock();
+      commit_round(outcome);
     } else if (sessions_ok) {
       ++stats_.deferred_interval;
     } else if (interval_ok) {

@@ -27,14 +27,13 @@
 #pragma once
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
-#include <mutex>
 #include <string>
-#include <thread>
 #include <unordered_map>
 
 #include "online/online_learner.hpp"
+#include "util/mutex.hpp"
+#include "util/thread.hpp"
 
 namespace pp::online {
 
@@ -109,11 +108,26 @@ class OnlineUpdateDaemon {
   const OnlineLearner& learner() const { return *learner_; }
 
  private:
-  void thread_main();
-  /// Runs one round outside the daemon mutex, then folds the report into
-  /// the stats ledger and handles the checkpoint cadence. Returns the
-  /// report (for drive_round completion).
-  OnlineUpdateReport execute_round_unlocked(std::unique_lock<std::mutex>& lock);
+  /// Everything one round produced while the daemon mutex was released;
+  /// commit_round() folds it into the stats ledger once the lock is back.
+  struct RoundOutcome {
+    OnlineUpdateReport report;
+    bool round_error = false;
+    bool wrote_checkpoint = false;
+    bool checkpoint_failed = false;
+  };
+
+  void thread_main() PP_EXCLUDES(mutex_);
+  /// Stamps the rate-limit window and the round-origin ledger at round
+  /// start — the part that must happen before the mutex is released, so a
+  /// concurrent stats() reader never sees a round in flight uncounted.
+  void note_round_start() PP_REQUIRES(mutex_);
+  /// The round body: learner round + checkpoint cadence. Runs with the
+  /// daemon mutex released (the fit can take seconds; every daemon API
+  /// would stall behind it otherwise) — it must touch nothing guarded.
+  RoundOutcome run_round_outside_lock() PP_EXCLUDES(mutex_);
+  /// Folds one outcome into stats_ after the mutex is re-acquired.
+  void commit_round(const RoundOutcome& outcome) PP_REQUIRES(mutex_);
 
   OnlineLearner* learner_;
   OnlineUpdateDaemonConfig config_;
@@ -121,14 +135,15 @@ class OnlineUpdateDaemon {
   /// Serializes start()/stop() end to end (including the out-of-lock
   /// join): without it a start() racing a stop() could clear
   /// stop_requested_ before the old thread observed it, leaving two
-  /// daemon threads alive. Never held by the daemon thread itself.
-  std::mutex lifecycle_mutex_;
-  mutable std::mutex mutex_;
-  std::condition_variable cv_;        // wakes the daemon thread
-  std::condition_variable drive_cv_;  // wakes drive_round() waiters
-  std::thread thread_;
-  bool running_ = false;
-  bool stop_requested_ = false;
+  /// daemon threads alive. Never held by the daemon thread itself, and
+  /// always acquired before mutex_ (the beta analysis checks the order).
+  Mutex lifecycle_mutex_ PP_ACQUIRED_BEFORE(mutex_);
+  mutable Mutex mutex_;
+  CondVar cv_;        // wakes the daemon thread
+  CondVar drive_cv_;  // wakes drive_round() waiters
+  Thread thread_ PP_GUARDED_BY(mutex_);
+  bool running_ PP_GUARDED_BY(mutex_) = false;
+  bool stop_requested_ PP_GUARDED_BY(mutex_) = false;
   /// drive_round tickets: callers take the next request number; the
   /// daemon completes them in order and parks each report until its
   /// caller collects it. drive_executing_ marks the ticket whose round is
@@ -137,19 +152,26 @@ class OnlineUpdateDaemon {
   /// drive_abandoned_ tombstones every ticket pending at a stop(): their
   /// callers throw (even if a start() races in before they wake), and a
   /// restarted daemon skips them instead of running rounds nobody wants.
-  std::uint64_t drive_requested_ = 0;
-  std::uint64_t drive_completed_ = 0;
-  std::uint64_t drive_executing_ = 0;   // 0 = none in flight
-  std::uint64_t drive_abandoned_ = 0;   // tickets <= this never run
-  std::unordered_map<std::uint64_t, OnlineUpdateReport> drive_reports_;
+  std::uint64_t drive_requested_ PP_GUARDED_BY(mutex_) = 0;
+  std::uint64_t drive_completed_ PP_GUARDED_BY(mutex_) = 0;
+  std::uint64_t drive_executing_ PP_GUARDED_BY(mutex_) = 0;  // 0 = none
+  std::uint64_t drive_abandoned_ PP_GUARDED_BY(mutex_) = 0;  // never run
+  std::unordered_map<std::uint64_t, OnlineUpdateReport> drive_reports_
+      PP_GUARDED_BY(mutex_);
 
-  /// Rate-limit window (daemon thread only, under mutex_ for stats reads).
-  std::chrono::steady_clock::time_point last_round_start_{};
-  bool any_round_ = false;
-  std::size_t observed_at_last_round_ = 0;
+  /// Rate-limit window, stamped by note_round_start() under mutex_ (so
+  /// stats readers and the trigger check agree on it).
+  std::chrono::steady_clock::time_point last_round_start_
+      PP_GUARDED_BY(mutex_){};
+  bool any_round_ PP_GUARDED_BY(mutex_) = false;
+  std::size_t observed_at_last_round_ PP_GUARDED_BY(mutex_) = 0;
+  /// Checkpoint cadence counter. Daemon-thread-only by construction (only
+  /// run_round_outside_lock touches it, and exactly one daemon thread
+  /// exists at a time — the lifecycle mutex enforces that), so it is
+  /// deliberately not mutex_-guarded: the round body runs unlocked.
   std::size_t rounds_since_checkpoint_ = 0;
 
-  OnlineUpdateDaemonStats stats_;
+  OnlineUpdateDaemonStats stats_ PP_GUARDED_BY(mutex_);
 };
 
 }  // namespace pp::online

@@ -8,7 +8,7 @@ namespace pp::serving {
 
 std::optional<std::vector<std::uint8_t>> LocalKvStore::get(
     const std::string& key) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   ++stats_.lookups;
   const auto it = map_.find(key);
   if (it == map_.end()) return std::nullopt;
@@ -19,7 +19,7 @@ std::optional<std::vector<std::uint8_t>> LocalKvStore::get(
 
 void LocalKvStore::put(const std::string& key,
                        std::vector<std::uint8_t> value) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   ++stats_.writes;
   stats_.bytes_written += value.size();
   auto [it, inserted] = map_.try_emplace(key);
@@ -29,7 +29,7 @@ void LocalKvStore::put(const std::string& key,
 }
 
 bool LocalKvStore::erase(const std::string& key) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   const auto it = map_.find(key);
   if (it == map_.end()) return false;
   ++stats_.deletes;
@@ -39,27 +39,27 @@ bool LocalKvStore::erase(const std::string& key) {
 }
 
 bool LocalKvStore::contains(const std::string& key) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return map_.count(key) > 0;
 }
 
 std::size_t LocalKvStore::size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return map_.size();
 }
 
 std::size_t LocalKvStore::value_bytes() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return value_bytes_;
 }
 
 KvStats LocalKvStore::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return stats_;
 }
 
 void LocalKvStore::reset_stats() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   stats_ = KvStats{};
 }
 

@@ -15,11 +15,12 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
+
+#include "util/mutex.hpp"
 
 namespace pp::serving {
 
@@ -79,10 +80,11 @@ class LocalKvStore final : public KvStore {
   void reset_stats() override;
 
  private:
-  mutable std::mutex mutex_;
-  std::unordered_map<std::string, std::vector<std::uint8_t>> map_;
-  std::size_t value_bytes_ = 0;
-  KvStats stats_;
+  mutable Mutex mutex_;
+  std::unordered_map<std::string, std::vector<std::uint8_t>> map_
+      PP_GUARDED_BY(mutex_);
+  std::size_t value_bytes_ PP_GUARDED_BY(mutex_) = 0;
+  KvStats stats_ PP_GUARDED_BY(mutex_);
 };
 
 /// N-way hash-partitioned store: each key lives in exactly one shard, so

@@ -9,7 +9,6 @@
 #include <array>
 #include <atomic>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <unordered_map>
 #include <vector>
@@ -20,6 +19,7 @@
 #include "serving/aggregation_service.hpp"
 #include "serving/hidden_store.hpp"
 #include "serving/stream.hpp"
+#include "util/mutex.hpp"
 #include "util/thread_pool.hpp"
 
 namespace pp::serving {
@@ -73,13 +73,29 @@ class PrecomputePolicy {
   /// Registry-backed policies re-pin their model snapshot here, so one
   /// snapshot group is always scored (and its timer-driven completions
   /// applied) by exactly one model version. Default: no-op.
-  virtual void begin_batch() {}
+  ///
+  /// The "under its mutex, never concurrently with scoring" contract is a
+  /// compile-checked capability, not a comment: callers must hold
+  /// serial_token() (a zero-cost pp::SerialToken), which the service
+  /// claims with a SerialSection wherever it already holds its mutex.
+  /// Direct callers (tests, single-threaded drivers) claim it the same
+  /// way, making every call site of the contract grep-able.
+  virtual void begin_batch() PP_REQUIRES(serial_) {}
+  /// The capability naming the begin-batch serialization contract.
+  const SerialToken& serial_token() const PP_RETURN_CAPABILITY(serial_) {
+    return serial_;
+  }
   /// Whether score_sessions / on_session_complete tolerate concurrent
   /// callers. The threaded service driver only fans out over policies
   /// that opt in; everything else is scored on the calling thread.
   virtual bool concurrent_safe() const { return false; }
   virtual ServingCostSummary cost_summary() const = 0;
   virtual const char* name() const = 0;
+
+ protected:
+  /// See begin_batch(). Protected so overrides can restate the
+  /// requirement (thread-safety attributes are not inherited).
+  SerialToken serial_;
 };
 
 /// Numeric mode of the RNN serving path. kInt8 scores directly on the
@@ -122,7 +138,7 @@ class RnnPolicy final : public PrecomputePolicy {
   std::vector<double> score_sessions(
       std::span<const SessionStart> sessions) override;
   void on_session_complete(const JoinedSession& joined) override;
-  void begin_batch() override;
+  void begin_batch() override PP_REQUIRES(serial_);
   bool concurrent_safe() const override { return true; }
   ServingCostSummary cost_summary() const override;
   const char* name() const override {
@@ -130,18 +146,26 @@ class RnnPolicy final : public PrecomputePolicy {
   }
   ScorePrecision precision() const { return precision_; }
   /// Version pinned by the last begin_batch() (0 for a fixed model).
-  std::uint64_t model_version() const {
+  /// Reads the pin itself, so like begin_batch() it may only run
+  /// serialized against re-pinning — callers hold serial_token().
+  std::uint64_t model_version() const PP_REQUIRES(serial_) {
     return active_ ? active_->version : 0;
   }
 
  private:
-  std::mutex& stripe_for(std::uint64_t user_id) {
+  /// Resolves user_id to its stripe. PP_RETURN_CAPABILITY tells the
+  /// analysis which array element a MutexLock at the call site actually
+  /// acquires, so two different stripes are never conflated.
+  Mutex& stripe_for(std::uint64_t user_id)
+      PP_RETURN_CAPABILITY(stripes_[user_id % kLockStripes]) {
     return stripes_[user_id % kLockStripes];
   }
   /// The model every score/update in the current pin window uses. Fixed
-  /// model or the pinned registry snapshot; read concurrently by scoring
-  /// workers, written only by begin_batch() (which the service serializes
-  /// against scoring).
+  /// model or the pinned registry snapshot. Deliberately NOT guarded by
+  /// serial_: scoring workers read the pin concurrently with each other,
+  /// which is safe because the service only re-pins (begin_batch, under
+  /// serial_) while no scoring is in flight — writes and reads are
+  /// separated in time by the group structure, not by a lock.
   const models::RnnModel& model() const {
     return registry_ != nullptr ? *active_->model : *model_;
   }
@@ -156,7 +180,7 @@ class RnnPolicy final : public PrecomputePolicy {
   features::LogBucketizer bucketizer_;
   /// Striped per-user locks: one stripe serializes the read-modify-write
   /// of every user hashing to it; different stripes never contend.
-  std::array<std::mutex, kLockStripes> stripes_;
+  std::array<Mutex, kLockStripes> stripes_;
   std::atomic<std::size_t> predictions_{0};
   std::atomic<std::size_t> state_updates_{0};
   std::atomic<std::size_t> model_flops_{0};
@@ -262,11 +286,11 @@ class PrecomputeService {
   /// Snapshots (copies) taken under the service mutex: safe to call from
   /// a monitoring thread while drivers are mid-batch.
   OnlineMetrics metrics() const {
-    std::lock_guard<std::mutex> guard(mutex_);
+    MutexLock guard(mutex_);
     return metrics_;
   }
   JoinerStats joiner_stats() const {
-    std::lock_guard<std::mutex> guard(mutex_);
+    MutexLock guard(mutex_);
     return joiner_.stats();
   }
   PrecomputePolicy& policy() { return *policy_; }
@@ -279,13 +303,19 @@ class PrecomputeService {
   };
 
   std::vector<bool> run_session_starts(std::span<const SessionStart> sessions,
-                                       ThreadPool* pool);
+                                       ThreadPool* pool) PP_EXCLUDES(mutex_);
   /// Scores sessions[order[begin..end)] (one timestamp group), returning
   /// scores aligned with that order slice; fans out across `pool` when
-  /// given one.
+  /// given one. Runs under the service mutex (the caller's batch loop);
+  /// worker threads it fans out to touch only policy state, never the
+  /// mutex_-guarded event stream.
   std::vector<double> score_group(std::span<const SessionStart> sessions,
                                   std::span<const std::size_t> order,
-                                  ThreadPool* pool);
+                                  ThreadPool* pool) PP_REQUIRES(mutex_);
+  /// Joiner completion callback body: metrics/pending bookkeeping, the
+  /// policy state update, then the listener feed. Only reachable from
+  /// joiner_ calls, which all happen under mutex_.
+  void handle_joined(const JoinedSession& joined) PP_REQUIRES(mutex_);
 
   PrecomputePolicy* policy_;
   double threshold_;
@@ -294,11 +324,13 @@ class PrecomputeService {
   std::int64_t horizon_;
   /// Single-writer guard for the joiner / pending-score / metrics state;
   /// scoring itself fans out, but event-stream mutation never does.
-  mutable std::mutex mutex_;
-  SessionJoiner joiner_;
-  OnlineMetrics metrics_;
-  std::unordered_map<std::uint64_t, PendingScore> pending_;
-  std::function<void(const JoinedSession&)> completion_listener_;
+  mutable Mutex mutex_;
+  SessionJoiner joiner_ PP_GUARDED_BY(mutex_);
+  OnlineMetrics metrics_ PP_GUARDED_BY(mutex_);
+  std::unordered_map<std::uint64_t, PendingScore> pending_
+      PP_GUARDED_BY(mutex_);
+  std::function<void(const JoinedSession&)> completion_listener_
+      PP_GUARDED_BY(mutex_);
 };
 
 }  // namespace pp::serving

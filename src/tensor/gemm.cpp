@@ -4,13 +4,13 @@
 #include <atomic>
 #include <cassert>
 #include <memory>
-#include <mutex>
-#include <thread>
 #include <unordered_map>
 
 #include "tensor/cpu_dispatch.hpp"
 #include "tensor/gemm_simd.hpp"
 #include "tensor/matrix.hpp"
+#include "util/mutex.hpp"
+#include "util/thread.hpp"
 #include "util/thread_pool.hpp"
 
 namespace pp::tensor {
@@ -33,9 +33,9 @@ std::atomic<std::size_t> g_pool_builds{0};
 /// Handing out shared_ptr copies keeps a cache eviction (none today)
 /// from pulling a pool out from under a concurrent caller.
 std::shared_ptr<ThreadPool> acquire_pool(std::size_t threads) {
-  static std::mutex mutex;
+  static Mutex mutex;
   static std::unordered_map<std::size_t, std::shared_ptr<ThreadPool>> pools;
-  std::lock_guard<std::mutex> lock(mutex);
+  MutexLock lock(mutex);
   std::shared_ptr<ThreadPool>& pool = pools[threads];
   if (!pool) {
     pool = std::make_shared<ThreadPool>(threads);
@@ -324,7 +324,7 @@ template <typename RangeFn>
 void run_partitioned(std::size_t rows, std::size_t macs, RangeFn&& range_fn) {
   std::size_t threads = g_threads.load(std::memory_order_relaxed);
   if (threads == 0) {
-    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+    threads = std::max<std::size_t>(1, Thread::hardware_concurrency());
   }
   const std::size_t stripes = std::min(threads, rows);
   if (stripes <= 1 || macs < g_threshold.load(std::memory_order_relaxed)) {

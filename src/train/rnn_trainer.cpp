@@ -9,6 +9,7 @@
 #include "nn/optimizer.hpp"
 #include "util/logging.hpp"
 #include "util/math.hpp"
+#include "util/thread.hpp"
 #include "util/thread_pool.hpp"
 
 namespace pp::train {
@@ -99,7 +100,7 @@ struct RnnTrainer::Impl {
         threads(cfg.num_threads > 0
                     ? cfg.num_threads
                     : std::max<std::size_t>(
-                          1, std::thread::hardware_concurrency())),
+                          1, Thread::hardware_concurrency())),
         optimizer(network.parameters(), {.learning_rate = cfg.learning_rate}),
         shuffle_rng(cfg.seed) {
     if (config.strategy == BatchStrategy::kPerUserThreads) {

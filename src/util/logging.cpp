@@ -3,13 +3,14 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
-#include <mutex>
+
+#include "util/mutex.hpp"
 
 namespace pp {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::kInfo};
-std::mutex g_mutex;
+Mutex g_mutex;
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -37,7 +38,7 @@ void log_line(LogLevel level, std::string_view message) {
       std::chrono::duration_cast<std::chrono::milliseconds>(
           now.time_since_epoch())
           .count();
-  std::lock_guard<std::mutex> lock(g_mutex);
+  MutexLock lock(g_mutex);
   std::fprintf(stderr, "[%lld.%03lld] %-5s %.*s\n",
                static_cast<long long>(secs / 1000),
                static_cast<long long>(secs % 1000), level_name(level),

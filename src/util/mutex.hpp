@@ -1,0 +1,164 @@
+// Annotated synchronization wrappers — the ONLY mutex/condvar entry points
+// for code outside src/util/ (ci/lint.sh rejects raw std::mutex /
+// std::condition_variable / std::thread elsewhere, so every lock in the
+// serving and online tiers is visible to Clang Thread Safety Analysis).
+//
+// pp::Mutex      — std::mutex as a PP_CAPABILITY; lock/unlock annotated.
+// pp::MutexLock  — RAII holder (PP_SCOPED_CAPABILITY), relockable: the
+//                  update daemon's run-a-round-outside-the-lock pattern is
+//                  lock.unlock() ... lock.lock() on the scoped object, which
+//                  the analysis tracks precisely.
+// pp::CondVar    — condition variable over pp::Mutex. Waits take the Mutex
+//                  itself (PP_REQUIRES(mu)) and are implemented by adopting
+//                  the native handle for the duration of the wait; the
+//                  caller's MutexLock stays the owner-of-record. No
+//                  predicate overloads on purpose: a predicate lambda is a
+//                  separate function to the analysis and would read guarded
+//                  state with no visible lock held — write the wait loop in
+//                  the caller, where the capability is provably held.
+// pp::SerialToken / pp::SerialSection — a capability with no runtime state,
+//                  naming an externally-enforced serialization contract
+//                  (e.g. "begin_batch() runs under the owning service's
+//                  mutex") so the analysis checks what used to be a comment.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#include "util/thread_annotations.hpp"
+
+namespace pp {
+
+class CondVar;
+
+class PP_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() PP_ACQUIRE() { mu_.lock(); }
+  void unlock() PP_RELEASE() { mu_.unlock(); }
+  bool try_lock() PP_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  /// Declares (to the analysis) that the calling thread holds this mutex.
+  /// Compiles to nothing at runtime. Use ONLY where the lock is genuinely
+  /// held but the acquisition is invisible to the intra-procedural
+  /// analysis — e.g. a callback lambda invoked by code that holds the lock.
+  /// Each use is a reviewable claim; there are very few.
+  void assert_held() const PP_ASSERT_CAPABILITY(this) {}
+
+ private:
+  friend class CondVar;  // wait() adopts the native handle
+  std::mutex mu_;
+};
+
+/// RAII lock for pp::Mutex, relockable (see the header comment). This is
+/// the clang-doc MutexLocker shape: the constructor/destructor and the
+/// explicit lock()/unlock() keep the analysis's view of the held set exact.
+class PP_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) PP_ACQUIRE(mu) : mu_(mu), held_(true) {
+    mu_.lock();
+  }
+  ~MutexLock() PP_RELEASE() {
+    if (held_) mu_.unlock();
+  }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  /// Releases early (e.g. to run a training round outside the daemon
+  /// mutex). The destructor then does nothing unless lock() re-acquires.
+  void unlock() PP_RELEASE() {
+    mu_.unlock();
+    held_ = false;
+  }
+  void lock() PP_ACQUIRE() {
+    mu_.lock();
+    held_ = true;
+  }
+
+ private:
+  Mutex& mu_;
+  bool held_;
+};
+
+/// Condition variable over pp::Mutex. Every wait requires the mutex held
+/// (via a MutexLock in the caller); the wait itself temporarily adopts the
+/// native handle so std::condition_variable can release/reacquire it, then
+/// abandons ownership back to the caller's MutexLock.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void wait(Mutex& mu) PP_REQUIRES(mu) {
+    std::unique_lock<std::mutex> native(mu.mu_, std::adopt_lock);
+    cv_.wait(native);
+    native.release();
+  }
+
+  template <typename Clock, typename Duration>
+  std::cv_status wait_until(
+      Mutex& mu, const std::chrono::time_point<Clock, Duration>& deadline)
+      PP_REQUIRES(mu) {
+    std::unique_lock<std::mutex> native(mu.mu_, std::adopt_lock);
+    const std::cv_status status = cv_.wait_until(native, deadline);
+    native.release();
+    return status;
+  }
+
+  template <typename Rep, typename Period>
+  std::cv_status wait_for(Mutex& mu,
+                          const std::chrono::duration<Rep, Period>& timeout)
+      PP_REQUIRES(mu) {
+    std::unique_lock<std::mutex> native(mu.mu_, std::adopt_lock);
+    const std::cv_status status = cv_.wait_for(native, timeout);
+    native.release();
+    return status;
+  }
+
+  void notify_one() { cv_.notify_one(); }
+  void notify_all() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+/// A capability with no runtime state. It names a serialization contract
+/// that is enforced by something the analysis cannot see from the callee —
+/// e.g. PrecomputePolicy::begin_batch() runs only under the owning
+/// service's mutex. The callee declares PP_REQUIRES(token); the enforcing
+/// caller (or a single-threaded test driver) claims it with a
+/// SerialSection. acquire()/release() compile to nothing: the token costs
+/// zero bytes and zero cycles, it exists purely for the analysis.
+class PP_CAPABILITY("serial") SerialToken {
+ public:
+  SerialToken() = default;
+  SerialToken(const SerialToken&) = delete;
+  SerialToken& operator=(const SerialToken&) = delete;
+
+  void acquire() const PP_ACQUIRE() {}
+  void release() const PP_RELEASE() {}
+  /// See Mutex::assert_held().
+  void assert_held() const PP_ASSERT_CAPABILITY(this) {}
+};
+
+/// RAII claim of a SerialToken for the enclosing scope.
+class PP_SCOPED_CAPABILITY SerialSection {
+ public:
+  explicit SerialSection(const SerialToken& token) PP_ACQUIRE(token)
+      : token_(token) {
+    token_.acquire();
+  }
+  ~SerialSection() PP_RELEASE() { token_.release(); }
+  SerialSection(const SerialSection&) = delete;
+  SerialSection& operator=(const SerialSection&) = delete;
+
+ private:
+  const SerialToken& token_;
+};
+
+}  // namespace pp

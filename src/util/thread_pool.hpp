@@ -2,14 +2,15 @@
 // "custom parallelism", §7.1) and for feature-parallel GBDT split search.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
 #include <future>
-#include <mutex>
+#include <memory>
 #include <queue>
-#include <thread>
 #include <vector>
+
+#include "util/mutex.hpp"
+#include "util/thread.hpp"
 
 namespace pp {
 
@@ -33,7 +34,7 @@ class ThreadPool {
         std::make_shared<std::packaged_task<void()>>(std::forward<F>(task));
     std::future<void> result = packaged->get_future();
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       tasks_.push([packaged] { (*packaged)(); });
     }
     cv_.notify_one();
@@ -64,11 +65,11 @@ class ThreadPool {
 
   static thread_local const ThreadPool* current_pool_;
 
-  std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> tasks_;
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  bool stop_ = false;
+  std::vector<Thread> workers_;
+  std::queue<std::function<void()>> tasks_ PP_GUARDED_BY(mutex_);
+  Mutex mutex_;
+  CondVar cv_;
+  bool stop_ PP_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace pp

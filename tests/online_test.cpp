@@ -38,6 +38,20 @@ using testutil::make_joined;
 using testutil::small_rnn_config;
 using testutil::trained_drift_model;
 
+/// begin_batch()/model_version() require the policy's serialization
+/// capability (held by the service wherever it calls them). These tests
+/// drive the policy directly from one thread, so they claim the token for
+/// the single call the same way the service does.
+void pin_batch(serving::PrecomputePolicy& policy) {
+  SerialSection serial(policy.serial_token());
+  policy.begin_batch();
+}
+
+std::uint64_t pinned_version(const serving::RnnPolicy& policy) {
+  SerialSection serial(policy.serial_token());
+  return policy.model_version();
+}
+
 // ------------------------------------------------------------- replay buffer
 
 TEST(SessionReplayBuffer, PerUserCapEvictsHeavyUserOldestFirst) {
@@ -373,8 +387,8 @@ TEST(RnnPolicyRegistry, PinsSnapshotUntilNextBeginBatch) {
     s.context = ctx(static_cast<std::uint32_t>(u % 2));
     batch.push_back(s);
   }
-  policy.begin_batch();
-  EXPECT_EQ(policy.model_version(), 1u);
+  pin_batch(policy);
+  EXPECT_EQ(pinned_version(policy), 1u);
   const std::vector<double> before = policy.score_sessions(batch);
 
   config.seed = 4242;
@@ -383,10 +397,10 @@ TEST(RnnPolicyRegistry, PinsSnapshotUntilNextBeginBatch) {
   // can never change weights inside a snapshot group.
   const std::vector<double> pinned = policy.score_sessions(batch);
   EXPECT_EQ(before, pinned);
-  EXPECT_EQ(policy.model_version(), 1u);
+  EXPECT_EQ(pinned_version(policy), 1u);
 
-  policy.begin_batch();
-  EXPECT_EQ(policy.model_version(), 2u);
+  pin_batch(policy);
+  EXPECT_EQ(pinned_version(policy), 2u);
   const std::vector<double> after = policy.score_sessions(batch);
   EXPECT_NE(before, after);  // different weights, same inputs
 }
@@ -464,8 +478,8 @@ TEST(ModelHotSwap, ThreadedShardedReplayAcrossPublishMatchesSequential) {
   service_seq.flush();
 
   // Both policies really observed the swap...
-  EXPECT_EQ(policy_seq.model_version(), 2u);
-  EXPECT_EQ(policy_par.model_version(), 2u);
+  EXPECT_EQ(pinned_version(policy_seq), 2u);
+  EXPECT_EQ(pinned_version(policy_par), 2u);
   // ...and the threaded + sharded replay across it is bit-identical to
   // the sequential replay: decisions (above), cost ledger, joiner stats,
   // online metrics.
@@ -541,7 +555,7 @@ TEST(ModelHotSwap, ConcurrentPublisherNeverCrashesServing) {
   EXPECT_EQ(scored, rounds * 12);
   EXPECT_EQ(service.metrics().predictions(), rounds * 12);
   EXPECT_GE(registry.stats().publishes, 3u);
-  EXPECT_GE(policy.model_version(), 1u);
+  EXPECT_GE(pinned_version(policy), 1u);
 }
 
 TEST(OnlineExperiment, Int8GateConfigurationIsServable) {
