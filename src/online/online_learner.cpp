@@ -3,10 +3,10 @@
 #include <cerrno>
 #include <cmath>
 #include <cstdio>
-#include <cstring>
 #include <limits>
 #include <numeric>
 #include <stdexcept>
+#include <system_error>
 
 #include "eval/metrics.hpp"
 
@@ -200,8 +200,11 @@ void OnlineLearner::save_checkpoint(const std::string& path) const {
   const std::string tmp = path + ".tmp";
   writer.save_file(tmp);
   if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    // system_category().message() rather than strerror(): the latter
+    // returns a static buffer another thread may be overwriting.
     throw std::runtime_error("OnlineLearner: checkpoint rename failed: " +
-                             path + ": " + std::strerror(errno));
+                             path + ": " +
+                             std::system_category().message(errno));
   }
 }
 

@@ -61,6 +61,8 @@ bool gemm_simd_available() {
 }
 
 bool gemm_kernel_from_env(GemmKernel* out) {
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): read-only env probe; nothing in
+  // this process calls setenv/putenv, so the getenv data race cannot occur.
   const char* value = std::getenv("PP_GEMM_FORCE_KERNEL");
   if (value == nullptr || *value == '\0') return false;
   if (std::strcmp(value, "naive") == 0) {

@@ -287,6 +287,92 @@ TEST(OnlineUpdateDaemon, CheckpointKillResumeBitIdenticalAdamState) {
   std::filesystem::remove(path);
 }
 
+TEST(OnlineUpdateDaemon, CheckpointRenameFailureIsCountedNotFatal) {
+  const data::Dataset cohort = drift_cohort(8, 3, 1000, 1);
+  // A directory at the target path makes the atomic tmp -> path rename
+  // fail while the tmp write itself succeeds — exactly the error path
+  // the round body must survive.
+  const std::string dir_path = temp_path("pp_daemon_ckpt_dir_test");
+  std::filesystem::remove_all(dir_path);
+  std::filesystem::create_directory(dir_path);
+
+  ModelRegistry registry(trained_drift_model());
+  OnlineLearnerConfig learner_config;
+  learner_config.min_train_sessions = 10;
+  learner_config.min_holdout_predictions = 5;
+  OnlineLearner learner(registry, cohort, learner_config);
+  feed_cohort(learner, cohort);
+
+  // Direct call: a std::runtime_error naming the path, with the errno
+  // text formatted thread-safely (std::system_category().message, not
+  // strerror's shared static buffer).
+  try {
+    learner.save_checkpoint(dir_path);
+    FAIL() << "save_checkpoint onto a directory should throw";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("checkpoint rename failed"), std::string::npos);
+    EXPECT_NE(what.find(dir_path), std::string::npos);
+  }
+
+  // Through the daemon: the throw is folded into the stats ledger and
+  // the update loop stays alive — rounds keep running and reporting.
+  OnlineUpdateDaemonConfig config;
+  config.min_new_sessions = std::numeric_limits<std::size_t>::max();
+  config.checkpoint_every_rounds = 1;
+  config.checkpoint_path = dir_path;
+  OnlineUpdateDaemon daemon(learner, config);
+  daemon.start();
+  EXPECT_TRUE(daemon.drive_round().ran);
+  EXPECT_TRUE(daemon.drive_round().ran);
+  daemon.stop();
+  EXPECT_EQ(daemon.stats().checkpoints, 0u);
+  EXPECT_EQ(daemon.stats().checkpoint_failures, 2u);
+  EXPECT_EQ(daemon.stats().round_errors, 0u);
+
+  std::filesystem::remove_all(dir_path);
+  std::filesystem::remove(dir_path + ".tmp");
+}
+
+TEST(OnlineUpdateDaemon, StatsAndRunningStayReadableDuringRounds) {
+  // Regression for the lock discipline around the round body: the daemon
+  // mutex is released for the whole learner fit
+  // (run_round_outside_lock), so stats()/running() readers on other
+  // threads make progress while rounds execute instead of queueing
+  // behind a multi-epoch fit.
+  const data::Dataset cohort = drift_cohort(8, 3, 1000, 1);
+  ModelRegistry registry(trained_drift_model());
+  OnlineLearnerConfig learner_config;
+  learner_config.min_train_sessions = 10;
+  learner_config.min_holdout_predictions = 5;
+  OnlineLearner learner(registry, cohort, learner_config);
+  feed_cohort(learner, cohort);
+
+  OnlineUpdateDaemonConfig config;
+  config.min_new_sessions = std::numeric_limits<std::size_t>::max();
+  OnlineUpdateDaemon daemon(learner, config);
+  daemon.start();
+
+  std::atomic<bool> done{false};
+  std::atomic<std::size_t> reads{0};
+  std::thread reader([&] {
+    while (!done.load(std::memory_order_relaxed)) {
+      (void)daemon.stats();
+      (void)daemon.running();
+      reads.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  for (int i = 0; i < 3; ++i) {
+    (void)daemon.drive_round();
+  }
+  done.store(true, std::memory_order_relaxed);
+  reader.join();
+  daemon.stop();
+
+  EXPECT_GT(reads.load(), 0u);
+  EXPECT_EQ(daemon.stats().rounds_driven, 3u);
+}
+
 TEST(OnlineExperiment, DaemonDrivenRoundsAndCheckpointResume) {
   const data::Dataset cohort = drift_cohort(12, 5, 1000, 500);
   const data::Dataset pretrain = drift_cohort(12, 3, 1000, 1);
