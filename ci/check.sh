@@ -6,6 +6,10 @@
 #   ci/check.sh --sanitize asan [build-dir] # Debug + ASan/UBSan, tiers only
 #   ci/check.sh --sanitize tsan [build-dir] # RelWithDebInfo + TSan (incl. stress)
 #   ci/check.sh --sanitize ubsan [build-dir]# Debug + UBSan, tiers only
+#   ci/check.sh --clang [build-dir]         # Clang build: thread-safety analysis
+#                                           # as errors (skips if no clang++)
+#   ci/check.sh --lint [build-dir]          # clang-tidy over src/ via the
+#                                           # compile db (skips if absent)
 #
 # Tiered fail-fast ordering in every lane: unit → quant → online → serving
 # (→ stress). The fast kernel/model tiers run (and can fail) first; the
@@ -19,6 +23,7 @@ set -euo pipefail
 
 REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 SANITIZE=""
+MODE=""
 BUILD_DIR=""
 while [[ $# -gt 0 ]]; do
   case "$1" in
@@ -27,8 +32,12 @@ while [[ $# -gt 0 ]]; do
       SANITIZE="$2"; shift 2 ;;
     --sanitize=*)
       SANITIZE="${1#--sanitize=}"; shift ;;
+    --clang)
+      MODE="clang"; shift ;;
+    --lint)
+      MODE="lint"; shift ;;
     -h|--help)
-      sed -n '2,12p' "${BASH_SOURCE[0]}"; exit 0 ;;
+      sed -n '2,16p' "${BASH_SOURCE[0]}"; exit 0 ;;
     -*)
       # Reject unknown flags loudly: silently treating a typoed --sanitize
       # as the build dir would run the wrong lane and report green.
@@ -38,12 +47,72 @@ while [[ $# -gt 0 ]]; do
   esac
 done
 
+if [[ -n "${MODE}" && -n "${SANITIZE}" ]]; then
+  echo "--${MODE} and --sanitize are mutually exclusive lanes" >&2
+  exit 2
+fi
+
+# ------------------------------------------------------------ clang-tidy lane
+# Static analysis only: configure for the compile database, then run
+# clang-tidy (checks in .clang-tidy, WarningsAsErrors '*') over every src/
+# TU. Deliberately NOT run through ccache — clang-tidy re-parses the
+# compile command and a `ccache c++ ...` entry would be misread as
+# compiler=ccache. Skips (exit 0) where clang-tidy is not installed so the
+# dev container stays green; the CI clang lane installs it and gates.
+if [[ "${MODE}" == "lint" ]]; then
+  TIDY=""
+  for cand in clang-tidy clang-tidy-21 clang-tidy-20 clang-tidy-19 \
+              clang-tidy-18 clang-tidy-17 clang-tidy-16 clang-tidy-15 \
+              clang-tidy-14; do
+    if command -v "${cand}" >/dev/null 2>&1; then TIDY="${cand}"; break; fi
+  done
+  if [[ -z "${TIDY}" ]]; then
+    echo "== lint lane: no clang-tidy on PATH — skipping =="
+    exit 0
+  fi
+  BUILD_DIR="${BUILD_DIR:-${REPO_ROOT}/build-lint}"
+  echo "== configure (lint lane: ${BUILD_DIR}, compile database only) =="
+  cmake -B "${BUILD_DIR}" -S "${REPO_ROOT}" \
+    -DCMAKE_CXX_COMPILER_LAUNCHER=
+  echo "== clang-tidy (${TIDY}, .clang-tidy, warnings-as-errors) =="
+  mapfile -t TIDY_SOURCES < <(find "${REPO_ROOT}/src" -name '*.cpp' | sort)
+  "${TIDY}" -p "${BUILD_DIR}" --quiet "${TIDY_SOURCES[@]}"
+  echo "== OK (lint lane: ${#TIDY_SOURCES[@]} TUs clean) =="
+  exit 0
+fi
+
+# --------------------------------------------------------------- clang lane
+# Locate a clang++ for the thread-safety-as-errors build; the lane is a
+# no-op skip where only GCC exists (the analysis is Clang-only — GCC
+# expands the annotation macros to nothing).
+if [[ "${MODE}" == "clang" ]]; then
+  CLANGXX="${PP_CLANGXX:-}"
+  if [[ -z "${CLANGXX}" ]]; then
+    for cand in clang++ clang++-21 clang++-20 clang++-19 clang++-18 \
+                clang++-17 clang++-16 clang++-15 clang++-14; do
+      if command -v "${cand}" >/dev/null 2>&1; then CLANGXX="${cand}"; break; fi
+    done
+  fi
+  if [[ -z "${CLANGXX}" ]]; then
+    echo "== clang lane: no clang++ on PATH — skipping =="
+    exit 0
+  fi
+fi
+
 CMAKE_ARGS=()
 RUN_STRESS=1
 RUN_BENCH=1
 case "${SANITIZE}" in
   "")
-    BUILD_DIR="${BUILD_DIR:-${REPO_ROOT}/build}"
+    if [[ "${MODE}" == "clang" ]]; then
+      BUILD_DIR="${BUILD_DIR:-${REPO_ROOT}/build-clang}"
+      CMAKE_ARGS+=(-DCMAKE_CXX_COMPILER="${CLANGXX}")
+      # The bench gate baseline tracks the GCC release lane; a second
+      # compiler would just add noise to a wide-tolerance perf gate.
+      RUN_BENCH=0
+    else
+      BUILD_DIR="${BUILD_DIR:-${REPO_ROOT}/build}"
+    fi
     ;;
   asan|address)
     BUILD_DIR="${BUILD_DIR:-${REPO_ROOT}/build-asan}"
@@ -87,7 +156,7 @@ if [[ -n "${PP_CHECK_CMAKE_ARGS:-}" ]]; then
   CMAKE_ARGS+=("${EXTRA_ARGS[@]}")
 fi
 
-echo "== configure (${SANITIZE:-release} lane: ${BUILD_DIR}) =="
+echo "== configure (${SANITIZE:-${MODE:-release}} lane: ${BUILD_DIR}) =="
 # The ${arr[@]+...} form keeps an empty array from tripping `set -u` on
 # bash < 4.4 (macOS ships 3.2).
 cmake -B "${BUILD_DIR}" -S "${REPO_ROOT}" \
@@ -102,6 +171,11 @@ run_tier() {
   ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}" \
     -L "${label_regex}"
 }
+
+# The lint tier goes first — it is the cheapest failure. Binary lint scans
+# this lane's own objects (so sanitizer builds are checked too); the
+# negative-compile check self-skips (77) without clang++.
+run_tier '^lint$' "lint (binary/source/negative-compile)"
 
 run_tier '^(unit|quant)$' "unit + quant (fail fast)"
 
@@ -143,4 +217,4 @@ if [[ "${RUN_BENCH}" == 1 ]]; then
     --min-ratio "${PP_BENCH_GATE_MIN_RATIO:-0.30}"
 fi
 
-echo "== OK (${SANITIZE:-release} lane) =="
+echo "== OK (${SANITIZE:-${MODE:-release}} lane) =="

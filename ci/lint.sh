@@ -1,0 +1,155 @@
+#!/usr/bin/env bash
+# Project-specific lints, registered as ctest tests in the `lint` tier.
+#
+# Usage:
+#   ci/lint.sh --binary [build-dir]   # AVX2/FMA containment in objects
+#   ci/lint.sh --source               # raw sync primitives outside src/util/
+#
+# --binary  Machine-checks the TU-isolation rule behind the runtime-
+#           dispatched GEMM kernels (CMakeLists.txt): only the *_avx2.cpp
+#           TUs are compiled with -mavx2 -mfma, so no other object may
+#           contain a VEX-encoded AVX/FMA instruction. If one does (an
+#           inlined std:: template instantiated in an AVX2 TU and picked
+#           from its COMDAT, a stray flag), the binary faults with SIGILL
+#           on pre-AVX2 hosts before the runtime dispatcher ever runs.
+#           Disassembles every non-*_avx2 object in the build and fails on
+#           ymm/zmm registers or v-prefixed FMA mnemonics; the *_avx2
+#           objects double as the control group (they must trip the
+#           pattern, or the lint is vacuous). Exits 77 (ctest SKIP) when
+#           no disassembler is on PATH.
+#
+# --source  Enforces the layering contract behind the Clang Thread Safety
+#           retrofit: outside src/util/, concurrency must go through the
+#           annotated pp::Mutex / pp::MutexLock / pp::CondVar / pp::Thread
+#           wrappers. A raw std::mutex member is invisible to the analysis,
+#           so one unconverted file would silently shrink the checked
+#           surface. Comment-stripped grep over src/ minus src/util/.
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+
+usage() { sed -n '2,7p' "${BASH_SOURCE[0]}"; }
+
+binary_lint() {
+  local build_dir="$1"
+  if [[ ! -d "${build_dir}" ]]; then
+    echo "binary lint: no such build dir: ${build_dir}" >&2
+    exit 2
+  fi
+
+  local objdump=""
+  for cand in objdump llvm-objdump; do
+    if command -v "${cand}" >/dev/null 2>&1; then
+      objdump="${cand}"
+      break
+    fi
+  done
+  if [[ -z "${objdump}" ]]; then
+    echo "binary lint: no objdump/llvm-objdump on PATH — skipping"
+    exit 77
+  fi
+
+  # v-prefixed (VEX-encoded) mnemonics and wide registers only: plain SSE2
+  # (xmm registers, mulps, pmaddwd) is part of the x86-64 baseline and
+  # fine. Even a 128-bit vfmadd...ss needs AVX+FMA, hence the v-forms are
+  # banned regardless of register width.
+  local pattern='%[yz]mm|\bvfn?m(add|sub)|\bvpmadd'
+
+  local baseline=() avx2=()
+  while IFS= read -r -d '' obj; do
+    if [[ "$(basename "${obj}")" == *_avx2* ]]; then
+      avx2+=("${obj}")
+    else
+      baseline+=("${obj}")
+    fi
+  done < <(find "${build_dir}" -name '*.o' -path '*CMakeFiles*' \
+             ! -path '*_deps*' ! -path '*CompilerId*' ! -path '*CMakeScratch*' \
+             -print0 | sort -z)
+
+  if [[ "${#baseline[@]}" -eq 0 ]]; then
+    echo "binary lint: no objects under ${build_dir} — build first" >&2
+    exit 2
+  fi
+
+  local bad=0 hits
+  for obj in "${baseline[@]}"; do
+    hits="$("${objdump}" -d "${obj}" 2>/dev/null | grep -En "${pattern}" || true)"
+    if [[ -n "${hits}" ]]; then
+      bad=$((bad + 1))
+      echo "binary lint: AVX2/FMA leaked into baseline object ${obj#"${build_dir}"/}:" >&2
+      head -n 5 <<<"${hits}" | sed 's/^/  /' >&2
+    fi
+  done
+  if [[ "${bad}" -gt 0 ]]; then
+    echo "binary lint: FAIL — ${bad}/${#baseline[@]} baseline objects contain" \
+         "AVX2/FMA; only the *_avx2 TUs may (see CMakeLists.txt)" >&2
+    exit 1
+  fi
+
+  # Control group: the *_avx2 TUs themselves must trip the pattern (when
+  # they were compiled at all) — otherwise the pattern or the disassembler
+  # is broken and the clean sweep above proves nothing.
+  # No `grep -q` here: under pipefail its early exit would SIGPIPE objdump
+  # and report the pipeline as failed even on a match.
+  for obj in ${avx2[@]+"${avx2[@]}"}; do
+    if ! "${objdump}" -d "${obj}" 2>/dev/null | grep -E "${pattern}" >/dev/null; then
+      echo "binary lint: control object ${obj#"${build_dir}"/} shows no AVX2/FMA" \
+           "— the lint pattern is vacuous" >&2
+      exit 2
+    fi
+  done
+
+  echo "binary lint: OK — ${#baseline[@]} baseline objects clean," \
+       "${#avx2[@]} AVX2 control objects trip the pattern (${objdump})"
+}
+
+source_lint() {
+  # Raw standard sync/thread vocabulary, plus the headers that provide it.
+  # std::atomic stays allowed — the lock-free paths (ModelRegistry RCU
+  # reads) are deliberate and documented where they occur.
+  local pattern='std::(mutex|timed_mutex|recursive_mutex|recursive_timed_mutex|shared_mutex|shared_timed_mutex|condition_variable|condition_variable_any|lock_guard|unique_lock|scoped_lock|shared_lock|thread|jthread)\b|#[[:space:]]*include[[:space:]]*<(mutex|shared_mutex|condition_variable|thread)>'
+
+  local checked=0 bad=0 hits
+  while IFS= read -r -d '' f; do
+    checked=$((checked + 1))
+    # Strip // comments so prose mentioning std::mutex doesn't trip the
+    # lint; line numbers survive (sed edits lines in place).
+    hits="$(sed 's@//.*@@' "${f}" | grep -En "${pattern}" || true)"
+    if [[ -n "${hits}" ]]; then
+      bad=$((bad + 1))
+      echo "source lint: raw sync primitive in ${f#"${REPO_ROOT}"/} — use the" \
+           "annotated pp:: wrappers from src/util/ (mutex.hpp, thread.hpp):" >&2
+      sed 's/^/  /' <<<"${hits}" >&2
+    fi
+  done < <(find "${REPO_ROOT}/src" -type f \( -name '*.cpp' -o -name '*.hpp' \) \
+             ! -path "${REPO_ROOT}/src/util/*" -print0 | sort -z)
+
+  if [[ "${checked}" -eq 0 ]]; then
+    echo "source lint: found no sources under src/ — wrong checkout?" >&2
+    exit 2
+  fi
+  if [[ "${bad}" -gt 0 ]]; then
+    echo "source lint: FAIL — ${bad}/${checked} files use raw primitives" \
+         "outside src/util/" >&2
+    exit 1
+  fi
+  echo "source lint: OK — ${checked} files outside src/util/ free of raw" \
+       "sync primitives"
+}
+
+case "${1:-}" in
+  --binary)
+    shift
+    binary_lint "${1:-${REPO_ROOT}/build}"
+    ;;
+  --source)
+    source_lint
+    ;;
+  -h|--help)
+    usage
+    ;;
+  *)
+    usage >&2
+    exit 2
+    ;;
+esac

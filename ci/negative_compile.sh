@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# ctest driver for the thread-safety negative-compile check (lint tier,
+# lint_negative_compile_thread_safety). Configures the mini-project in
+# tests/negative_compile/ with Clang; that project try_compile()s two TUs
+# against src/util/mutex.hpp and FATAL_ERRORs unless the correctly guarded
+# one compiles AND the unguarded one is rejected by -Werror=thread-safety.
+#
+# Clang Thread Safety Analysis is Clang-only, so this exits 77 (ctest
+# SKIP_RETURN_CODE) when no clang++ is on PATH — a GCC-only container
+# still runs the rest of the lint tier; CI's clang lane runs this for real.
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+WORK_DIR="${1:-${REPO_ROOT}/build/negative_compile}"
+
+CLANGXX="${PP_CLANGXX:-}"
+if [[ -z "${CLANGXX}" ]]; then
+  for cand in clang++ clang++-21 clang++-20 clang++-19 clang++-18 \
+              clang++-17 clang++-16 clang++-15 clang++-14; do
+    if command -v "${cand}" >/dev/null 2>&1; then
+      CLANGXX="${cand}"
+      break
+    fi
+  done
+fi
+if [[ -z "${CLANGXX}" ]]; then
+  echo "negative-compile: no clang++ on PATH — skipping (thread-safety" \
+       "analysis is Clang-only)"
+  exit 77
+fi
+
+rm -rf "${WORK_DIR}"
+cmake -S "${REPO_ROOT}/tests/negative_compile" -B "${WORK_DIR}" \
+  -DCMAKE_CXX_COMPILER="${CLANGXX}" \
+  -DPP_REPO_SRC="${REPO_ROOT}/src"
+
+echo "negative-compile: OK (${CLANGXX})"

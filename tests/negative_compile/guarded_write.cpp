@@ -1,0 +1,27 @@
+// Control TU for the thread-safety negative-compile check: the correctly
+// guarded write MUST compile under -Werror=thread-safety. Kept structurally
+// identical to unguarded_write.cpp except for the MutexLock, so the only
+// thing the pair can disagree on is the lock discipline itself.
+#include "util/mutex.hpp"
+
+namespace {
+
+class Counter {
+ public:
+  void bump() {
+    pp::MutexLock lock(mu_);
+    ++value_;
+  }
+
+ private:
+  pp::Mutex mu_;
+  int value_ PP_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter counter;
+  counter.bump();
+  return 0;
+}

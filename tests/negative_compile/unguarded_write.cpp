@@ -1,0 +1,25 @@
+// Negative TU for the thread-safety check: writing a PP_GUARDED_BY member
+// without holding its mutex MUST be rejected by -Werror=thread-safety.
+// Structurally identical to guarded_write.cpp minus the MutexLock.
+#include "util/mutex.hpp"
+
+namespace {
+
+class Counter {
+ public:
+  void bump() {
+    ++value_;  // no lock: the analysis must refuse to compile this
+  }
+
+ private:
+  pp::Mutex mu_;
+  int value_ PP_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter counter;
+  counter.bump();
+  return 0;
+}
