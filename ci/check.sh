@@ -11,14 +11,15 @@
 #   ci/check.sh --lint [build-dir]          # clang-tidy over src/ via the
 #                                           # compile db (skips if absent)
 #
-# Tiered fail-fast ordering in every lane: unit → quant → online → serving
-# (→ stress). The fast kernel/model tiers run (and can fail) first; the
-# online continual-learning tier gates the serving integration tier. The
-# stress tier is selected with an explicit -L '^stress$' — the tier
-# partition being total (every test exactly one tier label) is itself
-# asserted by the tier_labels_check test in the unit tier. The TSan lane
-# additionally runs the stress tier: that is where the threaded serving
-# replays and the online-update daemon races live.
+# Tiered fail-fast ordering in every lane: unit → quant → online →
+# persist → serving (→ stress). The fast kernel/model tiers run (and can
+# fail) first; the online continual-learning tier gates the durable-state
+# (persist) tier, which gates the serving integration tier. The stress
+# tier is selected with an explicit -L '^stress$' — the tier partition
+# being total (every test exactly one tier label) is itself asserted by
+# the tier_labels_check test in the unit tier. The TSan lane additionally
+# runs the stress tier: that is where the threaded serving replays and
+# the online-update daemon races live.
 set -euo pipefail
 
 REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -198,6 +199,7 @@ if [[ "${SANITIZE}" == asan || "${SANITIZE}" == address ]]; then
 fi
 
 run_tier '^online$' "online"
+run_tier '^persist$' "persist (durable state)"
 run_tier '^serving$' "serving"
 if [[ "${RUN_STRESS}" == 1 ]]; then
   run_tier '^stress$' "stress"

@@ -1,14 +1,12 @@
 #include "online/online_learner.hpp"
 
-#include <cerrno>
 #include <cmath>
-#include <cstdio>
 #include <limits>
 #include <numeric>
 #include <stdexcept>
-#include <system_error>
 
 #include "eval/metrics.hpp"
+#include "storage/durable_io.hpp"
 
 namespace pp::online {
 
@@ -21,7 +19,10 @@ std::vector<std::size_t> all_users(const data::Dataset& dataset) {
 }
 
 constexpr std::uint32_t kCheckpointMagic = 0x5050434bu;  // "KCPP" LE
-constexpr std::uint32_t kCheckpointVersion = 1;
+// v2: the trainer's RNG cursors (minibatch shuffle + per-replica dropout)
+// ride along with the Adam state, so a resumed learner draws the same
+// minibatch orders an uninterrupted run would.
+constexpr std::uint32_t kCheckpointVersion = 2;
 
 }  // namespace
 
@@ -194,21 +195,19 @@ void OnlineLearner::save_checkpoint(const std::string& path) const {
   writer.write_u64(static_cast<std::uint64_t>(kCheckpointVersion) << 32 |
                    kCheckpointMagic);
   save_state(writer);
-  // Write beside the target and rename into place: rename(2) is atomic on
-  // POSIX, so a reader (or a restart after a kill) only ever sees either
-  // the previous complete checkpoint or the new complete one.
-  const std::string tmp = path + ".tmp";
-  writer.save_file(tmp);
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    // system_category().message() rather than strerror(): the latter
-    // returns a static buffer another thread may be overwriting.
-    throw std::runtime_error("OnlineLearner: checkpoint rename failed: " +
-                             path + ": " +
-                             std::system_category().message(errno));
-  }
+  // tmp + fsync + rename + parent-dir fsync, with the tmp unlinked on any
+  // failure. The old inline rename here neither fsynced the tmp before the
+  // rename (a crash soon after could surface an empty checkpoint: the
+  // rename journals before the data blocks land) nor cleaned up the tmp
+  // when the rename failed.
+  storage::durable_write_file(path, writer.bytes().data(),
+                              writer.bytes().size());
 }
 
 bool OnlineLearner::load_checkpoint(const std::string& path) {
+  // A leftover <path>.tmp is a checkpoint whose write was interrupted
+  // before the rename — garbage by construction, never to be loaded.
+  storage::discard_stale_tmp(path);
   BinaryReader reader({});
   if (!BinaryReader::try_from_file(path, &reader)) {
     return false;  // fresh start — no checkpoint written yet

@@ -4,6 +4,10 @@
 #include <limits>
 #include <stdexcept>
 
+#include "storage/durable_kv_store.hpp"
+#include "storage/durable_io.hpp"
+#include "storage/replay_journal.hpp"
+
 namespace pp::serving {
 
 namespace {
@@ -63,14 +67,16 @@ OnlineExperimentResult run_online_experiment(
   // ever sees what production would see — joined (context, access) records
   // delayed by window + grace — and every publish passes the prequential
   // gate inside run_update_round.
-  std::unique_ptr<LocalKvStore> online_kv;
+  std::unique_ptr<KvStore> online_kv;
   std::unique_ptr<HiddenStateStore> online_store;
   std::unique_ptr<online::ModelRegistry> registry;
   std::unique_ptr<online::OnlineLearner> learner;
+  std::unique_ptr<storage::ReplayJournal> journal;
   std::unique_ptr<online::OnlineUpdateDaemon> daemon;
   std::unique_ptr<RnnPolicy> online_policy;
   std::unique_ptr<PrecomputeService> online_service;
   bool resumed_from_checkpoint = false;
+  std::size_t replayed_journal_sessions = 0;
   std::int64_t next_update = 0;
   if (config.online_rnn_arm) {
     if (config.online_update_period <= 0) {
@@ -78,7 +84,19 @@ OnlineExperimentResult run_online_experiment(
           "run_online_experiment: online_update_period must be positive "
           "(the update schedule advances by it)");
     }
-    online_kv = std::make_unique<LocalKvStore>();
+    if (config.durable_state_dir.empty()) {
+      online_kv = std::make_unique<LocalKvStore>();
+    } else {
+      // Durable tier: hidden states land in the crash-safe segment-log
+      // store instead of the in-memory map. The stored bytes are the same
+      // codec payloads either way, so the arm's behaviour is identical —
+      // until the process is killed, at which point only this variant can
+      // reopen and continue.
+      storage::ensure_dir(config.durable_state_dir);
+      storage::DurableKvConfig kv_config;
+      kv_config.dir = config.durable_state_dir + "/kv";
+      online_kv = std::make_unique<storage::DurableKvStore>(kv_config);
+    }
     online_store =
         std::make_unique<HiddenStateStore>(*online_kv, config.rnn_codec);
     // clone() never carries int8 replicas, so the replica policy must be
@@ -94,6 +112,29 @@ OnlineExperimentResult run_online_experiment(
       // moments + step count) exactly where a killed process left it.
       resumed_from_checkpoint =
           learner->load_checkpoint(config.learner_checkpoint);
+    }
+    if (!config.durable_state_dir.empty()) {
+      // Rebuild the replay buffer by re-feeding the journaled stream
+      // through observe(): add() is deterministic in (config, stream), so
+      // the buffer — retained sessions, eviction counters, reservoir RNG
+      // cursor — comes back bit-identical to the pre-kill state.
+      storage::ReplayJournalConfig journal_config;
+      journal_config.dir = config.durable_state_dir + "/replay";
+      online::OnlineLearner* feed = learner.get();
+      journal = std::make_unique<storage::ReplayJournal>(
+          journal_config,
+          [feed](std::uint64_t user_id, std::int64_t session_start,
+                 const std::array<std::uint32_t, data::kMaxContextFields>&
+                     context,
+                 bool access) {
+            JoinedSession joined;
+            joined.user_id = user_id;
+            joined.session_start = session_start;
+            joined.context = context;
+            joined.access = access;
+            feed->observe(joined);
+          });
+      replayed_journal_sessions = journal->stats().replayed;
     }
     if (config.use_update_daemon) {
       online::OnlineUpdateDaemonConfig daemon_config;
@@ -116,8 +157,17 @@ OnlineExperimentResult run_online_experiment(
         *online_policy, config.rnn_threshold, cohort.session_length,
         config.grace, cohort.start_time);
     online::OnlineLearner* feed = learner.get();
+    storage::ReplayJournal* journal_ptr = journal.get();
     online_service->set_completion_listener(
-        [feed](const JoinedSession& joined) { feed->observe(joined); });
+        [feed, journal_ptr](const JoinedSession& joined) {
+          if (journal_ptr != nullptr) {
+            // Journal first: a kill between the two re-observes the
+            // session on reopen instead of losing it.
+            journal_ptr->append(joined.user_id, joined.session_start,
+                                joined.context, joined.access);
+          }
+          feed->observe(joined);
+        });
     if (!stream.empty()) {
       next_update = stream.front().t + config.online_update_period;
     }
@@ -174,7 +224,13 @@ OnlineExperimentResult run_online_experiment(
     result.learner = learner->stats();
     result.registry = registry->stats();
     result.resumed_from_checkpoint = resumed_from_checkpoint;
+    result.replayed_journal_sessions = replayed_journal_sessions;
     result.online_versions = registry->current_version();
+    if (journal != nullptr) journal->flush();
+    if (auto* durable = dynamic_cast<storage::DurableKvStore*>(online_kv.get());
+        durable != nullptr) {
+      durable->flush();
+    }
   }
   return result;
 }

@@ -41,6 +41,9 @@ struct OnlineExperimentResult {
   online::OnlineUpdateDaemonStats daemon;
   /// Whether learner_checkpoint existed and was restored before replay.
   bool resumed_from_checkpoint = false;
+  /// Sessions replayed out of the durable journal into the learner's
+  /// buffer before the stream started (durable_state_dir only).
+  std::size_t replayed_journal_sessions = 0;
   /// Final published version of the online arm (1 = never republished).
   std::uint64_t online_versions = 0;
   std::size_t sessions = 0;
@@ -71,6 +74,15 @@ struct OnlineExperimentConfig {
   /// a final checkpoint after the replay — so a killed process resumes its
   /// Adam state bit-identically.
   std::string learner_checkpoint;
+  /// When non-empty (online_rnn_arm only): back the online arm's serving
+  /// state with the durable tier under this directory — hidden states in a
+  /// crash-safe DurableKvStore at <dir>/kv, the replay buffer's observed
+  /// stream journaled at <dir>/replay and replayed into the learner on
+  /// open. Together with learner_checkpoint this makes the whole arm
+  /// kill-and-resume: a process killed mid-replay reopens the directory
+  /// and continues with decisions, cost ledger, and learner rounds
+  /// bit-identical to an uninterrupted run.
+  std::string durable_state_dir;
 };
 
 /// Replays the selected users' sessions (time-ordered across users)

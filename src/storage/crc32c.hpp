@@ -1,0 +1,20 @@
+// CRC-32C (Castagnoli, reflected polynomial 0x82F63B78) — the record
+// checksum of the segment-log framing (segment_log.hpp). Chosen over
+// CRC-32 (IEEE) for its better error-detection properties on short
+// records and because it is what the storage systems we crib idioms from
+// (ClickHouse MergeTree parts, LevelDB/RocksDB logs) frame records with,
+// so on-disk tooling conventions carry over.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace pp::storage {
+
+/// One-shot or incremental CRC-32C. Chains: crc32c(b, nb, crc32c(a, na))
+/// equals crc32c over the concatenation a||b. Table-driven software
+/// implementation — framing checksums are a rounding error next to the
+/// fsyncs on the same path, so no SSE4.2 dispatch is warranted.
+std::uint32_t crc32c(const void* data, std::size_t n, std::uint32_t seed = 0);
+
+}  // namespace pp::storage

@@ -1,0 +1,96 @@
+#include "storage/durable_io.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdint>
+#include <cstdio>
+#include <stdexcept>
+#include <system_error>
+
+namespace pp::storage {
+
+namespace {
+
+// system_category().message() rather than strerror(): the latter returns a
+// static buffer another thread may be overwriting (the same rule the
+// checkpoint error path follows).
+[[noreturn]] void fail(const char* stage, const std::string& path, int err) {
+  throw std::runtime_error(std::string("durable write: ") + stage +
+                           " failed: " + path + ": " +
+                           std::system_category().message(err));
+}
+
+}  // namespace
+
+std::string parent_dir(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+void fsync_path(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) fail("open for fsync", path, errno);
+  if (::fsync(fd) != 0) {
+    const int err = errno;
+    ::close(fd);
+    fail("fsync", path, err);
+  }
+  ::close(fd);
+}
+
+void ensure_dir(const std::string& dir) {
+  if (::mkdir(dir.c_str(), 0755) == 0 || errno == EEXIST) return;
+  fail("mkdir", dir, errno);
+}
+
+void durable_write_file(const std::string& path, const void* data,
+                        std::size_t size) {
+  const std::string tmp = path + ".tmp";
+  const int fd =
+      ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) fail("open", tmp, errno);
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  std::size_t done = 0;
+  while (done < size) {
+    const ssize_t n = ::write(fd, p + done, size - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const int err = errno;
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      fail("write", tmp, err);
+    }
+    done += static_cast<std::size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    const int err = errno;
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    fail("fsync", tmp, err);
+  }
+  if (::close(fd) != 0) {
+    const int err = errno;
+    ::unlink(tmp.c_str());
+    fail("close", tmp, err);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    const int err = errno;
+    ::unlink(tmp.c_str());
+    fail("rename", path, err);
+  }
+  // Make the rename itself durable: without this, a power loss can roll
+  // the directory entry back to the previous file even though the data
+  // blocks of the new one hit disk.
+  fsync_path(parent_dir(path));
+}
+
+bool discard_stale_tmp(const std::string& path) {
+  return ::unlink((path + ".tmp").c_str()) == 0;
+}
+
+}  // namespace pp::storage

@@ -1,0 +1,44 @@
+// The durable-write idiom, factored out of the learner checkpoint path and
+// shared by everything in the durable state tier (segment manifests,
+// checkpoints): write `<path>.tmp`, fsync the file, rename(2) over `path`,
+// fsync the parent directory so the rename itself survives a power loss.
+// rename is atomic on POSIX, so a reader — or a restart after a kill at
+// any instruction of this sequence — only ever observes either the
+// previous complete file or the new complete one, never a torn mix.
+//
+// The old checkpoint code renamed without either fsync: a crash shortly
+// after rename could surface an empty or partial file (the rename was
+// journaled before the data blocks were), and a failed rename leaked the
+// tmp. Both are fixed here, once, for every caller.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace pp::storage {
+
+/// Parent directory of `path` ("." when path carries no slash).
+std::string parent_dir(const std::string& path);
+
+/// fsyncs a file or directory by path (O_RDONLY open + fsync). Throws
+/// std::runtime_error on failure.
+void fsync_path(const std::string& path);
+
+/// Creates `dir` if missing (single level; EEXIST is success). Throws on
+/// any other failure.
+void ensure_dir(const std::string& dir);
+
+/// Atomically and durably replaces `path` with `size` bytes at `data`
+/// via the tmp+fsync+rename+dir-fsync sequence above. On any failure the
+/// tmp file is unlinked and a std::runtime_error naming the failing stage
+/// is thrown; `path` itself is never left torn.
+void durable_write_file(const std::string& path, const void* data,
+                        std::size_t size);
+
+/// Removes a stale `<path>.tmp` left behind by a crash between the tmp
+/// write and the rename. Such a file is garbage by construction (had the
+/// rename happened it would not exist) and must never be loaded as if it
+/// were `path`. Returns true when a file was actually removed.
+bool discard_stale_tmp(const std::string& path);
+
+}  // namespace pp::storage

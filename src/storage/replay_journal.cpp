@@ -1,0 +1,90 @@
+#include "storage/replay_journal.hpp"
+
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "util/serialize.hpp"
+
+namespace pp::storage {
+
+namespace {
+
+constexpr std::size_t kRecordValueBytes =
+    sizeof(std::uint64_t) + sizeof(std::int64_t) +
+    data::kMaxContextFields * sizeof(std::uint32_t) + sizeof(std::uint8_t);
+
+}  // namespace
+
+ReplayJournal::ReplayJournal(ReplayJournalConfig config,
+                             const ReplayFn& on_session)
+    : log_(SegmentLogConfig{std::move(config.dir), config.segment_bytes,
+                            config.fsync_every_append}) {
+  MutexLock lock(mutex_);
+  log_.open([this, &on_session](std::string_view key,
+                                std::span<const std::uint8_t> value,
+                                std::uint32_t flags,
+                                const RecordLocation& loc) {
+    (void)key;
+    (void)flags;
+    (void)loc;
+    // Synchronous callback from log_.open() on this thread, which holds
+    // mutex_ — invisible to the analysis across the std::function boundary.
+    mutex_.assert_held();
+    BinaryReader reader(std::vector<std::uint8_t>(value.begin(), value.end()));
+    std::uint64_t user_id = 0;
+    std::int64_t session_start = 0;
+    std::array<std::uint32_t, data::kMaxContextFields> context{};
+    bool access = false;
+    try {
+      user_id = reader.read_u64();
+      session_start = reader.read_i64();
+      for (auto& c : context) c = reader.read_u32();
+      access = reader.read_pod<std::uint8_t>() != 0;
+      if (!reader.at_end()) {
+        throw std::runtime_error("ReplayJournal: trailing bytes in record");
+      }
+    } catch (const std::runtime_error&) {
+      // CRC-valid but undecodable (format drift): count and skip — a
+      // journal replay must degrade, never crash the reopen.
+      ++decode_rejects_;
+      return;
+    }
+    ++replayed_;
+    on_session(user_id, session_start, context, access);
+  });
+}
+
+void ReplayJournal::append(
+    std::uint64_t user_id, std::int64_t session_start,
+    const std::array<std::uint32_t, data::kMaxContextFields>& context,
+    bool access) {
+  BinaryWriter writer;
+  writer.reserve(kRecordValueBytes);
+  writer.write_u64(user_id);
+  writer.write_i64(session_start);
+  for (const std::uint32_t c : context) writer.write_u32(c);
+  writer.write_pod<std::uint8_t>(access ? 1 : 0);
+  MutexLock lock(mutex_);
+  log_.append({}, writer.bytes(), 0);
+  ++appended_;
+}
+
+void ReplayJournal::flush() {
+  MutexLock lock(mutex_);
+  log_.sync();
+}
+
+ReplayJournalStats ReplayJournal::stats() const {
+  MutexLock lock(mutex_);
+  const SegmentLogStats& ls = log_.stats();
+  ReplayJournalStats s;
+  s.appended = appended_;
+  s.replayed = replayed_;
+  s.decode_rejects = decode_rejects_;
+  s.torn_bytes_dropped = ls.torn_bytes_dropped;
+  s.crc_rejects = ls.crc_rejects;
+  return s;
+}
+
+}  // namespace pp::storage

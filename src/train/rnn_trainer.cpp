@@ -4,6 +4,8 @@
 #include <cmath>
 #include <cstring>
 #include <numeric>
+#include <stdexcept>
+#include <string>
 
 #include "autograd/ops.hpp"
 #include "nn/optimizer.hpp"
@@ -316,12 +318,47 @@ std::size_t RnnTrainer::optimizer_steps() const {
   return impl_->optimizer.step_count();
 }
 
+namespace {
+
+void write_rng(BinaryWriter& writer, const Rng& rng) {
+  const Rng::State s = rng.state();
+  for (const std::uint64_t w : s.words) writer.write_u64(w);
+  writer.write_f64(s.cached);
+  writer.write_pod<std::uint8_t>(s.has_cached ? 1 : 0);
+}
+
+void read_rng(BinaryReader& reader, Rng& rng) {
+  Rng::State s;
+  for (auto& w : s.words) w = reader.read_u64();
+  s.cached = reader.read_f64();
+  s.has_cached = reader.read_pod<std::uint8_t>() != 0;
+  rng.restore(s);
+}
+
+}  // namespace
+
 void RnnTrainer::serialize_optimizer(BinaryWriter& writer) const {
   impl_->optimizer.serialize(writer);
+  // The shuffle and per-replica dropout cursors are training state too: a
+  // trainer restored without them re-draws minibatch orders from the seed,
+  // so a resumed run would silently diverge from the uninterrupted one.
+  write_rng(writer, impl_->shuffle_rng);
+  writer.write_u64(impl_->replica_rngs.size());
+  for (const Rng& rng : impl_->replica_rngs) write_rng(writer, rng);
 }
 
 void RnnTrainer::deserialize_optimizer(BinaryReader& reader) {
   impl_->optimizer.deserialize(reader);
+  read_rng(reader, impl_->shuffle_rng);
+  if (const std::uint64_t n = reader.read_u64();
+      n != impl_->replica_rngs.size()) {
+    throw std::runtime_error(
+        "RnnTrainer: checkpoint carries " + std::to_string(n) +
+        " replica RNG streams but this trainer has " +
+        std::to_string(impl_->replica_rngs.size()) +
+        " (strategy/thread-count mismatch)");
+  }
+  for (Rng& rng : impl_->replica_rngs) read_rng(reader, rng);
 }
 
 TrainingCurve RnnTrainer::fit(const data::Dataset& dataset,

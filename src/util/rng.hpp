@@ -159,6 +159,22 @@ class Rng {
   /// Derive an independent generator (e.g. one per user) from this one.
   Rng fork() noexcept { return Rng((*this)()); }
 
+  /// Raw generator state (xoshiro words + the Box-Muller cache) for
+  /// checkpointing: a restored generator resumes its stream exactly where
+  /// the snapshot stood, which bit-identical kill/resume paths require —
+  /// reseeding only rewinds to the start of the stream.
+  struct State {
+    std::array<std::uint64_t, 4> words{};
+    double cached = 0;
+    bool has_cached = false;
+  };
+  State state() const noexcept { return {state_, cached_, has_cached_}; }
+  void restore(const State& s) noexcept {
+    state_ = s.words;
+    cached_ = s.cached;
+    has_cached_ = s.has_cached;
+  }
+
  private:
   static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
     return (x << k) | (x >> (64 - k));

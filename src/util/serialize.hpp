@@ -4,6 +4,7 @@
 
 #include <cstdint>
 #include <cstring>
+#include <limits>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -102,8 +103,15 @@ class BinaryReader {
   std::vector<T> read_vector() {
     static_assert(std::is_trivially_copyable_v<T>);
     const std::uint64_t n = read_u64();
+    // The element count comes off the wire, so n * sizeof(T) must be
+    // checked for wraparound before it reaches require(): a corrupt n near
+    // 2^64 / sizeof(T) would otherwise pass the bounds check with a tiny
+    // wrapped product and memcpy far out of bounds.
+    if (n > std::numeric_limits<std::uint64_t>::max() / sizeof(T)) {
+      throw std::runtime_error("BinaryReader: length field overflows");
+    }
     require(n * sizeof(T));
-    std::vector<T> v(n);
+    std::vector<T> v(static_cast<std::size_t>(n));
     std::memcpy(v.data(), bytes_.data() + pos_, n * sizeof(T));
     pos_ += n * sizeof(T);
     return v;
@@ -121,7 +129,13 @@ class BinaryReader {
 
  private:
   void require(std::uint64_t n) const {
-    if (pos_ + n > bytes_.size()) {
+    // pos_ <= bytes_.size() is a class invariant, so the subtraction
+    // cannot wrap — unlike the obvious `pos_ + n > size()`, which a
+    // corrupt 64-bit length field near 2^64 overflows right past the
+    // check and into an out-of-bounds memcpy. Deserialization reads
+    // hostile bytes by design (torn segment tails, bit-flipped records),
+    // so the inequality must be overflow-proof, not just usually right.
+    if (n > bytes_.size() - pos_) {
       throw std::runtime_error("BinaryReader: truncated input");
     }
   }

@@ -303,17 +303,20 @@ TEST(OnlineUpdateDaemon, CheckpointRenameFailureIsCountedNotFatal) {
   OnlineLearner learner(registry, cohort, learner_config);
   feed_cohort(learner, cohort);
 
-  // Direct call: a std::runtime_error naming the path, with the errno
-  // text formatted thread-safely (std::system_category().message, not
-  // strerror's shared static buffer).
+  // Direct call: a std::runtime_error naming the failing stage and path,
+  // with the errno text formatted thread-safely
+  // (std::system_category().message, not strerror's shared static buffer).
+  // The durable-write helper also unlinks the tmp on failure — a failed
+  // checkpoint must not litter the directory with stale .tmp files.
   try {
     learner.save_checkpoint(dir_path);
     FAIL() << "save_checkpoint onto a directory should throw";
   } catch (const std::runtime_error& e) {
     const std::string what = e.what();
-    EXPECT_NE(what.find("checkpoint rename failed"), std::string::npos);
+    EXPECT_NE(what.find("rename failed"), std::string::npos);
     EXPECT_NE(what.find(dir_path), std::string::npos);
   }
+  EXPECT_FALSE(std::filesystem::exists(dir_path + ".tmp"));
 
   // Through the daemon: the throw is folded into the stats ledger and
   // the update loop stays alive — rounds keep running and reporting.
@@ -332,6 +335,50 @@ TEST(OnlineUpdateDaemon, CheckpointRenameFailureIsCountedNotFatal) {
 
   std::filesystem::remove_all(dir_path);
   std::filesystem::remove(dir_path + ".tmp");
+}
+
+TEST(OnlineUpdateDaemon, StaleCheckpointTmpIsNeverLoadedAndCleanedUp) {
+  // A crash between the tmp write and the rename leaves <path>.tmp on
+  // disk. That file is garbage by construction (a completed write would
+  // have renamed it away): load_checkpoint must ignore it — loading the
+  // real checkpoint if one exists, reporting a fresh start otherwise —
+  // and remove it so it cannot shadow anything later.
+  const data::Dataset cohort = drift_cohort(8, 3, 1000, 1);
+  const std::string path = temp_path("pp_stale_tmp_ckpt_test.bin");
+  std::filesystem::remove(path);
+  std::filesystem::remove(path + ".tmp");
+
+  ModelRegistry registry(trained_drift_model());
+  OnlineLearnerConfig learner_config;
+  learner_config.min_train_sessions = 10;
+  learner_config.min_holdout_predictions = 5;
+  OnlineLearner learner(registry, cohort, learner_config);
+  feed_cohort(learner, cohort);
+  learner.save_checkpoint(path);
+
+  // Interrupted re-checkpoint: a half-written tmp beside a good file.
+  BinaryWriter torn;
+  torn.reserve(16);
+  torn.write_u64(0xfeedfacefeedfaceull);  // would throw if ever parsed
+  torn.save_file(path + ".tmp");
+
+  ModelRegistry registry2(trained_drift_model());
+  OnlineLearner restored(registry2, cohort, learner_config);
+  EXPECT_TRUE(restored.load_checkpoint(path));  // the good file, not tmp
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+  BinaryWriter killed_state, restored_state;
+  learner.save_state(killed_state);
+  restored.save_state(restored_state);
+  EXPECT_EQ(killed_state.bytes(), restored_state.bytes());
+
+  // Interrupted FIRST checkpoint: only a tmp, no real file. Fresh start,
+  // not an attempt to parse the leftovers.
+  std::filesystem::remove(path);
+  torn.save_file(path + ".tmp");
+  ModelRegistry registry3(trained_drift_model());
+  OnlineLearner fresh(registry3, cohort, learner_config);
+  EXPECT_FALSE(fresh.load_checkpoint(path));
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
 }
 
 TEST(OnlineUpdateDaemon, StatsAndRunningStayReadableDuringRounds) {

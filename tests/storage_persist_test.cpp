@@ -1,0 +1,419 @@
+// The `persist` tier, acceptance half: kill the online-RNN serving arm
+// mid-stream, reopen the durable state directory, resume — and prove the
+// resumed run is BIT-IDENTICAL to an uninterrupted one. "Bit-identical"
+// is literal: every precompute decision, every cost-ledger counter, every
+// learner round report, the learner's serialized training state, and the
+// raw per-user hidden-state bytes in the KV store.
+//
+// The harness drives the durable arm manually (service + registry +
+// learner + journal + checkpoint) on an ABSOLUTE event-time update
+// schedule, so the round boundaries land at the same timestamps whether
+// the stream is played whole or split at the kill point. The kill is a
+// destructor with no flush — exactly the on-disk state a SIGKILL leaves
+// for a same-system reopen (page cache makes unsynced appends visible;
+// power-loss durability is flush()'s contract, covered in storage_test).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <filesystem>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "features/examples.hpp"
+#include "models/gbdt_model.hpp"
+#include "models/rnn_model.hpp"
+#include "online/model_registry.hpp"
+#include "online/online_learner.hpp"
+#include "online_test_util.hpp"
+#include "serving/hidden_store.hpp"
+#include "serving/online_experiment.hpp"
+#include "serving/precompute_service.hpp"
+#include "storage/durable_io.hpp"
+#include "storage/durable_kv_store.hpp"
+#include "storage/replay_journal.hpp"
+#include "util/serialize.hpp"
+
+namespace pp::storage {
+namespace {
+
+using online::testutil::all_users;
+using online::testutil::drift_cohort;
+using online::testutil::small_rnn_config;
+using online::testutil::trained_drift_model;
+
+struct TempDir {
+  std::string path;
+  explicit TempDir(const std::string& name)
+      : path((std::filesystem::temp_directory_path() / ("pp_persist_" + name))
+                 .string()) {
+    std::filesystem::remove_all(path);
+    std::filesystem::create_directories(path);
+  }
+  ~TempDir() {
+    if (::testing::Test::HasFailure()) return;
+    std::error_code ec;
+    std::filesystem::remove_all(path, ec);
+  }
+  std::string sub(const std::string& name) const { return path + "/" + name; }
+};
+
+/// One session-start event of the merged stream, with its deterministic
+/// session id (position in the time-sorted stream).
+struct Item {
+  std::int64_t t = 0;
+  std::uint64_t uid = 0;
+  const data::Session* session = nullptr;
+  std::uint64_t id = 0;
+};
+
+std::vector<Item> merged_stream(const data::Dataset& cohort) {
+  std::vector<Item> items;
+  for (const auto& user : cohort.users) {
+    for (const auto& s : user.sessions) {
+      items.push_back({s.timestamp, user.user_id, &s, 0});
+    }
+  }
+  // Total order (timestamps, then the unique user id) so the stream — and
+  // with it every session id — is identical across runs.
+  std::sort(items.begin(), items.end(), [](const Item& a, const Item& b) {
+    return a.t != b.t ? a.t < b.t : a.uid < b.uid;
+  });
+  for (std::size_t i = 0; i < items.size(); ++i) items[i].id = i + 1;
+  return items;
+}
+
+/// OnlineUpdateReport minus the registry version: a resumed registry
+/// restarts version numbering at its seed, so versions are process-local
+/// while everything else in the report must be bit-identical.
+struct RoundRecord {
+  bool ran = false;
+  bool published = false;
+  bool rolled_back = false;
+  double candidate_pr_auc = 0;
+  double published_pr_auc = 0;
+  std::size_t train_sessions = 0;
+  std::size_t holdout_predictions = 0;
+
+  bool operator==(const RoundRecord&) const = default;
+};
+
+RoundRecord strip(const online::OnlineUpdateReport& report) {
+  return {report.ran,
+          report.published,
+          report.rolled_back,
+          report.candidate_pr_auc,
+          report.published_pr_auc,
+          report.train_sessions,
+          report.holdout_predictions};
+}
+
+/// The durable online-RNN arm: everything a process would hold in memory,
+/// constructed from (and resumable out of) one state directory.
+/// Member order is destruction order in reverse — the service goes first
+/// so nothing feeds the journal while the log closes.
+struct Arm {
+  std::string dir;
+  std::unique_ptr<DurableKvStore> kv;
+  std::unique_ptr<serving::HiddenStateStore> store;
+  std::unique_ptr<online::ModelRegistry> registry;
+  std::unique_ptr<online::OnlineLearner> learner;
+  std::unique_ptr<ReplayJournal> journal;
+  std::unique_ptr<serving::RnnPolicy> policy;
+  std::unique_ptr<serving::PrecomputeService> service;
+  bool resumed_checkpoint = false;
+
+  Arm(std::string state_dir, const data::Dataset& cohort,
+      const models::RnnModel& seed,
+      const online::OnlineLearnerConfig& learner_config)
+      : dir(std::move(state_dir)) {
+    ensure_dir(dir);
+    DurableKvConfig kv_config;
+    kv_config.dir = dir + "/kv";
+    kv = std::make_unique<DurableKvStore>(kv_config);
+    store = std::make_unique<serving::HiddenStateStore>(
+        *kv, serving::StateCodec::kFloat32);
+    // The registry reseeds from the last PUBLISHED weights: the learner
+    // checkpoint carries only the shadow/Adam state, so published models
+    // are persisted separately (model.bin, written at each publish).
+    std::shared_ptr<models::RnnModel> model(seed.clone());
+    if (std::filesystem::exists(dir + "/model.bin")) {
+      model->load(dir + "/model.bin");
+    }
+    registry = std::make_unique<online::ModelRegistry>(std::move(model));
+    learner = std::make_unique<online::OnlineLearner>(*registry, cohort,
+                                                      learner_config);
+    resumed_checkpoint = learner->load_checkpoint(dir + "/checkpoint.bin");
+    online::OnlineLearner* feed = learner.get();
+    ReplayJournalConfig journal_config;
+    journal_config.dir = dir + "/replay";
+    journal = std::make_unique<ReplayJournal>(
+        journal_config,
+        [feed](std::uint64_t user_id, std::int64_t session_start,
+               const std::array<std::uint32_t, data::kMaxContextFields>&
+                   context,
+               bool access) {
+          serving::JoinedSession joined;
+          joined.user_id = user_id;
+          joined.session_start = session_start;
+          joined.context = context;
+          joined.access = access;
+          feed->observe(joined);
+        });
+    policy = std::make_unique<serving::RnnPolicy>(*registry, *store);
+    service = std::make_unique<serving::PrecomputeService>(
+        *policy, /*threshold=*/0.5, cohort.session_length, /*grace=*/60,
+        cohort.start_time);
+    ReplayJournal* journal_ptr = journal.get();
+    service->set_completion_listener(
+        [feed, journal_ptr](const serving::JoinedSession& joined) {
+          journal_ptr->append(joined.user_id, joined.session_start,
+                              joined.context, joined.access);
+          feed->observe(joined);
+        });
+  }
+};
+
+/// Replays `items` through the arm. The update schedule is absolute: a
+/// round fires at every multiple of `period` the stream crosses, with all
+/// pending join timers advanced to the boundary first — so the learner
+/// sees the identical buffer at each round no matter where the stream was
+/// cut. Decisions and (stripped) round reports are appended to the out
+/// params.
+void drive(Arm& arm, std::span<const Item> items, std::int64_t period,
+           std::int64_t next_update, std::int64_t session_length,
+           std::vector<bool>& decisions, std::vector<RoundRecord>& rounds) {
+  for (const Item& item : items) {
+    while (item.t >= next_update) {
+      arm.service->advance_to(next_update);
+      const online::OnlineUpdateReport report =
+          arm.learner->run_update_round();
+      rounds.push_back(strip(report));
+      if (report.ran) {
+        arm.learner->save_checkpoint(arm.dir + "/checkpoint.bin");
+      }
+      if (report.published) {
+        arm.registry->current()->model->save(arm.dir + "/model.bin");
+      }
+      next_update += period;
+    }
+    decisions.push_back(
+        arm.service->on_session_start(item.id, item.uid, item.t,
+                                      item.session->context));
+    if (item.session->access) {
+      arm.service->on_access(item.id, item.t + session_length / 2);
+    }
+  }
+}
+
+void expect_costs_sum(const serving::ServingCostSummary& full,
+                      const serving::ServingCostSummary& a,
+                      const serving::ServingCostSummary& b) {
+  EXPECT_EQ(full.predictions, a.predictions + b.predictions);
+  EXPECT_EQ(full.state_updates, a.state_updates + b.state_updates);
+  EXPECT_EQ(full.model_flops, a.model_flops + b.model_flops);
+  EXPECT_EQ(full.kv.lookups, a.kv.lookups + b.kv.lookups);
+  EXPECT_EQ(full.kv.hits, a.kv.hits + b.kv.hits);
+  EXPECT_EQ(full.kv.writes, a.kv.writes + b.kv.writes);
+  EXPECT_EQ(full.kv.deletes, a.kv.deletes + b.kv.deletes);
+  EXPECT_EQ(full.kv.bytes_read, a.kv.bytes_read + b.kv.bytes_read);
+  EXPECT_EQ(full.kv.bytes_written, a.kv.bytes_written + b.kv.bytes_written);
+}
+
+void expect_joiner_sum(const serving::JoinerStats& full,
+                       const serving::JoinerStats& a,
+                       const serving::JoinerStats& b) {
+  EXPECT_EQ(full.contexts, a.contexts + b.contexts);
+  EXPECT_EQ(full.accesses, a.accesses + b.accesses);
+  EXPECT_EQ(full.joined, a.joined + b.joined);
+  EXPECT_EQ(full.duplicate_contexts,
+            a.duplicate_contexts + b.duplicate_contexts);
+  EXPECT_EQ(full.duplicate_accesses,
+            a.duplicate_accesses + b.duplicate_accesses);
+  EXPECT_EQ(full.orphan_accesses, a.orphan_accesses + b.orphan_accesses);
+  EXPECT_EQ(full.orphan_drops, a.orphan_drops + b.orphan_drops);
+  EXPECT_EQ(full.late_accesses, a.late_accesses + b.late_accesses);
+}
+
+std::vector<std::uint8_t> learner_state_bytes(
+    const online::OnlineLearner& learner) {
+  BinaryWriter writer;
+  learner.save_state(writer);
+  return writer.take();
+}
+
+TEST(KillResume, ResumedRunIsBitIdenticalToUninterrupted) {
+  // Drift cohort: the access rule inverts at day 2, so the learner MUST
+  // adapt mid-stream — the resumed run only matches the uninterrupted one
+  // if the Adam state, replay buffer, published weights, and per-user
+  // hidden states all came back exactly.
+  const data::Dataset cohort = drift_cohort(6, 5, /*flip_day=*/2, 1);
+  const std::shared_ptr<models::RnnModel> seed = trained_drift_model();
+  online::OnlineLearnerConfig learner_config;
+  learner_config.min_train_sessions = 10;
+  learner_config.min_holdout_predictions = 5;
+
+  const std::vector<Item> items = merged_stream(cohort);
+  const std::int64_t period = 86400;
+  const std::int64_t first_update = cohort.start_time + period;
+  // Cut at a day boundary: every pre-cut session's join timer (start +
+  // 600 + 60) has fired by then, so the kill severs nothing in flight —
+  // the joiner may legitimately lose its volatile pending state.
+  const std::int64_t cut = 3 * 86400;
+  const auto first_after_cut = std::find_if(
+      items.begin(), items.end(),
+      [cut](const Item& item) { return item.t >= cut; });
+  const std::span<const Item> before(items.data(),
+                                     first_after_cut - items.begin());
+  const std::span<const Item> after(&*first_after_cut,
+                                    items.end() - first_after_cut);
+  ASSERT_FALSE(before.empty());
+  ASSERT_FALSE(after.empty());
+
+  TempDir tmp("kill_resume");
+
+  // ---- uninterrupted reference run ----
+  std::vector<bool> full_decisions;
+  std::vector<RoundRecord> full_rounds;
+  serving::ServingCostSummary full_costs;
+  serving::JoinerStats full_joiner;
+  std::vector<std::uint8_t> full_learner_state;
+  std::vector<std::optional<std::vector<std::uint8_t>>> full_state_bytes;
+  std::size_t full_kv_size = 0;
+  {
+    Arm full(tmp.sub("full"), cohort, *seed, learner_config);
+    EXPECT_FALSE(full.resumed_checkpoint);
+    drive(full, items, period, first_update, cohort.session_length,
+          full_decisions, full_rounds);
+    full.service->flush();
+    full_costs = full.policy->cost_summary();
+    full_joiner = full.service->joiner_stats();
+    full_learner_state = learner_state_bytes(*full.learner);
+    for (const auto& user : cohort.users) {
+      full_state_bytes.push_back(
+          full.kv->get("h:" + std::to_string(user.user_id)));
+    }
+    full_kv_size = full.kv->size();
+  }
+
+  // The identity below is only interesting if the stream actually
+  // exercised the machinery: rounds ran on both sides of the cut and at
+  // least one publish rewired the registry before the kill.
+  ASSERT_GT(full_rounds.size(), 2u);
+  std::size_t ran_rounds = 0, publishes = 0;
+  for (const RoundRecord& r : full_rounds) {
+    ran_rounds += r.ran ? 1 : 0;
+    publishes += r.published ? 1 : 0;
+  }
+  EXPECT_GE(ran_rounds, 2u);
+  EXPECT_GE(publishes, 1u);
+
+  // ---- part 1: play to the cut, then kill (no flush, no shutdown) ----
+  const std::string dir = tmp.sub("split");
+  std::vector<bool> split_decisions;
+  std::vector<RoundRecord> split_rounds;
+  serving::ServingCostSummary p1_costs;
+  serving::JoinerStats p1_joiner;
+  {
+    Arm part1(dir, cohort, *seed, learner_config);
+    EXPECT_FALSE(part1.resumed_checkpoint);
+    drive(part1, before, period, first_update, cohort.session_length,
+          split_decisions, split_rounds);
+    // Advance event time to the cut: exactly what the uninterrupted run
+    // does before its cut-boundary round, firing the same timers into the
+    // same journal. Then the process "dies": the Arm destructs with
+    // everything unsynced in the page cache and no clean-shutdown marker.
+    part1.service->advance_to(cut);
+    p1_costs = part1.policy->cost_summary();
+    p1_joiner = part1.service->joiner_stats();
+  }
+
+  // ---- part 2: reopen the same directory and play the rest ----
+  Arm part2(dir, cohort, *seed, learner_config);
+  // The checkpoint written at the last pre-cut round that ran was
+  // restored, and the journal replayed every pre-cut joined session back
+  // into the replay buffer.
+  EXPECT_TRUE(part2.resumed_checkpoint);
+  EXPECT_EQ(part2.journal->stats().replayed, p1_joiner.joined);
+  EXPECT_EQ(part2.journal->stats().decode_rejects, 0u);
+  EXPECT_EQ(part2.kv->durable_stats().crc_rejects, 0u);
+  drive(part2, after, period, cut, cohort.session_length, split_decisions,
+        split_rounds);
+  part2.service->flush();
+
+  // ---- the bit-identity ----
+  EXPECT_EQ(split_decisions, full_decisions);
+  ASSERT_EQ(split_rounds.size(), full_rounds.size());
+  for (std::size_t i = 0; i < full_rounds.size(); ++i) {
+    EXPECT_EQ(split_rounds[i], full_rounds[i]) << "round " << i;
+  }
+  expect_costs_sum(full_costs, p1_costs, part2.policy->cost_summary());
+  expect_joiner_sum(full_joiner, p1_joiner, part2.service->joiner_stats());
+  // Learner training state (shadow weights + Adam moments + step count):
+  // byte-for-byte equal serialized forms.
+  EXPECT_EQ(learner_state_bytes(*part2.learner), full_learner_state);
+  // Hidden-state KV: same live keys, same raw codec bytes per user.
+  EXPECT_EQ(part2.kv->size(), full_kv_size);
+  for (std::size_t u = 0; u < cohort.users.size(); ++u) {
+    const auto bytes =
+        part2.kv->get("h:" + std::to_string(cohort.users[u].user_id));
+    EXPECT_EQ(bytes, full_state_bytes[u]) << "user " << u;
+  }
+}
+
+TEST(KillResume, ExperimentDurableArmResumesAcrossRuns) {
+  // The same wiring through the public run_online_experiment entry point:
+  // durable_state_dir + learner_checkpoint make the online arm resumable.
+  // A second process over the same stream restores the checkpoint and
+  // replays the first run's journal into the buffer before serving.
+  const data::Dataset cohort = drift_cohort(8, 3, /*flip_day=*/1000, 500);
+  const data::Dataset pretrain = drift_cohort(8, 2, /*flip_day=*/1000, 1);
+  TempDir tmp("experiment");
+
+  auto rnn_config = small_rnn_config();
+  rnn_config.epochs = 4;
+  models::RnnModel rnn(pretrain, rnn_config);
+  rnn.fit(pretrain, all_users(pretrain));
+
+  features::FeaturePipeline pipeline(cohort.schema, {},
+                                     features::gbdt_encoding());
+  const auto examples = features::build_session_examples(
+      pretrain, all_users(pretrain), pipeline, 0, 0, 1);
+  models::GbdtModel gbdt;
+  models::GbdtModelConfig gbdt_config;
+  gbdt_config.booster.num_rounds = 3;
+  gbdt_config.depth_search = false;
+  gbdt.fit(examples, examples, gbdt_config);
+
+  serving::OnlineExperimentConfig config;
+  config.online_rnn_arm = true;
+  config.learner_checkpoint = tmp.sub("state") + "/checkpoint.bin";
+  config.durable_state_dir = tmp.sub("state");
+  config.learner.min_train_sessions = 20;
+  config.learner.min_holdout_predictions = 10;
+
+  const serving::OnlineExperimentResult first = serving::run_online_experiment(
+      cohort, all_users(cohort), rnn, gbdt, pipeline, config);
+  EXPECT_FALSE(first.resumed_from_checkpoint);
+  EXPECT_EQ(first.replayed_journal_sessions, 0u);
+  EXPECT_GT(first.rnn_online.joiner.joined, 0u);
+  EXPECT_TRUE(std::filesystem::exists(config.durable_state_dir +
+                                      "/kv/MANIFEST"));
+  EXPECT_TRUE(std::filesystem::exists(config.durable_state_dir +
+                                      "/replay/MANIFEST"));
+
+  const serving::OnlineExperimentResult second =
+      serving::run_online_experiment(cohort, all_users(cohort), rnn, gbdt,
+                                     pipeline, config);
+  EXPECT_TRUE(second.resumed_from_checkpoint);
+  // Everything the first run joined came back out of the journal.
+  EXPECT_EQ(second.replayed_journal_sessions, first.rnn_online.joiner.joined);
+  // The durable arm still served: its ledgers stay populated on resume.
+  EXPECT_EQ(second.rnn_online.predictions, first.rnn_online.predictions);
+}
+
+}  // namespace
+}  // namespace pp::storage

@@ -1,0 +1,713 @@
+// The `persist` tier, component half: the durable state tier's building
+// blocks — CRC-32C, the durable-write idiom, the segment log's recovery
+// sweeps (every-byte truncation, every-byte bit flips), DurableKvStore
+// semantics (LocalKvStore-parity stats, reopen recovery, rotation,
+// compaction, orphan GC), wire compatibility of the hidden-state codecs
+// across store backends, and the ReplayJournal's replay-equivalence
+// guarantee. The end-to-end kill/resume acceptance harness lives in
+// storage_persist_test.cpp.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "online/replay_buffer.hpp"
+#include "online_test_util.hpp"
+#include "serving/hidden_store.hpp"
+#include "serving/kv_store.hpp"
+#include "storage/crc32c.hpp"
+#include "storage/durable_io.hpp"
+#include "storage/durable_kv_store.hpp"
+#include "storage/replay_journal.hpp"
+#include "storage/segment_log.hpp"
+#include "tensor/matrix.hpp"
+#include "util/rng.hpp"
+
+namespace pp::storage {
+namespace {
+
+/// Per-test scratch directory, removed on success and kept for post-mortem
+/// when the test failed (the persist tier's cleanup contract).
+struct TempDir {
+  std::string path;
+  explicit TempDir(const std::string& name)
+      : path((std::filesystem::temp_directory_path() / ("pp_storage_" + name))
+                 .string()) {
+    std::filesystem::remove_all(path);
+    std::filesystem::create_directories(path);
+  }
+  ~TempDir() {
+    if (::testing::Test::HasFailure()) return;
+    std::error_code ec;
+    std::filesystem::remove_all(path, ec);
+  }
+  std::string sub(const std::string& name) const { return path + "/" + name; }
+};
+
+std::vector<std::uint8_t> slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  return std::vector<std::uint8_t>(std::istreambuf_iterator<char>(in),
+                                   std::istreambuf_iterator<char>());
+}
+
+void spit(const std::string& path, const std::vector<std::uint8_t>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  ASSERT_TRUE(out.good()) << path;
+}
+
+std::vector<std::uint8_t> value_of(std::size_t i) {
+  std::vector<std::uint8_t> v((i + 1) * 3);
+  for (std::size_t j = 0; j < v.size(); ++j) {
+    v[j] = static_cast<std::uint8_t>(i * 37 + j);
+  }
+  return v;
+}
+
+// --------------------------------------------------------------- CRC-32C
+
+TEST(Crc32c, KnownAnswer) {
+  // The Castagnoli check value every CRC-32C implementation must produce
+  // (RFC 3720 appendix-level constant).
+  const char data[] = "123456789";
+  EXPECT_EQ(crc32c(data, 9), 0xE3069283u);
+  EXPECT_EQ(crc32c(data, 0), 0x00000000u);
+}
+
+TEST(Crc32c, SeedChainsAcrossSplits) {
+  // crc(a ++ b) == crc(b, seed = crc(a)) — the property the record framing
+  // relies on to checksum header fields and payload in one pass.
+  const std::string text = "the quick brown fox jumps over the lazy dog";
+  const std::uint32_t whole = crc32c(text.data(), text.size());
+  for (std::size_t split = 0; split <= text.size(); ++split) {
+    const std::uint32_t left = crc32c(text.data(), split);
+    EXPECT_EQ(crc32c(text.data() + split, text.size() - split, left), whole);
+  }
+}
+
+// ------------------------------------------------------------- durable_io
+
+TEST(DurableIo, WriteCreatesAndAtomicallyReplaces) {
+  TempDir dir("durable_io");
+  const std::string path = dir.sub("file.bin");
+  const std::string v1 = "first contents";
+  durable_write_file(path, v1.data(), v1.size());
+  EXPECT_EQ(slurp(path), std::vector<std::uint8_t>(v1.begin(), v1.end()));
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+
+  const std::string v2 = "second, longer contents entirely";
+  durable_write_file(path, v2.data(), v2.size());
+  EXPECT_EQ(slurp(path), std::vector<std::uint8_t>(v2.begin(), v2.end()));
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+}
+
+TEST(DurableIo, FailedRenameUnlinksTmpAndKeepsTarget) {
+  TempDir dir("durable_io_fail");
+  // A directory at the target path: the tmp write succeeds, the rename
+  // fails — the error path must name the stage and not leak the tmp.
+  const std::string path = dir.sub("target");
+  std::filesystem::create_directory(path);
+  const std::string data = "doomed";
+  try {
+    durable_write_file(path, data.data(), data.size());
+    FAIL() << "rename onto a directory should throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("rename failed"), std::string::npos);
+  }
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+  EXPECT_TRUE(std::filesystem::is_directory(path));
+}
+
+TEST(DurableIo, DiscardStaleTmp) {
+  TempDir dir("durable_io_tmp");
+  const std::string path = dir.sub("file.bin");
+  EXPECT_FALSE(discard_stale_tmp(path));  // nothing there
+  const std::string junk = "interrupted write";
+  spit(path + ".tmp", std::vector<std::uint8_t>(junk.begin(), junk.end()));
+  EXPECT_TRUE(discard_stale_tmp(path));
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+}
+
+// --------------------------------------------------------- DurableKvStore
+
+TEST(DurableKv, StatsAndSemanticsMirrorLocalKvStore) {
+  // The §9 cost ledgers compare lookup/byte counters across store
+  // backends, so DurableKvStore must account exactly like LocalKvStore:
+  // same hit/write/delete counting, same value_bytes under overwrite.
+  TempDir dir("parity");
+  serving::LocalKvStore local;
+  DurableKvConfig config;
+  config.dir = dir.sub("kv");
+  DurableKvStore durable(config);
+  serving::KvStore* stores[] = {&local, &durable};
+
+  for (serving::KvStore* kv : stores) {
+    kv->put("a", {1, 2, 3});
+    kv->put("b", {4, 5, 6, 7});
+    kv->put("a", {9});                     // overwrite shrinks
+    EXPECT_TRUE(kv->get("a").has_value());  // hit
+    EXPECT_FALSE(kv->get("zz").has_value());  // miss
+    EXPECT_TRUE(kv->erase("b"));
+    EXPECT_FALSE(kv->erase("b"));  // absent: no delete counted
+    EXPECT_TRUE(kv->contains("a"));
+    EXPECT_FALSE(kv->contains("b"));
+  }
+
+  EXPECT_EQ(durable.size(), local.size());
+  EXPECT_EQ(durable.value_bytes(), local.value_bytes());
+  EXPECT_EQ(*durable.get("a"), *local.get("a"));
+  const serving::KvStats ls = local.stats();
+  const serving::KvStats ds = durable.stats();
+  EXPECT_EQ(ds.lookups, ls.lookups);
+  EXPECT_EQ(ds.hits, ls.hits);
+  EXPECT_EQ(ds.writes, ls.writes);
+  EXPECT_EQ(ds.deletes, ls.deletes);
+  EXPECT_EQ(ds.bytes_read, ls.bytes_read);
+  EXPECT_EQ(ds.bytes_written, ls.bytes_written);
+
+  durable.reset_stats();
+  EXPECT_EQ(durable.stats().lookups, 0u);
+  EXPECT_EQ(durable.stats().bytes_written, 0u);
+}
+
+TEST(DurableKv, ReopenRecoversPutsOverwritesAndTombstones) {
+  TempDir dir("reopen");
+  DurableKvConfig config;
+  config.dir = dir.sub("kv");
+  {
+    DurableKvStore kv(config);
+    for (std::size_t i = 0; i < 8; ++i) {
+      kv.put("key" + std::to_string(i), value_of(i));
+    }
+    kv.put("key3", {0xAA, 0xBB});  // overwrite
+    kv.erase("key5");              // tombstone
+    // No flush, no clean close: the destructor only closes fds, so this
+    // is the on-disk state a SIGKILL would leave (modulo the page cache,
+    // which a same-system reopen reads through).
+  }
+  DurableKvStore kv(config);
+  EXPECT_EQ(kv.size(), 7u);
+  for (std::size_t i = 0; i < 8; ++i) {
+    const std::string key = "key" + std::to_string(i);
+    if (i == 5) {
+      EXPECT_FALSE(kv.contains(key));
+    } else if (i == 3) {
+      EXPECT_EQ(*kv.get(key), (std::vector<std::uint8_t>{0xAA, 0xBB}));
+    } else {
+      EXPECT_EQ(*kv.get(key), value_of(i));
+    }
+  }
+  const DurableKvStats ds = kv.durable_stats();
+  EXPECT_EQ(ds.recovered_records, 10u);  // 8 puts + overwrite + tombstone
+  EXPECT_EQ(ds.torn_bytes_dropped, 0u);
+  EXPECT_EQ(ds.crc_rejects, 0u);
+  // The overwritten and erased records (and the tombstone itself) are
+  // dead; everything reachable is live.
+  EXPECT_GT(ds.dead_bytes_sealed + ds.dead_bytes_active, 0u);
+  EXPECT_EQ(ds.live_record_bytes + ds.dead_bytes_sealed + ds.dead_bytes_active,
+            ds.disk_bytes);
+}
+
+TEST(DurableKv, RotationSealsSegmentsAndSurvivesReopen) {
+  TempDir dir("rotate");
+  DurableKvConfig config;
+  config.dir = dir.sub("kv");
+  config.segment_bytes = 256;  // force frequent rotation
+  {
+    DurableKvStore kv(config);
+    for (std::size_t i = 0; i < 40; ++i) {
+      kv.put("key" + std::to_string(i), value_of(i % 10));
+    }
+    EXPECT_GT(kv.durable_stats().segments, 3u);
+    EXPECT_GT(kv.durable_stats().rotations, 2u);
+  }
+  DurableKvStore kv(config);
+  EXPECT_EQ(kv.size(), 40u);
+  for (std::size_t i = 0; i < 40; ++i) {
+    EXPECT_EQ(*kv.get("key" + std::to_string(i)), value_of(i % 10));
+  }
+}
+
+TEST(DurableKv, CompactionReclaimsDeadBytes) {
+  TempDir dir("compact");
+  DurableKvConfig config;
+  config.dir = dir.sub("kv");
+  config.segment_bytes = 512;
+  config.compact_dead_ratio = 0;  // manual compaction only
+  DurableKvStore kv(config);
+  // Hammer a small key set: almost every sealed byte is a dead overwrite.
+  for (std::size_t round = 0; round < 30; ++round) {
+    for (std::size_t i = 0; i < 8; ++i) {
+      kv.put("key" + std::to_string(i), value_of((round + i) % 12));
+    }
+  }
+  kv.erase("key7");
+
+  const DurableKvStats before = kv.durable_stats();
+  ASSERT_GT(before.dead_bytes_sealed, 0u);
+  ASSERT_GT(before.disk_bytes, 2 * before.live_record_bytes)
+      << "setup should leave mostly dead bytes on disk";
+
+  kv.compact();
+
+  const DurableKvStats after = kv.durable_stats();
+  EXPECT_EQ(after.compactions, 1u);
+  EXPECT_EQ(after.dead_bytes_sealed, 0u);
+  EXPECT_GT(after.compacted_bytes_reclaimed, 0u);
+  EXPECT_LT(after.disk_bytes, before.disk_bytes);
+  // Live bytes are untouched by compaction — only dead weight went away.
+  EXPECT_EQ(after.live_record_bytes, before.live_record_bytes);
+  EXPECT_LE(after.disk_bytes,
+            after.live_record_bytes + after.dead_bytes_active);
+
+  // Contents intact, before and after a reopen.
+  for (std::size_t i = 0; i < 7; ++i) {
+    EXPECT_EQ(*kv.get("key" + std::to_string(i)), value_of((29 + i) % 12));
+  }
+  EXPECT_FALSE(kv.contains("key7"));
+}
+
+TEST(DurableKv, CompactedStoreReopensIntact) {
+  TempDir dir("compact_reopen");
+  DurableKvConfig config;
+  config.dir = dir.sub("kv");
+  config.segment_bytes = 512;
+  config.compact_dead_ratio = 0;
+  {
+    DurableKvStore kv(config);
+    for (std::size_t round = 0; round < 20; ++round) {
+      for (std::size_t i = 0; i < 6; ++i) {
+        kv.put("key" + std::to_string(i), value_of((round * 7 + i) % 12));
+      }
+    }
+    kv.compact();
+    kv.put("post", {1, 2, 3});  // appends continue after the swap
+  }
+  DurableKvStore kv(config);
+  EXPECT_EQ(kv.size(), 7u);
+  for (std::size_t i = 0; i < 6; ++i) {
+    EXPECT_EQ(*kv.get("key" + std::to_string(i)),
+              value_of((19 * 7 + i) % 12));
+  }
+  EXPECT_EQ(*kv.get("post"), (std::vector<std::uint8_t>{1, 2, 3}));
+}
+
+TEST(DurableKv, AutoCompactionTriggersInline) {
+  TempDir dir("auto_compact");
+  DurableKvConfig config;
+  config.dir = dir.sub("kv");
+  config.segment_bytes = 256;
+  config.compact_dead_ratio = 0.5;
+  config.compact_min_bytes = 1024;
+  DurableKvStore kv(config);
+  for (std::size_t round = 0; round < 60; ++round) {
+    for (std::size_t i = 0; i < 4; ++i) {
+      kv.put("key" + std::to_string(i), value_of(8));
+    }
+  }
+  EXPECT_GE(kv.durable_stats().compactions, 1u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(*kv.get("key" + std::to_string(i)), value_of(8));
+  }
+}
+
+TEST(DurableKv, BackgroundCompactionThreadReclaims) {
+  TempDir dir("bg_compact");
+  DurableKvConfig config;
+  config.dir = dir.sub("kv");
+  config.segment_bytes = 256;
+  config.compact_dead_ratio = 0.5;
+  config.compact_min_bytes = 1024;
+  config.background_compaction = true;
+  DurableKvStore kv(config);
+  for (std::size_t round = 0; round < 60; ++round) {
+    for (std::size_t i = 0; i < 4; ++i) {
+      kv.put("key" + std::to_string(i), value_of(8));
+    }
+  }
+  // The writer only nudges the compaction thread; wait for its ledger.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (kv.durable_stats().compactions == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_GE(kv.durable_stats().compactions, 1u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(*kv.get("key" + std::to_string(i)), value_of(8));
+  }
+}
+
+TEST(DurableKv, OrphanSegmentsRemovedAndBareSegmentsRejected) {
+  TempDir dir("orphans");
+  DurableKvConfig config;
+  config.dir = dir.sub("kv");
+  {
+    DurableKvStore kv(config);
+    kv.put("key", {1});
+  }
+  // A segment file the manifest does not list — the debris of a crash
+  // mid-rotation or mid-compaction — is garbage-collected at open.
+  spit(config.dir + "/seg-000099.log", {0xDE, 0xAD});
+  {
+    DurableKvStore kv(config);
+    EXPECT_EQ(kv.durable_stats().orphans_removed, 1u);
+    EXPECT_EQ(*kv.get("key"), (std::vector<std::uint8_t>{1}));
+  }
+  EXPECT_FALSE(std::filesystem::exists(config.dir + "/seg-000099.log"));
+  // Segment files with no MANIFEST at all are not ours to guess about.
+  std::filesystem::remove(config.dir + "/MANIFEST");
+  EXPECT_THROW(DurableKvStore{config}, std::runtime_error);
+}
+
+// ------------------------------------------- recovery sweeps (satellite 3)
+
+struct SegmentImage {
+  std::vector<std::uint8_t> manifest;
+  std::vector<std::uint8_t> segment;
+  /// Cumulative record end offsets: prefix[i] = bytes of records 0..i-1.
+  std::vector<std::size_t> prefix;
+  std::size_t records = 0;
+};
+
+/// Builds a single-segment store with `n` known records and returns its
+/// raw on-disk image for the truncation / bit-flip sweeps.
+SegmentImage build_image(const TempDir& dir, std::size_t n) {
+  DurableKvConfig config;
+  config.dir = dir.sub("image");
+  SegmentImage image;
+  image.records = n;
+  image.prefix.push_back(0);
+  {
+    DurableKvStore kv(config);
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::string key = "key" + std::to_string(i);
+      const std::vector<std::uint8_t> value = value_of(i);
+      kv.put(key, value);
+      image.prefix.push_back(image.prefix.back() + kRecordHeaderBytes +
+                             key.size() + value.size());
+    }
+  }
+  image.manifest = slurp(config.dir + "/MANIFEST");
+  image.segment = slurp(config.dir + "/seg-000001.log");
+  EXPECT_EQ(image.segment.size(), image.prefix.back());
+  return image;
+}
+
+/// Writes one (possibly mangled) copy of the image into a fresh directory.
+std::string plant_image(const TempDir& dir, const std::string& name,
+                        const SegmentImage& image,
+                        const std::vector<std::uint8_t>& segment_bytes) {
+  const std::string sub = dir.sub(name);
+  std::filesystem::create_directories(sub);
+  spit(sub + "/MANIFEST", image.manifest);
+  spit(sub + "/seg-000001.log", segment_bytes);
+  return sub;
+}
+
+TEST(DurableKv, TornTailTruncationSweepEveryByte) {
+  // Chop the segment at EVERY byte boundary and reopen: recovery must
+  // yield exactly the longest valid record prefix — never throw, never
+  // read out of bounds (the asan lane turns any overread fatal).
+  TempDir dir("torn_sweep");
+  const SegmentImage image = build_image(dir, 6);
+  for (std::size_t cut = 0; cut < image.segment.size(); ++cut) {
+    SCOPED_TRACE("cut=" + std::to_string(cut));
+    std::vector<std::uint8_t> torn(image.segment.begin(),
+                                   image.segment.begin() + cut);
+    const std::string sub =
+        plant_image(dir, "t" + std::to_string(cut), image, torn);
+    DurableKvConfig config;
+    config.dir = sub;
+    DurableKvStore kv(config);
+    // Longest valid prefix: every record that ends at or before the cut.
+    std::size_t expected = 0;
+    while (expected < image.records && image.prefix[expected + 1] <= cut) {
+      ++expected;
+    }
+    EXPECT_EQ(kv.size(), expected);
+    const DurableKvStats ds = kv.durable_stats();
+    EXPECT_EQ(ds.recovered_records, expected);
+    EXPECT_EQ(ds.torn_bytes_dropped, cut - image.prefix[expected]);
+    for (std::size_t i = 0; i < expected; ++i) {
+      EXPECT_EQ(*kv.get("key" + std::to_string(i)), value_of(i));
+    }
+    // The torn tail was truncated off: appends land on a clean boundary
+    // and survive a further reopen.
+    kv.put("fresh", {7, 7});
+    DurableKvStore again(config);
+    EXPECT_EQ(*again.get("fresh"), (std::vector<std::uint8_t>{7, 7}));
+    EXPECT_EQ(again.size(), expected + 1);
+  }
+}
+
+TEST(DurableKv, BitFlipSweepRejectsCorruptRecords) {
+  // Flip every byte of the segment in turn: the record containing the
+  // flip must be rejected (CRC or framing), recovery keeps exactly the
+  // records before it, and nothing ever crashes. Flips inside the
+  // CRC-covered span (flags, the CRC field itself, key/value payload)
+  // must additionally show up in the store's crc_rejects ledger.
+  TempDir dir("flip_sweep");
+  const SegmentImage image = build_image(dir, 4);
+  std::size_t total_crc_rejects = 0;
+  for (std::size_t pos = 0; pos < image.segment.size(); ++pos) {
+    SCOPED_TRACE("pos=" + std::to_string(pos));
+    std::vector<std::uint8_t> flipped = image.segment;
+    flipped[pos] ^= 0xFF;
+    const std::string sub =
+        plant_image(dir, "f" + std::to_string(pos), image, flipped);
+    DurableKvConfig config;
+    config.dir = sub;
+    DurableKvStore kv(config);
+
+    std::size_t record = 0;  // which record the flip landed in
+    while (image.prefix[record + 1] <= pos) ++record;
+    EXPECT_EQ(kv.size(), record);
+    EXPECT_EQ(kv.durable_stats().recovered_records, record);
+    for (std::size_t i = 0; i < record; ++i) {
+      EXPECT_EQ(*kv.get("key" + std::to_string(i)), value_of(i));
+    }
+
+    const std::size_t offset = pos - image.prefix[record];
+    const bool in_crc_covered_span =
+        (offset >= 4 && offset < 8) || offset >= 16;
+    if (in_crc_covered_span) {
+      EXPECT_EQ(kv.durable_stats().crc_rejects, 1u);
+    }
+    total_crc_rejects += kv.durable_stats().crc_rejects;
+  }
+  EXPECT_GT(total_crc_rejects, image.segment.size() / 2);
+}
+
+// ------------------------------------ hidden-state codec wire compatibility
+
+TEST(HiddenStoreWire, CodecBytesIdenticalAcrossBackendsAndReopen) {
+  // HiddenStateStore must be able to treat DurableKvStore as a drop-in:
+  // the serialized state payload written through either backend is
+  // byte-identical, and a reopened durable store hands the same bytes
+  // back. int8 is the interesting codec (scale + quantized vector); f32
+  // rides along.
+  const data::Dataset cohort = online::testutil::drift_cohort(2, 2, 1000, 1);
+  models::RnnModel model(cohort, online::testutil::small_rnn_config());
+
+  for (const serving::StateCodec codec :
+       {serving::StateCodec::kInt8, serving::StateCodec::kFloat32}) {
+    SCOPED_TRACE(codec == serving::StateCodec::kInt8 ? "int8" : "float32");
+    TempDir dir(codec == serving::StateCodec::kInt8 ? "wire_i8" : "wire_f32");
+    serving::LocalKvStore local_kv;
+    DurableKvConfig config;
+    config.dir = dir.sub("kv");
+
+    serving::StoredState state;
+    state.state = model.network().infer_initial_state();
+    Rng rng(7);
+    for (auto& layer : state.state.layers) {
+      for (auto& part : layer) {
+        part = tensor::Matrix::randn(1, part.cols(), rng, 0.0f, 0.4f);
+      }
+    }
+    state.last_update_time = 424242;
+    state.updates = 17;
+
+    {
+      DurableKvStore durable_kv(config);
+      serving::HiddenStateStore local_store(local_kv, codec);
+      serving::HiddenStateStore durable_store(durable_kv, codec);
+      local_store.put(7, state);
+      durable_store.put(7, state);
+      // Identical wire bytes under the identical key.
+      const auto local_bytes = local_kv.get("h:7");
+      const auto durable_bytes = durable_kv.get("h:7");
+      ASSERT_TRUE(local_bytes.has_value());
+      ASSERT_TRUE(durable_bytes.has_value());
+      EXPECT_EQ(*durable_bytes, *local_bytes);
+    }
+    // Reopen: the recovered record is the same payload, and the codec
+    // decodes it (int8 within quantization tolerance).
+    DurableKvStore reopened(config);
+    EXPECT_EQ(*reopened.get("h:7"), *local_kv.get("h:7"));
+    serving::HiddenStateStore store(reopened, codec);
+    const auto loaded = store.get(7, model.network());
+    ASSERT_TRUE(loaded.has_value());
+    EXPECT_EQ(loaded->last_update_time, 424242);
+    EXPECT_EQ(loaded->updates, 17u);
+    const float tol = codec == serving::StateCodec::kInt8 ? 0.02f : 1e-7f;
+    EXPECT_TRUE(
+        loaded->state.hidden().approx_equal(state.state.hidden(), tol));
+  }
+}
+
+// ------------------------------------------------------------ ReplayJournal
+
+using online::AdmissionPolicy;
+using online::ReplayBufferConfig;
+using online::SessionReplayBuffer;
+
+void expect_equal_buffers(const SessionReplayBuffer& a,
+                          const SessionReplayBuffer& b,
+                          const data::Dataset& meta) {
+  EXPECT_EQ(a.size(), b.size());
+  EXPECT_EQ(a.user_count(), b.user_count());
+  EXPECT_EQ(a.latest_time(), b.latest_time());
+  const auto sa = a.stats();
+  const auto sb = b.stats();
+  EXPECT_EQ(sa.observed, sb.observed);
+  EXPECT_EQ(sa.evicted_user_cap, sb.evicted_user_cap);
+  EXPECT_EQ(sa.evicted_capacity, sb.evicted_capacity);
+  EXPECT_EQ(sa.evicted_reservoir, sb.evicted_reservoir);
+  EXPECT_EQ(sa.rejected_reservoir, sb.rejected_reservoir);
+  // Bit-level: the retained sessions themselves must match, user by user.
+  const data::Dataset da = a.snapshot(meta);
+  const data::Dataset db = b.snapshot(meta);
+  ASSERT_EQ(da.users.size(), db.users.size());
+  for (std::size_t u = 0; u < da.users.size(); ++u) {
+    EXPECT_EQ(da.users[u].user_id, db.users[u].user_id);
+    ASSERT_EQ(da.users[u].sessions.size(), db.users[u].sessions.size());
+    for (std::size_t s = 0; s < da.users[u].sessions.size(); ++s) {
+      const data::Session& x = da.users[u].sessions[s];
+      const data::Session& y = db.users[u].sessions[s];
+      EXPECT_EQ(x.timestamp, y.timestamp);
+      EXPECT_EQ(x.context, y.context);
+      EXPECT_EQ(x.access, y.access);
+    }
+  }
+}
+
+/// Deterministic synthetic observation stream shared by the journal tests.
+void feed_stream(std::size_t n, std::size_t offset,
+                 const std::function<void(
+                     std::uint64_t, std::int64_t,
+                     const std::array<std::uint32_t, data::kMaxContextFields>&,
+                     bool)>& sink) {
+  for (std::size_t i = offset; i < offset + n; ++i) {
+    const std::uint64_t user = 1 + (i * 7) % 5;
+    const std::int64_t t = static_cast<std::int64_t>(1000 + i * 311);
+    const std::array<std::uint32_t, data::kMaxContextFields> context =
+        online::testutil::ctx(static_cast<std::uint32_t>(i % 3));
+    sink(user, t, context, (i % 4) != 0);
+  }
+}
+
+class ReplayJournalEquivalence
+    : public ::testing::TestWithParam<AdmissionPolicy> {};
+
+TEST_P(ReplayJournalEquivalence, ReopenRebuildsBufferBitIdentically) {
+  TempDir dir("journal_eq");
+  const data::Dataset meta = online::testutil::drift_cohort(1, 1, 1000, 1);
+  ReplayBufferConfig buffer_config;
+  buffer_config.capacity = 16;
+  buffer_config.per_user_cap = 4;
+  buffer_config.admission = GetParam();
+  buffer_config.admission_seed = 99;
+
+  SessionReplayBuffer live(buffer_config);
+  {
+    ReplayJournalConfig config;
+    config.dir = dir.sub("replay");
+    ReplayJournal journal(config, [](auto...) {
+      FAIL() << "fresh journal should have nothing to replay";
+    });
+    EXPECT_EQ(journal.stats().replayed, 0u);
+    feed_stream(
+        100, 0,
+        [&](std::uint64_t user, std::int64_t t, const auto& context,
+            bool access) {
+          journal.append(user, t, context, access);
+          live.add(user, t, context, access);
+        });
+    EXPECT_EQ(journal.stats().appended, 100u);
+    // Kill: no flush, no finalization.
+  }
+
+  SessionReplayBuffer rebuilt(buffer_config);
+  ReplayJournalConfig config;
+  config.dir = dir.sub("replay");
+  ReplayJournal journal(
+      config, [&](std::uint64_t user, std::int64_t t, const auto& context,
+                  bool access) { rebuilt.add(user, t, context, access); });
+  EXPECT_EQ(journal.stats().replayed, 100u);
+  EXPECT_EQ(journal.stats().decode_rejects, 0u);
+  EXPECT_EQ(journal.stats().crc_rejects, 0u);
+  expect_equal_buffers(live, rebuilt, meta);
+
+  // The rebuilt buffer must also CONTINUE identically — under kReservoir
+  // that means the admission RNG cursor came back at the same position
+  // (every replayed add() re-ran the same seeded draws).
+  feed_stream(50, 100,
+              [&](std::uint64_t user, std::int64_t t, const auto& context,
+                  bool access) {
+                live.add(user, t, context, access);
+                journal.append(user, t, context, access);
+                rebuilt.add(user, t, context, access);
+              });
+  expect_equal_buffers(live, rebuilt, meta);
+}
+
+INSTANTIATE_TEST_SUITE_P(Admissions, ReplayJournalEquivalence,
+                         ::testing::Values(AdmissionPolicy::kFifoRecency,
+                                           AdmissionPolicy::kReservoir),
+                         [](const auto& info) {
+                           return info.param == AdmissionPolicy::kFifoRecency
+                                      ? "fifo"
+                                      : "reservoir";
+                         });
+
+TEST(ReplayJournal, TornTailDroppedAndDecodeRejectsCounted) {
+  TempDir dir("journal_torn");
+  ReplayJournalConfig config;
+  config.dir = dir.sub("replay");
+  {
+    ReplayJournal journal(config, [](auto...) {});
+    feed_stream(10, 0,
+                [&](std::uint64_t user, std::int64_t t, const auto& context,
+                    bool access) { journal.append(user, t, context, access); });
+  }
+  {
+    // A CRC-valid record whose payload is not a session (format drift):
+    // must be counted and skipped, not crash the reopen. Written through
+    // a raw SegmentLog on the same directory.
+    SegmentLogConfig log_config;
+    log_config.dir = dir.sub("replay");
+    SegmentLog log(log_config);
+    log.open([](std::string_view, std::span<const std::uint8_t>,
+                std::uint32_t, const RecordLocation&) {});
+    const std::vector<std::uint8_t> garbage = {1, 2, 3};  // wrong size
+    log.append({}, garbage, 0);
+  }
+  std::size_t replayed = 0;
+  {
+    ReplayJournal journal(config,
+                          [&](std::uint64_t, std::int64_t, const auto&,
+                              bool) { ++replayed; });
+    EXPECT_EQ(replayed, 10u);
+    EXPECT_EQ(journal.stats().decode_rejects, 1u);
+  }
+  // Torn tail: chop bytes off the segment mid-record; the partial record
+  // is dropped, everything before it replays.
+  const std::string seg = dir.sub("replay") + "/seg-000001.log";
+  std::vector<std::uint8_t> bytes = slurp(seg);
+  bytes.resize(bytes.size() - 5);
+  spit(seg, bytes);
+  replayed = 0;
+  ReplayJournal journal(config,
+                        [&](std::uint64_t, std::int64_t, const auto&, bool) {
+                          ++replayed;
+                        });
+  EXPECT_EQ(replayed, 10u);  // the chopped record was the garbage one
+  EXPECT_GT(journal.stats().torn_bytes_dropped, 0u);
+}
+
+}  // namespace
+}  // namespace pp::storage

@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
+#include <limits>
 #include <numeric>
 #include <set>
 #include <thread>
@@ -133,6 +135,46 @@ TEST(Serialize, TruncatedInputThrows) {
   writer.write_u64(100);  // promises 100 bytes that do not follow
   BinaryReader reader(writer.take());
   EXPECT_THROW(reader.read_string(), std::runtime_error);
+}
+
+// Corrupt-header regressions: a hostile 64-bit length field must hit the
+// overflow-proof bounds check, never wrap past it into an out-of-bounds
+// memcpy. The original check computed pos_ + n, which wraps for n near
+// 2^64 and "passes"; these inputs all crashed or read OOB before the
+// subtraction-form rewrite.
+TEST(Serialize, CorruptLengthNearUint64MaxThrowsCleanly) {
+  // 2^64 - 1: pos_ (8) + n wraps to 7, under size() — the old check let
+  // the read through.
+  BinaryWriter writer;
+  writer.write_u64(std::numeric_limits<std::uint64_t>::max());
+  {
+    BinaryReader reader(writer.bytes());
+    EXPECT_THROW(reader.read_string(), std::runtime_error);
+  }
+  {
+    BinaryReader reader(writer.bytes());
+    EXPECT_THROW(reader.read_vector<std::uint8_t>(), std::runtime_error);
+  }
+}
+
+TEST(Serialize, CorruptLengthAtTwoTo63ThrowsCleanly) {
+  // 2^63 elements of double: n * sizeof(T) == 2^66 wraps to 0, so the old
+  // check saw "0 bytes needed" and passed; the element-count guard must
+  // reject it before the multiply.
+  BinaryWriter writer;
+  writer.write_u64(std::uint64_t{1} << 63);
+  BinaryReader reader(writer.take());
+  EXPECT_THROW(reader.read_vector<double>(), std::runtime_error);
+}
+
+TEST(Serialize, CorruptVectorCountWithWrappingByteSizeThrowsCleanly) {
+  // (2^62) + 1 elements of u32: the product wraps to 4 — small enough to
+  // "fit" — while the true size is astronomically large.
+  BinaryWriter writer;
+  writer.write_u64((std::uint64_t{1} << 62) + 1);
+  writer.write_u32(0);  // 4 bytes present, matching the wrapped product
+  BinaryReader reader(writer.take());
+  EXPECT_THROW(reader.read_vector<std::uint32_t>(), std::runtime_error);
 }
 
 TEST(Table, AlignsAndCountsRows) {
