@@ -7,7 +7,7 @@
 //
 //   bench_serving_smoke --out BENCH_serving.json
 //       [--baseline ci/bench_baseline.json] [--min-ratio 0.30]
-//       [--time-per-case 0.15]
+//       [--time-per-case 0.15] [--metrics-out PREFIX]
 //
 // The gate fails (exit 1) when any measured case drops below
 // min_ratio x baseline. The band is deliberately wide: it catches
@@ -24,6 +24,14 @@
 // forced; the gate compares like-for-like only — "blocked" rows gate on
 // any runner, kernel rows a runner cannot reproduce (ISA mismatch) are
 // skipped with a note instead of tripping a false regression.
+//
+// Schema 3 adds per-call latency quantiles ("p50_us", "p99_us") per row,
+// an instrumentation-overhead measurement (throughput with the obs layer
+// recording vs disabled, same switch as PP_OBS_DISABLED=1), and
+// --metrics-out PREFIX, which dumps the process metrics registry (the
+// bench's own serving-stage histograms included) to PREFIX.json and
+// PREFIX.prom. The gate still compares sessions_per_sec only, so schema-2
+// baselines parse and gate unchanged.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -31,6 +39,8 @@
 #include <vector>
 
 #include "bench/common.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
 #include "serving/hidden_store.hpp"
 #include "serving/precompute_service.hpp"
 #include "tensor/cpu_dispatch.hpp"
@@ -46,6 +56,11 @@ struct Case {
   std::size_t batch;
   std::string kernel;  // "naive" | "blocked" | "simd" (gemm_kernel_name)
   double sessions_per_sec = 0;
+  // Per-call (one score_sessions invocation of `batch` sessions) latency
+  // quantiles, measured in a separate rep so the throughput loop stays
+  // identical to schema 2. Schema 3.
+  double p50_us = 0;
+  double p99_us = 0;
 };
 
 // One cached bench dataset (schema + timing meta for the store).
@@ -59,9 +74,15 @@ const data::Dataset* model_dataset() {
   return &dataset;
 }
 
-double measure_case(const models::RnnModel& model, bool q8,
-                    std::size_t batch, double time_per_case,
-                    tensor::GemmKernel kernel) {
+struct CaseMeasurement {
+  double sessions_per_sec = 0;
+  double p50_us = 0;
+  double p99_us = 0;
+};
+
+CaseMeasurement measure_case(const models::RnnModel& model, bool q8,
+                             std::size_t batch, double time_per_case,
+                             tensor::GemmKernel kernel) {
   // Pin the GEMM kernel for this case (threads stay at the global
   // setting); restored on scope exit.
   tensor::GemmConfigScope kernel_scope(kernel, tensor::gemm_threads());
@@ -97,7 +118,7 @@ double measure_case(const models::RnnModel& model, bool q8,
   // noise on shared CI runners. No sink is needed: score_sessions bumps
   // the policy's atomic cost counters, so the calls cannot be elided.
   policy.score_sessions(starts);
-  double best = 0;
+  CaseMeasurement m;
   for (int rep = 0; rep < 3; ++rep) {
     std::size_t iters = 0;
     Stopwatch watch;
@@ -107,9 +128,78 @@ double measure_case(const models::RnnModel& model, bool q8,
     } while (watch.elapsed_seconds() < time_per_case);
     const double rate =
         static_cast<double>(iters * batch) / watch.elapsed_seconds();
-    if (rate > best) best = rate;
+    if (rate > m.sessions_per_sec) m.sessions_per_sec = rate;
   }
-  return best;
+  // One extra rep records per-call latency into a local histogram (the
+  // lap's clock read is outside the measured call, so the quantiles are
+  // per-call, not per-call-plus-bookkeeping).
+  obs::LatencyHistogram latency;
+  Stopwatch rep_watch;
+  Stopwatch lap;
+  do {
+    lap.reset();
+    policy.score_sessions(starts);
+    latency.record(lap.elapsed_ns());
+  } while (rep_watch.elapsed_seconds() < time_per_case);
+  const obs::HistogramSnapshot snap = latency.snapshot();
+  m.p50_us = static_cast<double>(snap.p50()) / 1000.0;
+  m.p99_us = static_cast<double>(snap.p99()) / 1000.0;
+  return m;
+}
+
+/// Instrumented-vs-disabled throughput at f32 batch 1 over ONE warmed
+/// policy, the two arms alternating in many short slots. Aggregating
+/// each arm across its interleaved slots cancels the slow throughput
+/// drift of shared runners, which dwarfs the effect being measured when
+/// the arms run as two sequential blocks; the slots are kept short so
+/// each drift episode lands on both arms roughly equally.
+std::pair<double, double> measure_overhead(const models::RnnModel& model,
+                                           double time_per_case,
+                                           tensor::GemmKernel kernel) {
+  tensor::GemmConfigScope kernel_scope(kernel, tensor::gemm_threads());
+  serving::LocalKvStore kv;
+  serving::HiddenStateStore store(kv);
+  serving::RnnPolicy policy(model, store);
+  constexpr std::size_t kUsers = 256;
+  const data::Dataset& dataset = *model_dataset();
+  for (std::size_t u = 0; u < kUsers; ++u) {
+    serving::JoinedSession joined;
+    joined.session_id = 20000 + u;
+    joined.user_id = u;
+    joined.session_start = dataset.end_time - 3600;
+    joined.access = u % 2 == 0;
+    policy.on_session_complete(joined);
+  }
+  std::vector<serving::SessionStart> starts(1);
+  starts[0].session_id = 1;
+  starts[0].user_id = 0;
+  starts[0].t = dataset.end_time;
+  starts[0].context = {0, 0, 0, 0};
+  policy.score_sessions(starts);
+
+  const bool was_enabled = obs::timing_enabled();
+  const double slot_seconds = std::max(0.01, time_per_case / 12.0);
+  std::size_t iters[2] = {0, 0};  // [0]=instrumented, [1]=disabled
+  std::int64_t spent_ns[2] = {0, 0};
+  for (int slot = 0; slot < 48; ++slot) {
+    const int arm = slot % 2;
+    obs::set_timing_enabled(arm == 0);
+    std::size_t n = 0;
+    Stopwatch watch;
+    std::int64_t ns;
+    do {
+      policy.score_sessions(starts);
+      ++n;
+      ns = watch.elapsed_ns();
+    } while (static_cast<double>(ns) < slot_seconds * 1e9);
+    iters[arm] += n;
+    spent_ns[arm] += ns;
+  }
+  obs::set_timing_enabled(was_enabled);
+  return {static_cast<double>(iters[0]) * 1e9 /
+              static_cast<double>(spent_ns[0]),
+          static_cast<double>(iters[1]) * 1e9 /
+              static_cast<double>(spent_ns[1])};
 }
 
 void write_json(const std::string& path, const std::vector<Case>& cases,
@@ -121,7 +211,7 @@ void write_json(const std::string& path, const std::vector<Case>& cases,
   }
   std::fprintf(f, "{\n");
   std::fprintf(f, "  \"bench\": \"serving_smoke\",\n");
-  std::fprintf(f, "  \"schema\": 2,\n");
+  std::fprintf(f, "  \"schema\": 3,\n");
   std::fprintf(f, "  \"isa\": \"%s\",\n",
                tensor::cpu_isa_name(tensor::detected_cpu_isa()));
   std::fprintf(f, "  \"hidden\": %zu,\n", hidden);
@@ -130,9 +220,11 @@ void write_json(const std::string& path, const std::vector<Case>& cases,
     // One result object per line: the baseline comparator is a line parser.
     std::fprintf(f,
                  "    {\"precision\": \"%s\", \"batch\": %zu, "
-                 "\"kernel\": \"%s\", \"sessions_per_sec\": %.1f}%s\n",
+                 "\"kernel\": \"%s\", \"sessions_per_sec\": %.1f, "
+                 "\"p50_us\": %.2f, \"p99_us\": %.2f}%s\n",
                  cases[i].precision.c_str(), cases[i].batch,
                  cases[i].kernel.c_str(), cases[i].sessions_per_sec,
+                 cases[i].p50_us, cases[i].p99_us,
                  i + 1 < cases.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
@@ -208,6 +300,7 @@ const Case* find_case(const std::vector<Case>& cases,
 int main(int argc, char** argv) {
   std::string out_path = "BENCH_serving.json";
   std::string baseline_path;
+  std::string metrics_prefix;
   bool write_baseline = false;
   double min_ratio = 0.30;
   double time_per_case = 0.15;
@@ -243,10 +336,13 @@ int main(int argc, char** argv) {
       time_per_case = next_double();
     } else if (arg == "--write-baseline") {
       write_baseline = true;
+    } else if (arg == "--metrics-out") {
+      metrics_prefix = next();
     } else {
       std::fprintf(stderr,
                    "usage: %s [--out path] [--baseline path] "
-                   "[--min-ratio r] [--time-per-case s] [--write-baseline]\n",
+                   "[--min-ratio r] [--time-per-case s] [--write-baseline] "
+                   "[--metrics-out prefix]\n",
                    argv[0]);
       return 2;
     }
@@ -294,15 +390,61 @@ int main(int argc, char** argv) {
     const tensor::GemmKernel kernel = c.kernel == "blocked"
                                           ? tensor::GemmKernel::kBlocked
                                           : dispatched;
-    c.sessions_per_sec = measure_case(model, c.precision == "int8", c.batch,
-                                      time_per_case, kernel);
-    std::printf("  %-4s batch %-3zu %-8s : %12.1f sessions/s\n",
-                c.precision.c_str(), c.batch, c.kernel.c_str(),
-                c.sessions_per_sec);
+    const CaseMeasurement m = measure_case(model, c.precision == "int8",
+                                           c.batch, time_per_case, kernel);
+    c.sessions_per_sec = m.sessions_per_sec;
+    c.p50_us = m.p50_us;
+    c.p99_us = m.p99_us;
+    std::printf(
+        "  %-4s batch %-3zu %-8s : %12.1f sessions/s  "
+        "p50 %9.2fus  p99 %9.2fus\n",
+        c.precision.c_str(), c.batch, c.kernel.c_str(), c.sessions_per_sec,
+        c.p50_us, c.p99_us);
   }
+
+  // Instrumentation-overhead check: the worst case for the obs layer is
+  // batch 1 on the dispatched kernel (most ScopedTimer/TraceSpan entries
+  // per scored session, least work to amortize them). Shared runners
+  // drift by tens of percent between consecutive seconds, so a
+  // measure-on-then-measure-off comparison would report drift, not
+  // overhead; instead the two arms alternate in many short slots and the
+  // rates come from the per-arm aggregates — slow drift then lands on
+  // both arms equally. Informational (the gate stays on sessions_per_sec):
+  // the acceptance budget is 3%.
+  {
+    const auto [on_rate, off_rate] =
+        measure_overhead(model, time_per_case, dispatched);
+    const double overhead =
+        off_rate > 0 ? (off_rate - on_rate) / off_rate * 100.0 : 0.0;
+    std::printf(
+        "instrumentation overhead (f32 batch 1, %s, interleaved): %.1f%% "
+        "(on %.1f/s, off %.1f/s; budget 3%%)\n",
+        dispatched_name.c_str(), overhead, on_rate, off_rate);
+  }
+
   write_json(out_path, cases,
              static_cast<std::size_t>(rnn_config.hidden_size));
   std::printf("wrote %s\n", out_path.c_str());
+
+  if (!metrics_prefix.empty()) {
+    // Dump the registry the bench itself populated (serving-stage
+    // histograms from the measured score_sessions calls).
+    const auto metrics = obs::MetricsRegistry::global().snapshot();
+    for (const auto& [suffix, text] :
+         {std::pair<const char*, std::string>{".json",
+                                              obs::render_json(metrics)},
+          {".prom", obs::render_prometheus(metrics)}}) {
+      const std::string path = metrics_prefix + suffix;
+      std::FILE* f = std::fopen(path.c_str(), "w");
+      if (f == nullptr) {
+        std::fprintf(stderr, "cannot write %s\n", path.c_str());
+        return 1;
+      }
+      std::fwrite(text.data(), 1, text.size(), f);
+      std::fclose(f);
+      std::printf("wrote %s\n", path.c_str());
+    }
+  }
 
   if (write_baseline) {
     if (baseline_path.empty()) {

@@ -11,10 +11,11 @@
 #   ci/check.sh --lint [build-dir]          # clang-tidy over src/ via the
 #                                           # compile db (skips if absent)
 #
-# Tiered fail-fast ordering in every lane: unit → quant → online →
-# persist → serving (→ stress). The fast kernel/model tiers run (and can
-# fail) first; the online continual-learning tier gates the durable-state
-# (persist) tier, which gates the serving integration tier. The stress
+# Tiered fail-fast ordering in every lane: unit/obs/quant (one fast
+# batch: kernels, models, and the metrics/exporter layer with its
+# observe-only serving contract) → online → persist → serving (→ stress).
+# The online continual-learning tier gates the durable-state (persist)
+# tier, which gates the serving integration tier. The stress
 # tier is selected with an explicit -L '^stress$' — the tier partition
 # being total (every test exactly one tier label) is itself asserted by
 # the tier_labels_check test in the unit tier. The TSan lane additionally
@@ -178,7 +179,7 @@ run_tier() {
 # negative-compile check self-skips (77) without clang++.
 run_tier '^lint$' "lint (binary/source/negative-compile)"
 
-run_tier '^(unit|quant)$' "unit + quant (fail fast)"
+run_tier '^(unit|obs|quant)$' "unit + obs + quant (fail fast)"
 
 # Forced-portable lane: on AVX2 runners the dispatcher resolves to the
 # SIMD kernels, which would leave the blocked fallback (the only path
@@ -216,7 +217,8 @@ if [[ "${RUN_BENCH}" == 1 ]]; then
   "${BUILD_DIR}/bench_serving_smoke" \
     --out "${BUILD_DIR}/BENCH_serving.json" \
     --baseline "${REPO_ROOT}/ci/bench_baseline.json" \
-    --min-ratio "${PP_BENCH_GATE_MIN_RATIO:-0.30}"
+    --min-ratio "${PP_BENCH_GATE_MIN_RATIO:-0.30}" \
+    --metrics-out "${BUILD_DIR}/BENCH_serving_metrics"
 fi
 
 echo "== OK (${SANITIZE:-${MODE:-release}} lane) =="

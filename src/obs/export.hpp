@@ -1,0 +1,28 @@
+// Renderers for a MetricsRegistry snapshot: a JSON document (machine-read by
+// benches/experiments) and Prometheus text exposition format (scrapeable).
+// Both render from the same std::vector<MetricSnapshot>, so one end-of-run
+// snapshot produces both views atomically.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace pp::obs {
+
+/// JSON object: {"schema": 1, "metrics": [...]} where each metric carries
+/// name, labels, type, and either value (counter/gauge) or
+/// count/sum/max/p50/p95/p99 plus (upper, count) buckets (histogram).
+std::string render_json(const std::vector<MetricSnapshot>& snapshot);
+
+/// Prometheus text exposition format, version 0.0.4: one `# TYPE` line per
+/// family, cumulative `_bucket{le=...}` series ending in le="+Inf", `_sum`
+/// and `_count` for histograms, escaped label values.
+std::string render_prometheus(const std::vector<MetricSnapshot>& snapshot);
+
+/// Convenience: snapshot the registry and render.
+std::string render_json(const MetricsRegistry& registry);
+std::string render_prometheus(const MetricsRegistry& registry);
+
+}  // namespace pp::obs

@@ -1,0 +1,328 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace pp::obs {
+
+// ---------------------------------------------------------------------------
+// Timing switches.
+
+namespace {
+
+bool env_disabled() {
+  // Read once at startup (before threads that would race on the
+  // environment). Same pattern and justification as cpu_dispatch.cpp.
+  // NOLINTNEXTLINE(concurrency-mt-unsafe)
+  const char* v = std::getenv("PP_OBS_DISABLED");
+  return v != nullptr && v[0] == '1' && v[1] == '\0';
+}
+
+std::uint32_t env_sample_period() {
+  // NOLINTNEXTLINE(concurrency-mt-unsafe)
+  const char* v = std::getenv("PP_OBS_SAMPLE_PERIOD");
+  if (v == nullptr) return 16;
+  const long parsed = std::strtol(v, nullptr, 10);
+  return parsed >= 1 ? static_cast<std::uint32_t>(parsed) : 1;
+}
+
+std::atomic<bool>& timing_flag() {
+  static std::atomic<bool> flag{!env_disabled()};
+  return flag;
+}
+
+std::atomic<std::uint32_t>& period_value() {
+  static std::atomic<std::uint32_t> period{env_sample_period()};
+  return period;
+}
+
+}  // namespace
+
+bool timing_enabled() {
+  return timing_flag().load(std::memory_order_relaxed);
+}
+
+void set_timing_enabled(bool enabled) {
+  timing_flag().store(enabled, std::memory_order_relaxed);
+}
+
+std::uint32_t sample_period() {
+  return period_value().load(std::memory_order_relaxed);
+}
+
+void set_sample_period(std::uint32_t period) {
+  period_value().store(period < 1 ? 1 : period, std::memory_order_relaxed);
+}
+
+bool sample_tick() {
+  if (!timing_enabled()) return false;
+  thread_local std::uint32_t tick = 0;
+  const std::uint32_t period = sample_period();
+  if (++tick >= period) {
+    tick = 0;
+    return true;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Counter.
+
+std::size_t Counter::shard_index() {
+  // The address of a thread_local object is distinct per thread and stable
+  // for the thread's lifetime; fold its cache-line number into a shard.
+  thread_local char tag = 0;
+  const auto addr = reinterpret_cast<std::uintptr_t>(&tag);
+  return static_cast<std::size_t>((addr >> 6) % kShards);
+}
+
+// ---------------------------------------------------------------------------
+// LatencyHistogram.
+
+std::size_t LatencyHistogram::bucket_index(std::int64_t value) {
+  const auto v = static_cast<std::uint64_t>(value < 0 ? 0 : value);
+  if (v < static_cast<std::uint64_t>(kSubBuckets)) {
+    return static_cast<std::size_t>(v);  // exact, width-1 buckets
+  }
+  const int exponent = std::bit_width(v) - 1;  // >= kSubBits
+  if (exponent >= kMaxExponent) return kBuckets - 1;
+  // Top kSubBits bits below the leading bit select the sub-bucket.
+  const auto sub =
+      static_cast<std::size_t>((v >> (exponent - kSubBits)) - kSubBuckets);
+  return static_cast<std::size_t>(exponent - kSubBits) * kSubBuckets + sub +
+         kSubBuckets;
+}
+
+std::int64_t LatencyHistogram::bucket_upper(std::size_t index) {
+  if (index < kSubBuckets) return static_cast<std::int64_t>(index);
+  const std::size_t octave = (index - kSubBuckets) / kSubBuckets;
+  const std::size_t sub = (index - kSubBuckets) % kSubBuckets;
+  const int exponent = static_cast<int>(octave) + kSubBits;
+  // Bucket [lo, hi] where lo = (kSubBuckets + sub) << (exponent - kSubBits).
+  const std::uint64_t lo = (static_cast<std::uint64_t>(kSubBuckets) + sub)
+                           << (exponent - kSubBits);
+  const std::uint64_t width = std::uint64_t{1} << (exponent - kSubBits);
+  return static_cast<std::int64_t>(lo + width - 1);
+}
+
+HistogramSnapshot LatencyHistogram::snapshot() const {
+  HistogramSnapshot snap;
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  snap.max = max_.load(std::memory_order_relaxed);
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    const std::uint64_t n = buckets_[i].load(std::memory_order_relaxed);
+    if (n == 0) continue;
+    snap.count += n;
+    snap.buckets.emplace_back(bucket_upper(i), n);
+  }
+  return snap;
+}
+
+double HistogramSnapshot::percentile(double q) const {
+  if (count == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Rank of the q-th sample, 1-based nearest-rank definition.
+  auto rank = static_cast<std::uint64_t>(q * static_cast<double>(count));
+  if (rank < 1) rank = 1;
+  if (rank > count) rank = count;
+  std::uint64_t seen = 0;
+  for (const auto& [upper, n] : buckets) {
+    seen += n;
+    if (seen >= rank) {
+      // Clamp to the observed max so p100 is exact and the top (clamping)
+      // bucket cannot over-report.
+      return static_cast<double>(std::min(upper, max));
+    }
+  }
+  return static_cast<double>(max);
+}
+
+// ---------------------------------------------------------------------------
+// MetricsRegistry.
+
+namespace {
+
+bool valid_metric_name(std::string_view name) {
+  if (name.empty()) return false;
+  auto head = [](char c) {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+           c == ':';
+  };
+  if (!head(name[0])) return false;
+  for (char c : name.substr(1)) {
+    if (!head(c) && !(c >= '0' && c <= '9')) return false;
+  }
+  return true;
+}
+
+bool valid_label_key(std::string_view key) {
+  if (key.empty()) return false;
+  auto head = [](char c) {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_';
+  };
+  if (!head(key[0])) return false;
+  for (char c : key.substr(1)) {
+    if (!head(c) && !(c >= '0' && c <= '9')) return false;
+  }
+  return true;
+}
+
+const char* kind_name(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter:
+      return "counter";
+    case MetricKind::kGauge:
+      return "gauge";
+    case MetricKind::kHistogram:
+      return "histogram";
+  }
+  return "?";
+}
+
+}  // namespace
+
+MetricsRegistry::Entry& MetricsRegistry::get_or_create(std::string_view name,
+                                                       Labels labels,
+                                                       MetricKind kind) {
+  if (!valid_metric_name(name)) {
+    throw std::invalid_argument("obs: invalid metric name: " +
+                                std::string(name));
+  }
+  std::sort(labels.begin(), labels.end());
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (!valid_label_key(labels[i].first)) {
+      throw std::invalid_argument("obs: invalid label key: " +
+                                  labels[i].first);
+    }
+    if (i > 0 && labels[i - 1].first == labels[i].first) {
+      throw std::invalid_argument("obs: duplicate label key: " +
+                                  labels[i].first);
+    }
+  }
+
+  // Canonical key: name \x1f k \x1e v \x1f k \x1e v ... (separators cannot
+  // appear in valid names/keys, and make distinct label sets distinct keys).
+  std::string key(name);
+  for (const auto& [k, v] : labels) {
+    key += '\x1f';
+    key += k;
+    key += '\x1e';
+    key += v;
+  }
+
+  MutexLock lock(mutex_);
+  auto [kind_it, kind_inserted] =
+      family_kind_.emplace(std::string(name), kind);
+  if (!kind_inserted && kind_it->second != kind) {
+    throw std::invalid_argument("obs: metric family '" + std::string(name) +
+                                "' already registered as " +
+                                kind_name(kind_it->second) +
+                                ", requested as " + kind_name(kind));
+  }
+  auto [it, inserted] = entries_.try_emplace(std::move(key));
+  Entry& entry = it->second;
+  if (inserted) {
+    entry.kind = kind;
+    entry.name = std::string(name);
+    entry.labels = std::move(labels);
+    switch (kind) {
+      case MetricKind::kCounter:
+        entry.counter = std::make_unique<Counter>();
+        break;
+      case MetricKind::kGauge:
+        entry.gauge = std::make_unique<Gauge>();
+        break;
+      case MetricKind::kHistogram:
+        entry.histogram = std::make_unique<LatencyHistogram>();
+        break;
+    }
+  }
+  return entry;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name, Labels labels) {
+  return *get_or_create(name, std::move(labels), MetricKind::kCounter).counter;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name, Labels labels) {
+  return *get_or_create(name, std::move(labels), MetricKind::kGauge).gauge;
+}
+
+LatencyHistogram& MetricsRegistry::histogram(std::string_view name,
+                                             Labels labels) {
+  return *get_or_create(name, std::move(labels), MetricKind::kHistogram)
+              .histogram;
+}
+
+std::vector<MetricSnapshot> MetricsRegistry::snapshot() const {
+  std::vector<MetricSnapshot> out;
+  {
+    MutexLock lock(mutex_);
+    out.reserve(entries_.size());
+    for (const auto& [key, entry] : entries_) {
+      MetricSnapshot snap;
+      snap.name = entry.name;
+      snap.labels = entry.labels;
+      snap.kind = entry.kind;
+      switch (entry.kind) {
+        case MetricKind::kCounter:
+          snap.value = static_cast<double>(entry.counter->value());
+          break;
+        case MetricKind::kGauge:
+          snap.value = entry.gauge->value();
+          break;
+        case MetricKind::kHistogram:
+          snap.hist = entry.histogram->snapshot();
+          break;
+      }
+      out.push_back(std::move(snap));
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const MetricSnapshot& a, const MetricSnapshot& b) {
+              if (a.name != b.name) return a.name < b.name;
+              return a.labels < b.labels;
+            });
+  return out;
+}
+
+std::size_t MetricsRegistry::size() const {
+  MutexLock lock(mutex_);
+  return entries_.size();
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+// ---------------------------------------------------------------------------
+// Timing helpers.
+
+thread_local bool SampledSection::active_ = false;
+
+TraceSpan::TraceSpan(std::initializer_list<LatencyHistogram*> stages,
+                     LatencyHistogram* total)
+    : sampled_(sample_tick()), section_(sampled_), total_(total) {
+  for (LatencyHistogram* stage : stages) {
+    if (num_stages_ < kMaxStages) stages_[num_stages_++] = stage;
+  }
+  if (sampled_) {
+    wall_.reset();
+    lap_.reset();
+  }
+}
+
+TraceSpan::~TraceSpan() {
+  if (!sampled_) return;
+  const std::int64_t wall_ns = wall_.elapsed_ns();
+  for (std::size_t i = 0; i < num_stages_; ++i) {
+    if (stages_[i] != nullptr) stages_[i]->record(acc_[i]);
+  }
+  if (total_ != nullptr) total_->record(wall_ns);
+}
+
+}  // namespace pp::obs

@@ -1,0 +1,164 @@
+#include "obs/stats_bridge.hpp"
+
+#include <string>
+
+#include "online/online_learner.hpp"
+#include "online/replay_buffer.hpp"
+#include "online/update_daemon.hpp"
+#include "serving/kv_store.hpp"
+#include "serving/precompute_service.hpp"
+#include "serving/stream.hpp"
+#include "storage/durable_kv_store.hpp"
+#include "storage/segment_log.hpp"
+
+namespace pp::obs {
+
+namespace {
+
+void set_gauge(MetricsRegistry& registry, std::string_view name,
+               const BridgeLabels& labels, double value) {
+  registry.gauge(name, labels).set(value);
+}
+
+double d(std::size_t v) { return static_cast<double>(v); }
+
+}  // namespace
+
+void bridge_kv_stats(MetricsRegistry& registry, const serving::KvStats& stats,
+                     const BridgeLabels& labels) {
+  set_gauge(registry, "pp_kv_lookups", labels, d(stats.lookups));
+  set_gauge(registry, "pp_kv_hits", labels, d(stats.hits));
+  set_gauge(registry, "pp_kv_writes", labels, d(stats.writes));
+  set_gauge(registry, "pp_kv_deletes", labels, d(stats.deletes));
+  set_gauge(registry, "pp_kv_bytes_read", labels, d(stats.bytes_read));
+  set_gauge(registry, "pp_kv_bytes_written", labels, d(stats.bytes_written));
+}
+
+void bridge_sharded_kv_stats(MetricsRegistry& registry,
+                             const serving::ShardedKvStore& store,
+                             const BridgeLabels& labels) {
+  bridge_kv_stats(registry, store.stats(), labels);
+  for (std::size_t shard = 0; shard < store.num_shards(); ++shard) {
+    BridgeLabels shard_labels = labels;
+    shard_labels.emplace_back("shard", std::to_string(shard));
+    bridge_kv_stats(registry, store.shard_stats(shard), shard_labels);
+  }
+}
+
+void bridge_joiner_stats(MetricsRegistry& registry,
+                         const serving::JoinerStats& stats,
+                         const BridgeLabels& labels) {
+  set_gauge(registry, "pp_joiner_contexts", labels, d(stats.contexts));
+  set_gauge(registry, "pp_joiner_accesses", labels, d(stats.accesses));
+  set_gauge(registry, "pp_joiner_joined", labels, d(stats.joined));
+  set_gauge(registry, "pp_joiner_duplicate_contexts", labels,
+            d(stats.duplicate_contexts));
+  set_gauge(registry, "pp_joiner_duplicate_accesses", labels,
+            d(stats.duplicate_accesses));
+  set_gauge(registry, "pp_joiner_orphan_accesses", labels,
+            d(stats.orphan_accesses));
+  set_gauge(registry, "pp_joiner_orphan_drops", labels, d(stats.orphan_drops));
+  set_gauge(registry, "pp_joiner_late_accesses", labels,
+            d(stats.late_accesses));
+}
+
+void bridge_cost_summary(MetricsRegistry& registry,
+                         const serving::ServingCostSummary& summary,
+                         const BridgeLabels& labels) {
+  set_gauge(registry, "pp_cost_predictions", labels, d(summary.predictions));
+  set_gauge(registry, "pp_cost_state_updates", labels,
+            d(summary.state_updates));
+  set_gauge(registry, "pp_cost_model_flops", labels, d(summary.model_flops));
+  set_gauge(registry, "pp_cost_storage_bytes", labels,
+            d(summary.storage_bytes));
+  set_gauge(registry, "pp_cost_live_keys", labels, d(summary.live_keys));
+  bridge_kv_stats(registry, summary.kv, labels);
+}
+
+void bridge_learner_stats(MetricsRegistry& registry,
+                          const online::OnlineLearnerStats& stats,
+                          const BridgeLabels& labels) {
+  set_gauge(registry, "pp_online_observed_sessions", labels,
+            d(stats.observed_sessions));
+  set_gauge(registry, "pp_online_rounds", labels, d(stats.rounds));
+  set_gauge(registry, "pp_online_skipped", labels, d(stats.skipped));
+  set_gauge(registry, "pp_online_publishes", labels, d(stats.publishes));
+  set_gauge(registry, "pp_online_rejects", labels, d(stats.rejects));
+  set_gauge(registry, "pp_online_rollbacks", labels, d(stats.rollbacks));
+}
+
+void bridge_replay_buffer_stats(MetricsRegistry& registry,
+                                const online::ReplayBufferStats& stats,
+                                const BridgeLabels& labels) {
+  set_gauge(registry, "pp_replay_observed", labels, d(stats.observed));
+  set_gauge(registry, "pp_replay_evicted_user_cap", labels,
+            d(stats.evicted_user_cap));
+  set_gauge(registry, "pp_replay_evicted_capacity", labels,
+            d(stats.evicted_capacity));
+  set_gauge(registry, "pp_replay_evicted_reservoir", labels,
+            d(stats.evicted_reservoir));
+  set_gauge(registry, "pp_replay_rejected_reservoir", labels,
+            d(stats.rejected_reservoir));
+}
+
+void bridge_daemon_stats(MetricsRegistry& registry,
+                         const online::OnlineUpdateDaemonStats& stats,
+                         const BridgeLabels& labels) {
+  set_gauge(registry, "pp_daemon_wakeups", labels, d(stats.wakeups));
+  set_gauge(registry, "pp_daemon_rounds_driven", labels,
+            d(stats.rounds_driven));
+  set_gauge(registry, "pp_daemon_rounds_ran", labels, d(stats.rounds_ran));
+  set_gauge(registry, "pp_daemon_round_errors", labels, d(stats.round_errors));
+  set_gauge(registry, "pp_daemon_publishes", labels, d(stats.publishes));
+  set_gauge(registry, "pp_daemon_rollbacks", labels, d(stats.rollbacks));
+  set_gauge(registry, "pp_daemon_deferred_interval", labels,
+            d(stats.deferred_interval));
+  set_gauge(registry, "pp_daemon_deferred_sessions", labels,
+            d(stats.deferred_sessions));
+  set_gauge(registry, "pp_daemon_checkpoints", labels, d(stats.checkpoints));
+  set_gauge(registry, "pp_daemon_checkpoint_failures", labels,
+            d(stats.checkpoint_failures));
+}
+
+void bridge_segment_log_stats(MetricsRegistry& registry,
+                              const storage::SegmentLogStats& stats,
+                              const BridgeLabels& labels) {
+  set_gauge(registry, "pp_storage_segments", labels, d(stats.segments));
+  set_gauge(registry, "pp_storage_appended_records", labels,
+            d(stats.appended_records));
+  set_gauge(registry, "pp_storage_recovered_records", labels,
+            d(stats.recovered_records));
+  set_gauge(registry, "pp_storage_torn_bytes_dropped", labels,
+            d(stats.torn_bytes_dropped));
+  set_gauge(registry, "pp_storage_crc_rejects", labels, d(stats.crc_rejects));
+  set_gauge(registry, "pp_storage_rotations", labels, d(stats.rotations));
+  set_gauge(registry, "pp_storage_orphans_removed", labels,
+            d(stats.orphans_removed));
+}
+
+void bridge_durable_kv_stats(MetricsRegistry& registry,
+                             const storage::DurableKvStats& stats,
+                             const BridgeLabels& labels) {
+  set_gauge(registry, "pp_durable_segments", labels, d(stats.segments));
+  set_gauge(registry, "pp_durable_disk_bytes", labels, d(stats.disk_bytes));
+  set_gauge(registry, "pp_durable_live_record_bytes", labels,
+            d(stats.live_record_bytes));
+  set_gauge(registry, "pp_durable_dead_bytes_sealed", labels,
+            d(stats.dead_bytes_sealed));
+  set_gauge(registry, "pp_durable_dead_bytes_active", labels,
+            d(stats.dead_bytes_active));
+  set_gauge(registry, "pp_durable_compactions", labels, d(stats.compactions));
+  set_gauge(registry, "pp_durable_compacted_bytes_reclaimed", labels,
+            d(stats.compacted_bytes_reclaimed));
+  set_gauge(registry, "pp_durable_recovered_records", labels,
+            d(stats.recovered_records));
+  set_gauge(registry, "pp_durable_torn_bytes_dropped", labels,
+            d(stats.torn_bytes_dropped));
+  set_gauge(registry, "pp_durable_crc_rejects", labels, d(stats.crc_rejects));
+  const double disk = d(stats.disk_bytes);
+  const double dead = d(stats.dead_bytes_sealed + stats.dead_bytes_active);
+  set_gauge(registry, "pp_durable_dead_byte_ratio", labels,
+            disk > 0.0 ? dead / disk : 0.0);
+}
+
+}  // namespace pp::obs

@@ -1,0 +1,75 @@
+// Bridges the existing ad-hoc *Stats structs into the MetricsRegistry as
+// gauge snapshots, so one end-of-run export carries both the new latency
+// histograms and the legacy counters without deleting any *Stats API.
+//
+// Bridging is an explicit call at export time (not a registry hook): the
+// *Stats owners keep their lifetimes, and the bridge copies current values
+// into gauges named pp_<layer>_<struct>_<field> under the caller's labels.
+#pragma once
+
+#include <cstddef>
+#include <string_view>
+
+#include "obs/metrics.hpp"
+
+namespace pp::online {
+struct OnlineLearnerStats;
+struct OnlineUpdateDaemonStats;
+struct ReplayBufferStats;
+}  // namespace pp::online
+
+namespace pp::serving {
+struct KvStats;
+struct JoinerStats;
+struct ServingCostSummary;
+class ShardedKvStore;
+}  // namespace pp::serving
+
+namespace pp::storage {
+struct SegmentLogStats;
+struct DurableKvStats;
+}  // namespace pp::storage
+
+namespace pp::obs {
+
+/// Labels common to one bridge call, e.g. {{"policy","rnn"},{"arm","online"}}.
+using BridgeLabels = MetricsRegistry::Labels;
+
+void bridge_kv_stats(MetricsRegistry& registry,
+                     const serving::KvStats& stats,
+                     const BridgeLabels& labels = {});
+
+/// Per-shard KvStats gauges labeled shard="0".."N-1" plus the aggregate.
+void bridge_sharded_kv_stats(MetricsRegistry& registry,
+                             const serving::ShardedKvStore& store,
+                             const BridgeLabels& labels = {});
+
+void bridge_joiner_stats(MetricsRegistry& registry,
+                         const serving::JoinerStats& stats,
+                         const BridgeLabels& labels = {});
+
+void bridge_cost_summary(MetricsRegistry& registry,
+                         const serving::ServingCostSummary& summary,
+                         const BridgeLabels& labels = {});
+
+void bridge_learner_stats(MetricsRegistry& registry,
+                          const online::OnlineLearnerStats& stats,
+                          const BridgeLabels& labels = {});
+
+void bridge_replay_buffer_stats(MetricsRegistry& registry,
+                                const online::ReplayBufferStats& stats,
+                                const BridgeLabels& labels = {});
+
+void bridge_daemon_stats(MetricsRegistry& registry,
+                         const online::OnlineUpdateDaemonStats& stats,
+                         const BridgeLabels& labels = {});
+
+void bridge_segment_log_stats(MetricsRegistry& registry,
+                              const storage::SegmentLogStats& stats,
+                              const BridgeLabels& labels = {});
+
+void bridge_durable_kv_stats(MetricsRegistry& registry,
+                             const storage::DurableKvStats& stats,
+                             const BridgeLabels& labels = {});
+
+}  // namespace pp::obs

@@ -4,6 +4,19 @@
 
 namespace pp::online {
 
+namespace {
+
+/// The cohort id IS the metrics cohort label: stamp it over the learner
+/// config's (default) label so every tenant's round/gate/buffer series is
+/// addressable without per-caller wiring.
+OnlineLearnerConfig with_cohort_label(OnlineLearnerConfig config,
+                                      const std::string& id) {
+  config.cohort = id;
+  return config;
+}
+
+}  // namespace
+
 CohortRegistryMap::Cohort::Cohort(std::string id,
                                   std::shared_ptr<models::RnnModel> initial,
                                   const data::Dataset& dataset_meta,
@@ -12,7 +25,7 @@ CohortRegistryMap::Cohort::Cohort(std::string id,
       registry_(initial, config.quantize_replicas ||
                              config.learner.gate_int8 ||
                              initial->quantized_serving()),
-      learner_(registry_, dataset_meta, config.learner),
+      learner_(registry_, dataset_meta, with_cohort_label(config.learner, id_)),
       daemon_(learner_, config.daemon) {}
 
 CohortRegistryMap::~CohortRegistryMap() { stop_daemons(); }

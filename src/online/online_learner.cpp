@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "eval/metrics.hpp"
+#include "obs/metrics.hpp"
 #include "storage/durable_io.hpp"
 
 namespace pp::online {
@@ -55,6 +56,20 @@ OnlineLearner::OnlineLearner(ModelRegistry& registry,
   trainer_config.seed = config_.seed;
   trainer_ =
       std::make_unique<train::RnnTrainer>(shadow_->network(), trainer_config);
+
+  auto& obs_registry = obs::MetricsRegistry::global();
+  const obs::MetricsRegistry::Labels cohort{{"cohort", config_.cohort}};
+  obs_round_ns_ = &obs_registry.histogram("pp_online_round_ns", cohort);
+  obs_gate_publish_ = &obs_registry.counter(
+      "pp_online_gate_total", {{"cohort", config_.cohort},
+                               {"result", "publish"}});
+  obs_gate_reject_ = &obs_registry.counter(
+      "pp_online_gate_total",
+      {{"cohort", config_.cohort}, {"result", "reject"}});
+  obs_gate_skip_ = &obs_registry.counter(
+      "pp_online_gate_total", {{"cohort", config_.cohort}, {"result", "skip"}});
+  obs_buffer_sessions_ =
+      &obs_registry.gauge("pp_online_buffer_sessions", cohort);
 }
 
 OnlineLearner::~OnlineLearner() = default;
@@ -66,6 +81,8 @@ void OnlineLearner::observe(const serving::JoinedSession& joined) {
   // observations; stats() reads the count from there.
   buffer_.add(joined.user_id, joined.session_start, joined.context,
               joined.access);
+  // Occupancy gauge: one relaxed store after the buffer's own short lock.
+  obs_buffer_sessions_->set(static_cast<double>(buffer_.size()));
 }
 
 double OnlineLearner::gate_pr_auc(const models::RnnModel& model,
@@ -89,6 +106,9 @@ double OnlineLearner::gate_pr_auc(const models::RnnModel& model,
 
 OnlineUpdateReport OnlineLearner::run_update_round() {
   MutexLock lock(mutex_);
+  // Round duration is recorded unconditionally (rounds are rare — two
+  // clock reads per round are noise next to an epoch of training).
+  obs::ScopedTimer round_timer(obs_round_ns_);
   OnlineUpdateReport report;
   ++stats_.rounds;
   report.version = registry_->current_version();
@@ -101,6 +121,7 @@ OnlineUpdateReport OnlineLearner::run_update_round() {
   // on the holdout. No gateable round exists either way.
   if (holdout_start <= 0) {
     ++stats_.skipped;
+    obs_gate_skip_->inc();
     return report;
   }
   // Both datasets come from snapshot() so there is exactly one
@@ -112,6 +133,7 @@ OnlineUpdateReport OnlineLearner::run_update_round() {
   report.train_sessions = train_ds.total_sessions();
   if (report.train_sessions < config_.min_train_sessions) {
     ++stats_.skipped;
+    obs_gate_skip_->inc();
     return report;
   }
 
@@ -140,6 +162,7 @@ OnlineUpdateReport OnlineLearner::run_update_round() {
   if (candidate_preds < config_.min_holdout_predictions ||
       std::isnan(candidate_pr) || std::isnan(published_pr)) {
     ++stats_.skipped;  // trained, but no gate decision was possible
+    obs_gate_skip_->inc();
     return report;
   }
 
@@ -148,10 +171,12 @@ OnlineUpdateReport OnlineLearner::run_update_round() {
         std::shared_ptr<models::RnnModel>(shadow_->clone()));
     report.published = true;
     ++stats_.publishes;
+    obs_gate_publish_->inc();
     return report;
   }
 
   ++stats_.rejects;
+  obs_gate_reject_->inc();
   if (config_.rollback_on_regression) {
     if (const auto prev = registry_->previous(); prev != nullptr) {
       std::size_t prev_preds = 0;

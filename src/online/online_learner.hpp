@@ -18,6 +18,7 @@
 #pragma once
 
 #include <memory>
+#include <string>
 
 #include "online/model_registry.hpp"
 #include "online/replay_buffer.hpp"
@@ -25,10 +26,21 @@
 #include "train/rnn_trainer.hpp"
 #include "util/mutex.hpp"
 
+namespace pp::obs {
+class Counter;
+class Gauge;
+class LatencyHistogram;
+}  // namespace pp::obs
+
 namespace pp::online {
 
 struct OnlineLearnerConfig {
   ReplayBufferConfig buffer;
+
+  /// Cohort label on this learner's metrics (round latency, gate counters,
+  /// buffer occupancy). Observability only — no training behavior depends
+  /// on it.
+  std::string cohort = "default";
 
   // ---- incremental fit schedule (one round) ----
   int epochs_per_round = 1;
@@ -129,6 +141,13 @@ class OnlineLearner {
   ModelRegistry* registry_;
   data::Dataset meta_;  // schema + timing constants only, users empty
   SessionReplayBuffer buffer_;
+  // Observe-only instruments (process-global registry, resolved once in
+  // the constructor, labeled cohort=config.cohort).
+  obs::LatencyHistogram* obs_round_ns_ = nullptr;
+  obs::Counter* obs_gate_publish_ = nullptr;
+  obs::Counter* obs_gate_reject_ = nullptr;
+  obs::Counter* obs_gate_skip_ = nullptr;
+  obs::Gauge* obs_buffer_sessions_ = nullptr;
 
   mutable Mutex mutex_;
   /// Private trainable copy of the published model; never served.

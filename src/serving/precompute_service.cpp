@@ -7,6 +7,7 @@
 #include <numeric>
 
 #include "eval/metrics.hpp"
+#include "obs/metrics.hpp"
 #include "train/sequence.hpp"
 #include "util/math.hpp"
 
@@ -44,6 +45,7 @@ RnnPolicy::RnnPolicy(const models::RnnModel& model, HiddenStateStore& store,
           "constructing an int8 policy");
     }
   }
+  init_obs();
 }
 
 RnnPolicy::RnnPolicy(const online::ModelRegistry& registry,
@@ -70,6 +72,23 @@ RnnPolicy::RnnPolicy(const online::ModelRegistry& registry,
           "replicas)");
     }
   }
+  init_obs();
+}
+
+void RnnPolicy::init_obs() {
+  auto& registry = obs::MetricsRegistry::global();
+  const char* prec = precision_ == ScorePrecision::kInt8 ? "int8" : "f32";
+  obs_kv_get_ = &registry.histogram(
+      "pp_serving_stage_ns", {{"stage", "kv_get"}, {"precision", prec}});
+  obs_encode_ = &registry.histogram(
+      "pp_serving_stage_ns",
+      {{"stage", "feature_encode"}, {"precision", prec}});
+  obs_gru_ = &registry.histogram(
+      "pp_serving_stage_ns", {{"stage", "gru_update"}, {"precision", prec}});
+  obs_batch_wall_ =
+      &registry.histogram("pp_serving_batch_ns", {{"precision", prec}});
+  obs_batch_sessions_ =
+      &registry.histogram("pp_serving_batch_sessions", {{"precision", prec}});
 }
 
 void RnnPolicy::begin_batch() {
@@ -110,8 +129,15 @@ std::vector<double> RnnPolicy::score_sessions(
       q8 ? train::InferenceState{} : net.infer_initial_state();
   const train::QuantizedInferenceState cold_q8 =
       q8 ? net.infer_initial_state_q8() : train::QuantizedInferenceState{};
+  // Per-batch stage breakdown (sampled 1-in-N): kv_get and feature_encode
+  // accumulate per-session laps; head_gemm/sigmoid are recorded inside
+  // score_session_batch under the same SampledSection; the span's total is
+  // this function's wall time. Pure observation — no branch below depends
+  // on a recorded value.
+  obs::TraceSpan span({obs_kv_get_, obs_encode_}, obs_batch_wall_);
   for (std::size_t b = 0; b < batch; ++b) {
     const SessionStart& s = sessions[b];
+    span.stage_begin();
     // Still one KV lookup per session (§9's dominant serving cost term);
     // only the model evaluation is batched. The stripe lock orders the
     // snapshot read against any concurrent on_session_complete for the
@@ -147,16 +173,21 @@ std::vector<double> RnnPolicy::score_sessions(
       std::memcpy(h.row(b).data(), hidden.data(),
                   hidden_size * sizeof(float));
     }
+    span.stage_add(0);  // kv_get: stripe-locked lookup + state gather
     if (seq_cfg.context_at_predict && fw > 0) {
       train::encode_step_features(active.schema(), seq_cfg.feature_mode,
                                   s.t, s.context, x.row(b));
     }
     const std::int64_t gap = updates > 0 ? s.t - last_update_time : 0;
     bucketizer_.encode(gap, x.row(b).subspan(fw, tb));
+    span.stage_add(1);  // feature_encode: context + gap bucketization
   }
 
   std::vector<double> scores = q8 ? active.score_session_batch_q8(h_q8, x)
                                   : active.score_session_batch(h, x);
+  if (span.sampled()) {
+    obs_batch_sessions_->record(static_cast<std::int64_t>(batch));
+  }
   predictions_.fetch_add(batch, std::memory_order_relaxed);
   model_flops_.fetch_add(batch * net.predict_flops(),
                          std::memory_order_relaxed);
@@ -169,6 +200,10 @@ void RnnPolicy::on_session_complete(const JoinedSession& joined) {
   const auto& seq_cfg = active.sequence_config();
   const std::size_t fw = net.config().feature_size;
   const std::size_t tb = net.config().time_buckets;
+
+  // gru_update stage: the whole completion (get -> GRU step -> put,
+  // including the stripe-lock wait) is the paper's state-update cost unit.
+  obs::ScopedTimer stage_timer(obs::sample_tick() ? obs_gru_ : nullptr);
 
   // The whole get -> GRU step -> put is one read-modify-write of the
   // user's stored state; the stripe lock keeps concurrent completions for
@@ -350,7 +385,17 @@ PrecomputeService::PrecomputeService(PrecomputePolicy& policy,
                 mutex_.assert_held();
                 handle_joined(joined);
               }),
-      metrics_(metrics_start) {}
+      metrics_(metrics_start) {
+  auto& registry = obs::MetricsRegistry::global();
+  obs_decision_ns_ = &registry.histogram(
+      "pp_serving_stage_ns",
+      {{"stage", "decision_joiner"}, {"policy", policy.name()}});
+  obs_prefetches_ = &registry.counter(
+      "pp_serving_decisions",
+      {{"policy", policy.name()}, {"decision", "prefetch"}});
+  obs_skips_ = &registry.counter(
+      "pp_serving_decisions", {{"policy", policy.name()}, {"decision", "skip"}});
+}
 
 void PrecomputeService::handle_joined(const JoinedSession& joined) {
   const auto it = pending_.find(joined.session_id);
@@ -382,6 +427,7 @@ bool PrecomputeService::on_session_start(
   joiner_.advance_to(t);
   const double score = policy_->score_session(user_id, t, context);
   const bool prefetch = score >= threshold_;
+  (prefetch ? obs_prefetches_ : obs_skips_)->inc();
   pending_[session_id] = {score, prefetch};
   joiner_.on_context(session_id, user_id, t, context);
   return prefetch;
@@ -556,13 +602,23 @@ std::vector<bool> PrecomputeService::run_session_starts(
     const std::span<const std::size_t> group(order.data() + begin,
                                              end - begin);
     const std::vector<double> scores = score_group(sessions, group, pool);
-    for (std::size_t i = 0; i < group.size(); ++i) {
-      const SessionStart& s = sessions[group[i]];
-      const bool prefetch = scores[i] >= threshold_;
-      decisions[group[i]] = prefetch;
-      pending_[s.session_id] = {scores[i], prefetch};
-      joiner_.on_context(s.session_id, s.user_id, s.t, s.context);
+    std::size_t prefetched = 0;
+    {
+      // decision_joiner stage: thresholding + pending bookkeeping + the
+      // joiner context feed for one snapshot group.
+      obs::ScopedTimer stage_timer(obs::sample_tick() ? obs_decision_ns_
+                                                      : nullptr);
+      for (std::size_t i = 0; i < group.size(); ++i) {
+        const SessionStart& s = sessions[group[i]];
+        const bool prefetch = scores[i] >= threshold_;
+        prefetched += prefetch ? 1 : 0;
+        decisions[group[i]] = prefetch;
+        pending_[s.session_id] = {scores[i], prefetch};
+        joiner_.on_context(s.session_id, s.user_id, s.t, s.context);
+      }
     }
+    obs_prefetches_->inc(prefetched);
+    obs_skips_->inc(group.size() - prefetched);
     begin = end;
   }
   return decisions;

@@ -22,6 +22,11 @@
 #include "util/mutex.hpp"
 #include "util/thread_pool.hpp"
 
+namespace pp::obs {
+class Counter;
+class LatencyHistogram;
+}  // namespace pp::obs
+
 namespace pp::serving {
 
 /// Cost ledger for one serving policy (the §9 comparison).
@@ -172,6 +177,11 @@ class RnnPolicy final : public PrecomputePolicy {
 
   static constexpr std::size_t kLockStripes = 64;
 
+  /// Resolves the policy's obs instruments once (registry lookups happen
+  /// here, never on the scoring path). Observe-only: these record latency
+  /// distributions, nothing reads them back into a decision.
+  void init_obs();
+
   const models::RnnModel* model_;
   const online::ModelRegistry* registry_ = nullptr;
   std::shared_ptr<const online::ModelVersion> active_;
@@ -184,6 +194,14 @@ class RnnPolicy final : public PrecomputePolicy {
   std::atomic<std::size_t> predictions_{0};
   std::atomic<std::size_t> state_updates_{0};
   std::atomic<std::size_t> model_flops_{0};
+  // Per-stage latency histograms (sampled; see obs::TraceSpan). Raw
+  // pointers into the process-global MetricsRegistry, valid for the
+  // process lifetime.
+  obs::LatencyHistogram* obs_kv_get_ = nullptr;
+  obs::LatencyHistogram* obs_encode_ = nullptr;
+  obs::LatencyHistogram* obs_gru_ = nullptr;
+  obs::LatencyHistogram* obs_batch_wall_ = nullptr;
+  obs::LatencyHistogram* obs_batch_sessions_ = nullptr;
 };
 
 /// GBDT serving (§9): aggregation features from the stream-maintained
@@ -319,6 +337,11 @@ class PrecomputeService {
 
   PrecomputePolicy* policy_;
   double threshold_;
+  // Decision/joiner-stage instrumentation (observe-only; resolved once in
+  // the constructor, labeled by policy name).
+  obs::LatencyHistogram* obs_decision_ns_ = nullptr;
+  obs::Counter* obs_prefetches_ = nullptr;
+  obs::Counter* obs_skips_ = nullptr;
   /// window + grace: the minimum delay between a context event and its
   /// join timer, i.e. the scoring-snapshot horizon of one batch group.
   std::int64_t horizon_;

@@ -14,12 +14,43 @@
 #include <system_error>
 #include <unordered_set>
 
+#include "obs/metrics.hpp"
 #include "storage/crc32c.hpp"
 #include "storage/durable_io.hpp"
+#include "util/stopwatch.hpp"
 
 namespace pp::storage {
 
 namespace {
+
+/// Storage-layer latency histograms (process-global, resolved once).
+/// Always-on (not sampled): these paths do syscalls, so two clock reads
+/// are noise.
+struct StorageHists {
+  obs::LatencyHistogram* append;
+  obs::LatencyHistogram* fsync;
+  obs::LatencyHistogram* recovery;
+};
+
+const StorageHists& storage_hists() {
+  static const StorageHists hists = [] {
+    auto& registry = obs::MetricsRegistry::global();
+    return StorageHists{&registry.histogram("pp_storage_append_ns"),
+                        &registry.histogram("pp_storage_fsync_ns"),
+                        &registry.histogram("pp_storage_recovery_ns")};
+  }();
+  return hists;
+}
+
+/// ::fsync with its duration recorded (every durability point in the log
+/// goes through here).
+int timed_fsync(int fd) {
+  if (!obs::timing_enabled()) return ::fsync(fd);
+  Stopwatch watch;
+  const int rc = ::fsync(fd);
+  storage_hists().fsync->record(watch.elapsed_ns());
+  return rc;
+}
 
 constexpr char kManifestFormatLine[] = "PPMANIFEST 1";
 
@@ -117,6 +148,8 @@ SegmentLog::Segment SegmentLog::create_segment(std::uint64_t id) {
 void SegmentLog::open(const ScanCallback& on_record) {
   if (opened_) throw std::logic_error("SegmentLog: open() called twice");
   opened_ = true;
+  // Recovery latency: manifest parse + orphan sweep + full segment replay.
+  obs::ScopedTimer recovery_timer(storage_hists().recovery);
   ensure_dir(config_.dir);
   discard_stale_tmp(manifest_path());
 
@@ -289,7 +322,7 @@ void SegmentLog::rotate() {
   // Seal: the segment will never be written again, so its bytes go to
   // disk now — recovery of a sealed segment must never find a torn tail
   // short of media corruption.
-  if (::fsync(active.fd) != 0) {
+  if (timed_fsync(active.fd) != 0) {
     fail("fsync seal", segment_path(active.id), errno);
   }
   Segment fresh = create_segment(next_id_++);
@@ -305,6 +338,8 @@ RecordLocation SegmentLog::append(std::string_view key,
                                   std::span<const std::uint8_t> value,
                                   std::uint32_t flags) {
   if (!opened_) throw std::logic_error("SegmentLog: append before open()");
+  // Append latency includes a possible rotation and the optional fsync.
+  obs::ScopedTimer append_timer(storage_hists().append);
   const std::size_t total = kRecordHeaderBytes + key.size() + value.size();
   if (segments_.back().size > 0 &&
       segments_.back().size + total > config_.segment_bytes) {
@@ -314,7 +349,7 @@ RecordLocation SegmentLog::append(std::string_view key,
   append_to(segments_.back(), key, value, flags, &loc);
   ++stats_.appended_records;
   if (config_.fsync_every_append) {
-    if (::fsync(segments_.back().fd) != 0) {
+    if (timed_fsync(segments_.back().fd) != 0) {
       fail("fsync", segment_path(segments_.back().id), errno);
     }
   }
@@ -349,7 +384,7 @@ std::vector<std::uint8_t> SegmentLog::read_value(
 
 void SegmentLog::sync() {
   if (!opened_) return;
-  if (::fsync(segments_.back().fd) != 0) {
+  if (timed_fsync(segments_.back().fd) != 0) {
     fail("fsync", segment_path(segments_.back().id), errno);
   }
 }
@@ -405,7 +440,7 @@ std::uint64_t SegmentLog::compact_sealed(
     };
     fill(emit);
     for (Segment& seg : output) {
-      if (::fsync(seg.fd) != 0) {
+      if (timed_fsync(seg.fd) != 0) {
         fail("fsync compacted", segment_path(seg.id), errno);
       }
     }

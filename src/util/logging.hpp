@@ -1,5 +1,9 @@
 // Minimal leveled logger. Benches and examples print their results through
 // the Table facility; the logger is for progress/diagnostic lines only.
+//
+// The PP_LOG_* macros check the level BEFORE constructing the message, so a
+// suppressed PP_LOG_DEBUG in a hot path costs one atomic load — operands are
+// never formatted (and their side effects never run) unless the line is live.
 #pragma once
 
 #include <sstream>
@@ -13,6 +17,9 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 /// Global minimum level; messages below it are dropped. Defaults to kInfo.
 void set_log_level(LogLevel level);
 LogLevel log_level();
+
+/// True when a message at `level` would be emitted. One relaxed atomic load.
+inline bool log_enabled(LogLevel level) { return level >= log_level(); }
 
 /// Thread-safe write of one formatted line to stderr.
 void log_line(LogLevel level, std::string_view message);
@@ -35,11 +42,26 @@ class LogMessage {
   std::ostringstream stream_;
 };
 
+/// Swallows the LogMessage in the enabled branch of the PP_LOG ternary so
+/// both arms have type void. operator& binds looser than operator<<, so the
+/// whole chained message is built first (only when the level is live).
+struct Voidify {
+  void operator&(const LogMessage&) const {}
+};
+
 }  // namespace detail
 
 }  // namespace pp
 
-#define PP_LOG_DEBUG ::pp::detail::LogMessage(::pp::LogLevel::kDebug)
-#define PP_LOG_INFO ::pp::detail::LogMessage(::pp::LogLevel::kInfo)
-#define PP_LOG_WARN ::pp::detail::LogMessage(::pp::LogLevel::kWarn)
-#define PP_LOG_ERROR ::pp::detail::LogMessage(::pp::LogLevel::kError)
+// Ternary (not `if`) so the macro is a single expression: no dangling-else
+// hazard, usable anywhere a statement is.
+#define PP_LOG_AT_LEVEL(level_)                \
+  !::pp::log_enabled(level_)                   \
+      ? (void)0                                \
+      : ::pp::detail::Voidify() &              \
+            ::pp::detail::LogMessage(level_)
+
+#define PP_LOG_DEBUG PP_LOG_AT_LEVEL(::pp::LogLevel::kDebug)
+#define PP_LOG_INFO PP_LOG_AT_LEVEL(::pp::LogLevel::kInfo)
+#define PP_LOG_WARN PP_LOG_AT_LEVEL(::pp::LogLevel::kWarn)
+#define PP_LOG_ERROR PP_LOG_AT_LEVEL(::pp::LogLevel::kError)

@@ -3,11 +3,19 @@
 #include <algorithm>
 #include <atomic>
 
+#include "obs/metrics.hpp"
+
 namespace pp {
 
 thread_local const ThreadPool* ThreadPool::current_pool_ = nullptr;
 
 ThreadPool::ThreadPool(std::size_t num_threads) {
+  // Resolve instruments before spawning workers: the registry (a function-
+  // local static) is then constructed before this pool and destroyed after
+  // it, and no worker ever does a registry lookup.
+  auto& registry = obs::MetricsRegistry::global();
+  obs_queue_depth_ = &registry.gauge("pp_threadpool_queue_depth");
+  obs_task_wait_ = &registry.histogram("pp_threadpool_task_wait_ns");
   if (num_threads == 0) {
     num_threads = std::max<std::size_t>(1, Thread::hardware_concurrency());
   }
@@ -26,18 +34,35 @@ ThreadPool::~ThreadPool() {
   for (auto& w : workers_) w.join();
 }
 
+void ThreadPool::push_task(std::function<void()> fn) {
+  Task task;
+  task.fn = std::move(fn);
+  if (obs::timing_enabled()) {
+    task.waited.reset();
+    task.timed = true;
+  }
+  {
+    MutexLock lock(mutex_);
+    tasks_.push(std::move(task));
+    obs_queue_depth_->set(static_cast<double>(tasks_.size()));
+  }
+  cv_.notify_one();
+}
+
 void ThreadPool::worker_loop() {
   current_pool_ = this;
   for (;;) {
-    std::function<void()> task;
+    Task task;
     {
       MutexLock lock(mutex_);
       while (!stop_ && tasks_.empty()) cv_.wait(mutex_);
       if (stop_ && tasks_.empty()) return;
       task = std::move(tasks_.front());
       tasks_.pop();
+      obs_queue_depth_->set(static_cast<double>(tasks_.size()));
     }
-    task();
+    if (task.timed) obs_task_wait_->record(task.waited.elapsed_ns());
+    task.fn();
   }
 }
 

@@ -10,7 +10,13 @@
 #include <vector>
 
 #include "util/mutex.hpp"
+#include "util/stopwatch.hpp"
 #include "util/thread.hpp"
+
+namespace pp::obs {
+class Gauge;
+class LatencyHistogram;
+}  // namespace pp::obs
 
 namespace pp {
 
@@ -33,11 +39,7 @@ class ThreadPool {
     auto packaged =
         std::make_shared<std::packaged_task<void()>>(std::forward<F>(task));
     std::future<void> result = packaged->get_future();
-    {
-      MutexLock lock(mutex_);
-      tasks_.push([packaged] { (*packaged)(); });
-    }
-    cv_.notify_one();
+    push_task([packaged] { (*packaged)(); });
     return result;
   }
 
@@ -61,15 +63,32 @@ class ThreadPool {
   static void wait_all(std::vector<std::future<void>>& futures);
 
  private:
+  /// One queued unit of work plus its wait-time clock (armed only when obs
+  /// timing is on: the stopwatch starts at enqueue, the worker records the
+  /// elapsed wait when it dequeues).
+  struct Task {
+    std::function<void()> fn;
+    Stopwatch waited{Stopwatch::Unstarted{}};
+    bool timed = false;
+  };
+
+  /// Non-template enqueue path (defined in the .cpp so the header needs no
+  /// obs dependency): queue push under the mutex + depth/wait bookkeeping.
+  void push_task(std::function<void()> fn);
+
   void worker_loop();
 
   static thread_local const ThreadPool* current_pool_;
 
   std::vector<Thread> workers_;
-  std::queue<std::function<void()>> tasks_ PP_GUARDED_BY(mutex_);
+  std::queue<Task> tasks_ PP_GUARDED_BY(mutex_);
   Mutex mutex_;
   CondVar cv_;
   bool stop_ PP_GUARDED_BY(mutex_) = false;
+  // Process-global instruments (shared by all pools), resolved once in the
+  // constructor. Observe-only: queue depth + how long tasks sat queued.
+  obs::Gauge* obs_queue_depth_ = nullptr;
+  obs::LatencyHistogram* obs_task_wait_ = nullptr;
 };
 
 }  // namespace pp

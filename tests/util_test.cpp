@@ -7,9 +7,11 @@
 #include <set>
 #include <thread>
 
+#include "util/logging.hpp"
 #include "util/math.hpp"
 #include "util/rng.hpp"
 #include "util/serialize.hpp"
+#include "util/stopwatch.hpp"
 #include "util/table.hpp"
 #include "util/thread_pool.hpp"
 
@@ -234,6 +236,54 @@ TEST(ThreadPool, PropagatesExceptions) {
   ThreadPool pool(2);
   auto f = pool.submit([] { throw std::runtime_error("boom"); });
   EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+
+TEST(Logging, SuppressedLevelEvaluatesNoArguments) {
+  // The PP_LOG_* macros must be lazy: when the level is suppressed, the
+  // streamed expressions are never evaluated (a debug log in a hot loop
+  // costs one branch, not a std::to_string).
+  const LogLevel saved = log_level();
+  set_log_level(LogLevel::kError);
+  int evaluations = 0;
+  auto expensive = [&evaluations] {
+    ++evaluations;
+    return std::string("payload");
+  };
+  PP_LOG_DEBUG << "dbg " << expensive();
+  PP_LOG_INFO << "info " << expensive();
+  PP_LOG_WARN << "warn " << expensive();
+  EXPECT_EQ(evaluations, 0);
+  PP_LOG_ERROR << "err " << expensive();  // enabled level does evaluate
+  EXPECT_EQ(evaluations, 1);
+  set_log_level(saved);
+}
+
+TEST(StopwatchTest, ElapsedNsIsMonotoneAndLapResets) {
+  Stopwatch watch;
+  const std::int64_t a = watch.elapsed_ns();
+  EXPECT_GE(a, 0);
+  volatile int sink = 0;
+  for (int i = 0; i < 10000; ++i) sink = sink + i;
+  const std::int64_t b = watch.elapsed_ns();
+  EXPECT_GE(b, a);
+  // lap_ns returns the elapsed interval and restarts the clock with the
+  // same reading, so consecutive laps tile time with no gap.
+  Stopwatch lapper;
+  for (int i = 0; i < 10000; ++i) sink = sink + i;
+  const std::int64_t lap1 = lapper.lap_ns();
+  EXPECT_GT(lap1, 0);
+  const std::int64_t lap2 = lapper.lap_ns();
+  EXPECT_GE(lap2, 0);
+  EXPECT_LT(lap2, lap1 + 1000000);  // the reset actually happened
+}
+
+TEST(StopwatchTest, UnstartedTagConstructsWithoutClockRead) {
+  // The disarmed-timer building block: construction must be free of clock
+  // syscalls; reset() arms it.
+  Stopwatch watch{Stopwatch::Unstarted{}};
+  watch.reset();
+  EXPECT_GE(watch.elapsed_ns(), 0);
 }
 
 }  // namespace
