@@ -13,9 +13,11 @@
 #
 # Tiered fail-fast ordering in every lane: unit/obs/quant (one fast
 # batch: kernels, models, and the metrics/exporter layer with its
-# observe-only serving contract) → online → persist → serving (→ stress).
-# The online continual-learning tier gates the durable-state (persist)
-# tier, which gates the serving integration tier. The stress
+# observe-only serving contract) → online → persist → ingest → serving
+# (→ stress). The online continual-learning tier gates the durable-state
+# (persist) tier, which gates the streaming-ingest tier (wire codec, bus
+# backpressure, threaded-ingest determinism), which gates the serving
+# integration tier. The stress
 # tier is selected with an explicit -L '^stress$' — the tier partition
 # being total (every test exactly one tier label) is itself asserted by
 # the tier_labels_check test in the unit tier. The TSan lane additionally
@@ -201,6 +203,7 @@ fi
 
 run_tier '^online$' "online"
 run_tier '^persist$' "persist (durable state)"
+run_tier '^ingest$' "ingest (wire codec / bus / threaded determinism)"
 run_tier '^serving$' "serving"
 if [[ "${RUN_STRESS}" == 1 ]]; then
   run_tier '^stress$' "stress"
@@ -219,6 +222,12 @@ if [[ "${RUN_BENCH}" == 1 ]]; then
     --baseline "${REPO_ROOT}/ci/bench_baseline.json" \
     --min-ratio "${PP_BENCH_GATE_MIN_RATIO:-0.30}" \
     --metrics-out "${BUILD_DIR}/BENCH_serving_metrics"
+
+  echo "== bench gate: ingest events/s vs ci/bench_ingest_baseline.json =="
+  "${BUILD_DIR}/bench_ingest_smoke" \
+    --out "${BUILD_DIR}/BENCH_ingest.json" \
+    --baseline "${REPO_ROOT}/ci/bench_ingest_baseline.json" \
+    --min-ratio "${PP_BENCH_GATE_MIN_RATIO:-0.30}"
 fi
 
 echo "== OK (${SANITIZE:-${MODE:-release}} lane) =="

@@ -1,7 +1,7 @@
 # Ran as a ctest test (see CMakeLists.txt): asserts the tier partition is
 # total — every registered test carries exactly one tier label out of
-# lint/unit/obs/quant/online/persist/serving/stress, and every test has a
-# positive TIMEOUT
+# lint/unit/obs/quant/online/persist/serving/ingest/stress, and every test
+# has a positive TIMEOUT
 # so a hang fails CI instead of wedging it. Run with:
 #   cmake -DBUILD_DIR=<build> -DCTEST_EXECUTABLE=<ctest> -P check_tier_labels.cmake
 cmake_minimum_required(VERSION 3.24)
@@ -11,7 +11,7 @@ if(NOT DEFINED BUILD_DIR OR NOT DEFINED CTEST_EXECUTABLE)
                       "-P check_tier_labels.cmake")
 endif()
 
-set(PP_TIERS lint unit obs quant online persist serving stress)
+set(PP_TIERS lint unit obs quant online persist serving ingest stress)
 
 execute_process(
   COMMAND ${CTEST_EXECUTABLE} --show-only=json-v1
@@ -66,7 +66,7 @@ foreach(pp_i RANGE ${pp_last})
     list(APPEND pp_errors
          "${pp_name}: carries ${pp_tier_count} tier labels "
          "[${pp_tiers_found}] — every test needs exactly one of "
-         "lint/unit/obs/quant/online/persist/serving/stress\n")
+         "lint/unit/obs/quant/online/persist/serving/ingest/stress\n")
   endif()
   if(NOT pp_timeout GREATER 0)
     list(APPEND pp_errors

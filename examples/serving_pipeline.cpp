@@ -5,14 +5,22 @@
 // paper's 10x serving-cost claim, and the multi-tenant continual-learning
 // tier: per-cohort model registries updated by a background daemon whose
 // learner state checkpoints to disk and resumes bit-identically.
+//
+// Every serving stack here is ONE registration call: a TenantSpec names
+// the cohort id, model, KV backend, codec, thresholds, and learner/daemon
+// config, and CohortRegistryMap::register_tenant() returns the fully wired
+// ServingStack. The final section pushes events through the streaming
+// ingest bus (wire codec → bounded lanes → watermark-merging consumer)
+// instead of calling the service directly.
 #include <cstdio>
 #include <filesystem>
 #include <numeric>
 
 #include "data/generators.hpp"
+#include "ingest/consumer.hpp"
+#include "ingest/load_gen.hpp"
 #include "models/rnn_model.hpp"
-#include "online/cohort_map.hpp"
-#include "serving/hidden_store.hpp"
+#include "online/tenant.hpp"
 #include "serving/precompute_service.hpp"
 
 int main() {
@@ -34,16 +42,25 @@ int main() {
   std::iota(train_users.begin(), train_users.end(), 0);
   model.fit(dataset, train_users);
 
-  // The serving stack: KV store + hidden-state codec + policy + joiner.
-  serving::LocalKvStore kv;
-  serving::HiddenStateStore hidden_store(kv, serving::StateCodec::kFloat32);
-  serving::RnnPolicy policy(model, hidden_store);
-  serving::PrecomputeService service(policy, /*threshold=*/0.3,
-                                     dataset.session_length,
-                                     /*grace=*/60, dataset.start_time);
+  // One map hosts every tenant in this process.
+  online::CohortRegistryMap tenants;
+
+  // The serving stack — KV store + hidden-state codec + policy + joiner —
+  // is one registration call. capture=false: a frozen tenant that serves
+  // version 1 and feeds nothing back.
+  online::TenantSpec walkthrough;
+  walkthrough.id = "walkthrough";
+  walkthrough.model = std::shared_ptr<models::RnnModel>(model.clone());
+  walkthrough.dataset_meta = &dataset;
+  walkthrough.backend = storage::KvBackendSpec::local();
+  walkthrough.threshold = 0.3;
+  walkthrough.grace = 60;
+  walkthrough.capture = false;
+  online::ServingStack& stack = tenants.register_tenant(walkthrough);
+  serving::PrecomputeService& service = stack.service();
   std::printf("hidden state payload: %zu bytes per user (paper: 512 B at "
               "d=128)\n\n",
-              hidden_store.encoded_bytes(model.network()));
+              stack.hidden_store().encoded_bytes(model.network()));
 
   // Replay one fresh user's sessions as live traffic.
   const auto& user = dataset.users[350];
@@ -69,7 +86,7 @@ int main() {
               metrics.successful_prefetches(), metrics.precision(),
               metrics.recall());
 
-  const auto costs = policy.cost_summary();
+  const auto costs = stack.policy().cost_summary();
   std::printf("serving costs: %.1f KV lookups/prediction, %zu bytes "
               "stored, %zu MACs/prediction\n",
               costs.lookups_per_prediction(), costs.storage_bytes,
@@ -78,17 +95,20 @@ int main() {
   std::printf("stream joiner: %zu contexts, %zu accesses, %zu joined\n",
               joiner.contexts, joiner.accesses, joiner.joined);
 
-  // --- The multi-threaded tier: the same policy/service wiring over a
-  // sharded store, with session-start batches partitioned user-affinely
-  // across a worker pool (each user's hidden state is touched by exactly
-  // one worker; the stream joiner stays single-writer).
-  serving::ShardedKvStore sharded_kv(/*num_shards=*/8);
-  serving::HiddenStateStore sharded_store(sharded_kv,
-                                          serving::StateCodec::kFloat32);
-  serving::RnnPolicy sharded_policy(model, sharded_store);
-  serving::PrecomputeService sharded_service(
-      sharded_policy, /*threshold=*/0.3, dataset.session_length,
-      /*grace=*/60, dataset.start_time);
+  // --- The multi-threaded tier: the same spec with a sharded backend;
+  // session-start batches are partitioned user-affinely across a worker
+  // pool (each user's hidden state is touched by exactly one worker; the
+  // stream joiner stays single-writer).
+  online::TenantSpec sharded_spec;
+  sharded_spec.id = "sharded";
+  sharded_spec.model = std::shared_ptr<models::RnnModel>(model.clone());
+  sharded_spec.dataset_meta = &dataset;
+  sharded_spec.backend = storage::KvBackendSpec::sharded(8);
+  sharded_spec.threshold = 0.3;
+  sharded_spec.grace = 60;
+  sharded_spec.capture = false;
+  online::ServingStack& sharded_stack = tenants.register_tenant(sharded_spec);
+  serving::PrecomputeService& sharded_service = sharded_stack.service();
   ThreadPool pool(4);
 
   // Replay a cohort of fresh users in batches of 256 session starts; the
@@ -125,88 +145,72 @@ int main() {
   std::printf("\nsharded tier (8 shards, 4 workers): %zu sessions scored "
               "in batches, %zu precomputes triggered\n",
               scored, triggered);
-  const auto sharded_costs = sharded_policy.cost_summary();
-  std::printf("sharded costs: %.1f KV lookups/prediction across %zu shards, "
-              "%zu live keys\n",
+  const auto sharded_costs = sharded_stack.policy().cost_summary();
+  std::printf("sharded costs: %.1f KV lookups/prediction, %zu live keys\n",
               sharded_costs.lookups_per_prediction(),
-              sharded_kv.num_shards(), sharded_costs.live_keys);
+              sharded_costs.live_keys);
 
   // --- The multi-tenant continual-learning tier (§10): one process, N
-  // surfaces. Each cohort id keys an isolated registry + learner + replay
-  // buffer; a background OnlineUpdateDaemon per cohort drives rate-limited
-  // update rounds off the serving threads and checkpoints the learner
-  // state so a killed process resumes its Adam state bit-identically.
+  // surfaces. Each registration wires an isolated registry + learner +
+  // replay buffer + serving stack whose joiner feed lands in its own
+  // cohort's buffer; start_daemon=true brings up the background
+  // OnlineUpdateDaemon before register_tenant returns.
   const std::string checkpoint_path =
       (std::filesystem::temp_directory_path() / "pp_tab_prefetch.ckpt")
           .string();
   std::filesystem::remove(checkpoint_path);
 
-  online::CohortRegistryMap cohorts;
-  online::CohortConfig cohort_config;
-  cohort_config.learner.min_train_sessions = 50;
-  cohort_config.learner.min_holdout_predictions = 10;
-  cohort_config.learner.holdout_window = 86400;
+  online::TenantSpec tab_spec;
+  tab_spec.id = "tab_prefetch";
+  tab_spec.model = std::shared_ptr<models::RnnModel>(model.clone());
+  tab_spec.dataset_meta = &dataset;
+  tab_spec.threshold = 0.3;
+  tab_spec.grace = 60;
+  tab_spec.cohort.learner.min_train_sessions = 50;
+  tab_spec.cohort.learner.min_holdout_predictions = 10;
+  tab_spec.cohort.learner.holdout_window = 86400;
   // The bursty surface samples its replay buffer uniformly over the whole
   // stream (reservoir admission) instead of keeping only the recent tail.
-  cohort_config.learner.buffer.admission =
+  tab_spec.cohort.learner.buffer.admission =
       pp::online::AdmissionPolicy::kReservoir;
-  cohort_config.learner.buffer.capacity = 20000;
-  cohort_config.daemon.min_round_interval = std::chrono::milliseconds(100);
-  cohort_config.daemon.min_new_sessions = 500;
-  cohort_config.daemon.checkpoint_every_rounds = 1;
-  cohort_config.daemon.checkpoint_path = checkpoint_path;
-  auto& tab_cohort = cohorts.create(
-      "tab_prefetch", std::shared_ptr<models::RnnModel>(model.clone()),
-      dataset, cohort_config);
+  tab_spec.cohort.learner.buffer.capacity = 20000;
+  tab_spec.cohort.daemon.min_round_interval = std::chrono::milliseconds(100);
+  tab_spec.cohort.daemon.min_new_sessions = 500;
+  tab_spec.cohort.daemon.checkpoint_every_rounds = 1;
+  tab_spec.cohort.daemon.checkpoint_path = checkpoint_path;
+  tab_spec.start_daemon = true;
+  online::ServingStack& tab_stack = tenants.register_tenant(tab_spec);
 
-  online::CohortConfig notif_config;  // second tenant: recency buffer
-  notif_config.learner.min_train_sessions = 50;
-  notif_config.learner.min_holdout_predictions = 10;
-  auto& notif_cohort = cohorts.create(
-      "notif_preload", std::shared_ptr<models::RnnModel>(model.clone()),
-      dataset, notif_config);
-
-  // Per-cohort serving stacks: registry-backed policies pin a model
-  // version at every batch-group boundary (begin_batch), and each
-  // service's joiner feed lands in its own cohort's replay buffer.
-  serving::LocalKvStore tab_kv, notif_kv;
-  serving::HiddenStateStore tab_store(tab_kv), notif_store(notif_kv);
-  serving::RnnPolicy tab_policy(tab_cohort.registry(), tab_store);
-  serving::RnnPolicy notif_policy(notif_cohort.registry(), notif_store);
-  serving::PrecomputeService tab_service(tab_policy, 0.3,
-                                         dataset.session_length, 60,
-                                         dataset.start_time);
-  serving::PrecomputeService notif_service(notif_policy, 0.3,
-                                           dataset.session_length, 60,
-                                           dataset.start_time);
-  tab_service.set_completion_listener(
-      [&](const serving::JoinedSession& joined) {
-        tab_cohort.observe(joined);
-      });
-  notif_service.set_completion_listener(
-      [&](const serving::JoinedSession& joined) {
-        notif_cohort.observe(joined);
-      });
-  cohorts.start_daemons();
+  online::TenantSpec notif_spec;  // second tenant: recency buffer
+  notif_spec.id = "notif_preload";
+  notif_spec.model = std::shared_ptr<models::RnnModel>(model.clone());
+  notif_spec.dataset_meta = &dataset;
+  notif_spec.threshold = 0.3;
+  notif_spec.grace = 60;
+  notif_spec.cohort.learner.min_train_sessions = 50;
+  notif_spec.cohort.learner.min_holdout_predictions = 10;
+  notif_spec.start_daemon = true;
+  online::ServingStack& notif_stack = tenants.register_tenant(notif_spec);
 
   // Replay two disjoint user slices as the two surfaces' live traffic.
   for (std::size_t u = 0; u < 120; ++u) {
     const auto& traffic_user = dataset.users[u];
-    serving::PrecomputeService& service =
-        u < 60 ? tab_service : notif_service;
+    serving::PrecomputeService& surface =
+        u < 60 ? tab_stack.service() : notif_stack.service();
     for (const auto& s : traffic_user.sessions) {
-      service.on_session_start(++session_id, traffic_user.user_id,
+      surface.on_session_start(++session_id, traffic_user.user_id,
                                s.timestamp, s.context);
-      if (s.access) service.on_access(session_id, s.timestamp + 300);
+      if (s.access) surface.on_access(session_id, s.timestamp + 300);
     }
   }
-  tab_service.flush();
-  notif_service.flush();
+  tab_stack.service().flush();
+  notif_stack.service().flush();
 
   // Force one gated round per cohort right now (still executed on each
   // daemon's thread — production would just let the triggers fire).
-  for (const std::string& id : cohorts.ids()) {
-    auto& cohort = cohorts.at(id);
+  for (const std::string& id : tenants.ids()) {
+    if (id == "walkthrough" || id == "sharded") continue;  // frozen tenants
+    auto& cohort = tenants.at(id);
     const auto report = cohort.daemon().drive_round();
     std::printf("\ncohort %-13s v%llu: buffered %zu sessions / %zu users, "
                 "round %s (cand %.3f vs pub %.3f)\n",
@@ -223,22 +227,75 @@ int main() {
                 daemon_stats.rounds_driven, daemon_stats.checkpoints,
                 cohort.learner().stats().rounds);
   }
-  cohorts.stop_daemons();
+  tab_stack.stop_daemon();
+  notif_stack.stop_daemon();
 
   // Kill/resume: a fresh learner restored from the daemon's checkpoint
   // carries the exact shadow weights + Adam moments + step count.
   online::ModelRegistry resume_registry(
       std::shared_ptr<models::RnnModel>(model.clone()));
   online::OnlineLearner resumed(resume_registry, dataset,
-                                cohort_config.learner);
+                                tab_spec.cohort.learner);
   const bool resumed_ok = resumed.load_checkpoint(checkpoint_path);
   pp::BinaryWriter before, after;
-  tab_cohort.learner().save_state(before);
+  tab_stack.cohort().learner().save_state(before);
   resumed.save_state(after);
   std::printf("\ncheckpoint resume: %s, state bytes %s (%zu)\n",
               resumed_ok ? "loaded" : "no checkpoint",
               before.bytes() == after.bytes() ? "bit-identical" : "DIVERGED",
               after.bytes().size());
   std::filesystem::remove(checkpoint_path);
+
+  // --- Push-based ingest (§9): producers frame events through the wire
+  // codec onto bounded bus lanes; the consumer thread decodes, merges
+  // lanes by watermark into (t, seq) order, and feeds a fresh tenant's
+  // service in snapshot-group batches — decisions bit-identical to a
+  // sequential replay of the same events.
+  online::TenantSpec ingest_spec;
+  ingest_spec.id = "ingest_demo";
+  ingest_spec.model = std::shared_ptr<models::RnnModel>(model.clone());
+  ingest_spec.dataset_meta = &dataset;
+  ingest_spec.backend = storage::KvBackendSpec::sharded(8);
+  ingest_spec.threshold = 0.3;
+  ingest_spec.grace = 60;
+  ingest_spec.capture = false;
+  online::ServingStack& ingest_stack = tenants.register_tenant(ingest_spec);
+
+  ingest::EventBusConfig bus_config;
+  bus_config.num_lanes = 4;
+  bus_config.lane_capacity = 256;
+  ingest::EventBus bus(bus_config);
+
+  ingest::LoadGenConfig load_config;
+  load_config.num_users = 1 << 20;  // a million-user Zipf universe
+  load_config.num_producers = 4;
+  load_config.sessions_per_producer = 2000;
+  load_config.session_length = dataset.session_length;
+  load_config.start_time = dataset.start_time;
+  ingest::LoadGenerator load(load_config);
+
+  ingest::ConsumerConfig consumer_config;
+  consumer_config.pool = &pool;
+  ingest::IngestConsumer consumer(bus, ingest_stack.service(),
+                                  consumer_config);
+  consumer.start();
+  const ingest::LoadGenStats produced = load.run(&bus);
+  consumer.join();
+  ingest_stack.service().flush();
+
+  const ingest::ConsumerStats& consumed = consumer.stats();
+  const auto bus_totals = bus.totals();
+  std::printf("\ningest bus: %llu events from %zu producers at %.0f ev/s "
+              "(%llu frames decoded, %llu batches, max lane depth %zu)\n",
+              static_cast<unsigned long long>(produced.events),
+              load_config.num_producers, produced.achieved_events_per_sec,
+              static_cast<unsigned long long>(consumed.wire.frames_decoded),
+              static_cast<unsigned long long>(consumed.batches),
+              bus_totals.max_depth);
+  const auto ingest_joiner = ingest_stack.service().joiner_stats();
+  std::printf("ingest joiner: %zu contexts, %zu accesses, %zu joined, "
+              "%zu clock rewinds\n",
+              ingest_joiner.contexts, ingest_joiner.accesses,
+              ingest_joiner.joined, ingest_joiner.clock_rewinds);
   return 0;
 }

@@ -1,0 +1,163 @@
+#include "ingest/consumer.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+#include "util/stopwatch.hpp"
+
+namespace pp::ingest {
+
+IngestConsumer::IngestConsumer(EventBus& bus,
+                               serving::PrecomputeService& service,
+                               ConsumerConfig config)
+    : bus_(bus), service_(service), config_(config) {
+  if (config_.batch_capacity == 0) {
+    throw std::invalid_argument("IngestConsumer: batch_capacity must be > 0");
+  }
+  lanes_.resize(bus_.num_lanes());
+  batch_.reserve(config_.batch_capacity);
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
+  decision_hist_ = &reg.histogram("ingest_decision_latency_ns");
+  events_counter_ = &reg.counter("ingest_events_total");
+}
+
+IngestConsumer::~IngestConsumer() {
+  if (started_ && thread_.joinable()) thread_.join();
+}
+
+void IngestConsumer::start() {
+  if (started_) throw std::logic_error("IngestConsumer: already started");
+  started_ = true;
+  thread_ = Thread([this] { run(); });
+}
+
+void IngestConsumer::join() {
+  if (started_ && thread_.joinable()) thread_.join();
+}
+
+bool IngestConsumer::pump_lane(std::size_t i) {
+  LaneState& lane = lanes_[i];
+  if (lane.done_input) return false;
+  chunks_.clear();
+  const bool open = bus_.drain(i, &chunks_);
+  bool progress = !chunks_.empty();
+  for (const std::vector<std::uint8_t>& chunk : chunks_) {
+    lane.decoder.feed(chunk);
+  }
+  Event ev;
+  while (lane.decoder.next(&ev) == WireDecoder::Status::kOk) {
+    // Producer contract: non-decreasing t per lane. A violating event would
+    // break watermark safety, so clamp it to the lane watermark — the
+    // joiner's own clock guard then counts any residual rewind.
+    if (ev.t < lane.watermark) ev.t = lane.watermark;
+    lane.watermark = ev.t;
+    lane.events.push_back(ev);
+    progress = true;
+  }
+  if (!open) {
+    // drain() returned closed-and-empty: every chunk this lane will ever
+    // carry has been fed and decoded above. Pin the watermark so the
+    // lane's remaining buffered events become globally eligible.
+    lane.done_input = true;
+    lane.watermark = std::numeric_limits<std::int64_t>::max();
+    progress = true;
+  }
+  return progress;
+}
+
+void IngestConsumer::flush_batch() {
+  if (batch_.empty()) return;
+  Stopwatch watch;
+  std::vector<bool> decisions =
+      config_.pool != nullptr ? service_.on_session_starts(batch_, *config_.pool)
+                              : service_.on_session_starts(batch_);
+  (void)decisions;
+  const std::int64_t per_event =
+      watch.elapsed_ns() / static_cast<std::int64_t>(batch_.size());
+  // One record per context event: the wall time from batch-feed start to
+  // completion of its snapshot groups, attributed evenly. p50/p99 of this
+  // histogram are the bench's decision-latency numbers.
+  for (std::size_t i = 0; i < batch_.size(); ++i) {
+    decision_hist_->record(per_event);
+  }
+  ++stats_.batches;
+  batch_.clear();
+}
+
+void IngestConsumer::feed(const std::vector<Event>& merged) {
+  for (const Event& ev : merged) {
+    ++stats_.events;
+    events_counter_->inc();
+    if (ev.kind == EventKind::kContext) {
+      batch_.push_back(serving::SessionStart{ev.session_id, ev.user_id, ev.t,
+                                             ev.context});
+      ++stats_.contexts;
+      if (batch_.size() >= config_.batch_capacity) flush_batch();
+    } else {
+      // The access must observe exactly the state the sequential order
+      // implies: everything before it goes through the service first.
+      flush_batch();
+      service_.on_access(ev.session_id, ev.t);
+      ++stats_.accesses;
+    }
+  }
+  flush_batch();
+}
+
+void IngestConsumer::run() {
+  std::vector<Event> merged;
+  for (;;) {
+    const std::uint64_t seen = bus_.activity_epoch();
+    bool progress = false;
+    for (std::size_t i = 0; i < lanes_.size(); ++i) {
+      progress |= pump_lane(i);
+    }
+
+    // Watermark: every lane's future events have t >= its watermark, so
+    // events strictly below the minimum are complete and safely ordered.
+    std::int64_t min_wm = std::numeric_limits<std::int64_t>::max();
+    bool all_exhausted = true;
+    for (const LaneState& lane : lanes_) {
+      if (!lane.done_input || !lane.events.empty()) all_exhausted = false;
+      if (lane.watermark < min_wm) min_wm = lane.watermark;
+    }
+
+    merged.clear();
+    std::size_t held = 0;
+    for (LaneState& lane : lanes_) {
+      while (!lane.events.empty() &&
+             (lane.events.front().t < min_wm ||
+              min_wm == std::numeric_limits<std::int64_t>::max())) {
+        merged.push_back(lane.events.front());
+        lane.events.pop_front();
+      }
+      held += lane.events.size();
+    }
+    if (held > stats_.max_held) stats_.max_held = held;
+
+    if (!merged.empty()) {
+      // seq is globally unique, so (t, seq) is a total order — the merge
+      // result is independent of thread timing.
+      std::sort(merged.begin(), merged.end(),
+                [](const Event& a, const Event& b) {
+                  return a.t != b.t ? a.t < b.t : a.seq < b.seq;
+                });
+      ++stats_.merge_rounds;
+      feed(merged);
+      progress = true;
+    }
+
+    if (all_exhausted) break;
+    if (!progress) bus_.wait_activity(seen);
+  }
+  flush_batch();
+  for (const LaneState& lane : lanes_) {
+    stats_.wire.frames_decoded += lane.decoder.stats().frames_decoded;
+    stats_.wire.crc_rejects += lane.decoder.stats().crc_rejects;
+    stats_.wire.header_rejects += lane.decoder.stats().header_rejects;
+    stats_.wire.resync_bytes += lane.decoder.stats().resync_bytes;
+  }
+}
+
+}  // namespace pp::ingest

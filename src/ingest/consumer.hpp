@@ -1,0 +1,108 @@
+// Ingest consumer: one thread that drains every bus lane, decodes frames,
+// merges lanes into a single deterministic event order, and feeds the
+// SessionJoiner → snapshot-group PrecomputeService pipeline.
+//
+// Determinism contract (extends the batched == sequential pin of the
+// serving tier): the decisions, cost ledger, and joiner stats produced by
+// threaded ingest are bit-identical to a sequential replay of the same
+// events sorted by (t, seq). The merge achieves this with per-lane
+// watermarks: each lane's events arrive in non-decreasing event time (the
+// producer contract), so once every lane has advanced past time T, all
+// events with t < T are present and can be globally ordered by (t, seq) —
+// no later arrival can sort before them. Events at or above the minimum
+// watermark wait for the next round; exhausted lanes (closed + drained +
+// decoder empty) hold a +inf watermark so the tail always flushes.
+//
+// Batching: runs of merged context events are fed through
+// on_session_starts() (optionally fanned out over a ThreadPool); the batch
+// is cut at every access event so the access observes exactly the joiner
+// state the sequential order implies. Where the merge rounds happen to cut
+// batches does not affect results — the service re-sorts and snapshots
+// groups internally, which is precisely the pinned batched == sequential
+// property.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "ingest/event_bus.hpp"
+#include "ingest/wire.hpp"
+#include "obs/metrics.hpp"
+#include "serving/precompute_service.hpp"
+#include "util/thread.hpp"
+#include "util/thread_pool.hpp"
+
+namespace pp::ingest {
+
+struct ConsumerConfig {
+  /// Max context events per on_session_starts() batch.
+  std::size_t batch_capacity = 256;
+  /// Optional pool for user-affine snapshot-group fan-out (policy must be
+  /// concurrent_safe(); the service falls back to inline scoring if not).
+  ThreadPool* pool = nullptr;
+};
+
+struct ConsumerStats {
+  std::uint64_t events = 0;
+  std::uint64_t contexts = 0;
+  std::uint64_t accesses = 0;
+  std::uint64_t batches = 0;        // on_session_starts() calls
+  std::uint64_t merge_rounds = 0;   // drain→merge→feed passes
+  std::size_t max_held = 0;         // high-water decoded-but-ineligible events
+  WireDecoderStats wire;            // summed over lanes
+};
+
+class IngestConsumer {
+ public:
+  IngestConsumer(EventBus& bus, serving::PrecomputeService& service,
+                 ConsumerConfig config = {});
+  ~IngestConsumer();
+  IngestConsumer(const IngestConsumer&) = delete;
+  IngestConsumer& operator=(const IngestConsumer&) = delete;
+
+  /// Spawns the consumer thread. The thread runs until every lane is
+  /// exhausted (producers must close their lanes), then returns.
+  void start();
+  /// Joins the consumer thread (blocks until the bus is exhausted).
+  void join();
+
+  /// Valid after join(): the join gives the reader happens-before over the
+  /// consumer thread's writes.
+  const ConsumerStats& stats() const { return stats_; }
+
+ private:
+  struct LaneState {
+    WireDecoder decoder;
+    std::deque<Event> events;  // decoded, waiting for the watermark
+    std::int64_t watermark = std::numeric_limits<std::int64_t>::min();
+    /// Lane closed + drained + decoded to exhaustion: no event can ever
+    /// arrive again, so the watermark is pinned at +inf (a truncated frame
+    /// tail on a closed lane is unfinishable and is abandoned as-is).
+    bool done_input = false;
+  };
+
+  void run();
+  /// Drains + decodes one lane; returns true if anything new arrived.
+  bool pump_lane(std::size_t i);
+  /// Feeds one (t, seq)-ordered slice of events into the service.
+  void feed(const std::vector<Event>& merged);
+  void flush_batch();
+
+  EventBus& bus_;
+  serving::PrecomputeService& service_;
+  ConsumerConfig config_;
+  Thread thread_;
+  bool started_ = false;
+
+  std::vector<LaneState> lanes_;
+  std::vector<serving::SessionStart> batch_;
+  std::vector<std::vector<std::uint8_t>> chunks_;  // drain scratch
+  ConsumerStats stats_;
+
+  obs::LatencyHistogram* decision_hist_;  // per-event batch-feed latency
+  obs::Counter* events_counter_;
+};
+
+}  // namespace pp::ingest

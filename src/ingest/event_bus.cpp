@@ -1,0 +1,138 @@
+#include "ingest/event_bus.hpp"
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace pp::ingest {
+
+EventBus::EventBus(const EventBusConfig& config) : config_(config) {
+  if (config_.num_lanes == 0) {
+    throw std::invalid_argument("EventBus: num_lanes must be > 0");
+  }
+  if (config_.lane_capacity == 0) {
+    throw std::invalid_argument("EventBus: lane_capacity must be > 0");
+  }
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
+  published_total_ = &reg.counter("ingest_chunks_published_total");
+  dropped_total_ = &reg.counter("ingest_chunks_dropped_total");
+  blocked_total_ = &reg.counter("ingest_publish_blocked_total");
+  lanes_.reserve(config_.num_lanes);
+  for (std::size_t i = 0; i < config_.num_lanes; ++i) {
+    auto lane = std::make_unique<Lane>();
+    lane->depth_gauge =
+        &reg.gauge("ingest_queue_depth", {{"lane", std::to_string(i)}});
+    lanes_.push_back(std::move(lane));
+  }
+}
+
+bool EventBus::publish(std::size_t lane_index,
+                       std::vector<std::uint8_t> chunk) {
+  Lane& lane = *lanes_.at(lane_index);
+  bool accepted = false;
+  {
+    MutexLock lock(lane.mu);
+    if (config_.backpressure == BackpressurePolicy::kBlock) {
+      bool waited = false;
+      while (!lane.closed && lane.q.size() >= config_.lane_capacity) {
+        waited = true;
+        lane.not_full.wait(lane.mu);
+      }
+      if (waited) {
+        ++lane.stats.blocked;
+        blocked_total_->inc();
+      }
+    }
+    if (lane.closed) {
+      ++lane.stats.closed_rejects;
+    } else if (lane.q.size() >= config_.lane_capacity) {
+      // kDropNewest: the queue is full, the newest chunk loses.
+      ++lane.stats.dropped;
+      dropped_total_->inc();
+    } else {
+      lane.q.push_back(std::move(chunk));
+      ++lane.stats.published;
+      if (lane.q.size() > lane.stats.max_depth) {
+        lane.stats.max_depth = lane.q.size();
+      }
+      lane.depth_gauge->set(static_cast<double>(lane.q.size()));
+      published_total_->inc();
+      accepted = true;
+    }
+  }
+  bump_activity();
+  return accepted;
+}
+
+void EventBus::close(std::size_t lane_index) {
+  Lane& lane = *lanes_.at(lane_index);
+  {
+    MutexLock lock(lane.mu);
+    lane.closed = true;
+  }
+  // Blocked publishers must observe closed and give up waiting for space.
+  lane.not_full.notify_all();
+  bump_activity();
+}
+
+void EventBus::close_all() {
+  for (std::size_t i = 0; i < lanes_.size(); ++i) close(i);
+}
+
+bool EventBus::drain(std::size_t lane_index,
+                     std::vector<std::vector<std::uint8_t>>* out) {
+  Lane& lane = *lanes_.at(lane_index);
+  bool open;
+  bool freed = false;
+  {
+    MutexLock lock(lane.mu);
+    while (!lane.q.empty()) {
+      out->push_back(std::move(lane.q.front()));
+      lane.q.pop_front();
+      freed = true;
+    }
+    lane.depth_gauge->set(0.0);
+    open = !lane.closed;
+  }
+  if (freed) lane.not_full.notify_all();
+  return open;
+}
+
+std::uint64_t EventBus::activity_epoch() const {
+  MutexLock lock(activity_mutex_);
+  return activity_;
+}
+
+void EventBus::wait_activity(std::uint64_t seen) {
+  MutexLock lock(activity_mutex_);
+  while (activity_ == seen) activity_cv_.wait(activity_mutex_);
+}
+
+void EventBus::bump_activity() {
+  {
+    MutexLock lock(activity_mutex_);
+    ++activity_;
+  }
+  activity_cv_.notify_all();
+}
+
+LaneStats EventBus::lane_stats(std::size_t lane_index) const {
+  const Lane& lane = *lanes_.at(lane_index);
+  MutexLock lock(lane.mu);
+  return lane.stats;
+}
+
+LaneStats EventBus::totals() const {
+  LaneStats total;
+  for (std::size_t i = 0; i < lanes_.size(); ++i) {
+    const LaneStats s = lane_stats(i);
+    total.published += s.published;
+    total.dropped += s.dropped;
+    total.blocked += s.blocked;
+    total.closed_rejects += s.closed_rejects;
+    if (s.max_depth > total.max_depth) total.max_depth = s.max_depth;
+  }
+  return total;
+}
+
+}  // namespace pp::ingest

@@ -1,0 +1,226 @@
+#include "ingest/load_gen.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+#include "util/mutex.hpp"
+#include "util/stopwatch.hpp"
+#include "util/thread.hpp"
+
+namespace pp::ingest {
+namespace {
+
+/// splitmix64 finalizer — the same mixer the serving tier uses for
+/// user-affine sharding; here it derives per-session deterministic choices
+/// (context fields, access flag) from (seed, user, session).
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+ZipfSampler::ZipfSampler(std::uint64_t n, double theta)
+    : n_(n), theta_(theta) {
+  if (n == 0) throw std::invalid_argument("ZipfSampler: n must be > 0");
+  if (!(theta > 0.0 && theta < 1.0)) {
+    throw std::invalid_argument("ZipfSampler: theta must be in (0, 1)");
+  }
+  zetan_ = 0.0;
+  for (std::uint64_t i = 1; i <= n_; ++i) {
+    zetan_ += 1.0 / std::pow(static_cast<double>(i), theta_);
+  }
+  const double zeta2 = 1.0 + 1.0 / std::pow(2.0, theta_);
+  alpha_ = 1.0 / (1.0 - theta_);
+  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
+         (1.0 - zeta2 / zetan_);
+  half_pow_theta_ = 1.0 + std::pow(0.5, theta_);
+}
+
+std::uint64_t ZipfSampler::sample(Rng& rng) const {
+  const double u = rng.uniform();
+  const double uz = u * zetan_;
+  if (uz < 1.0) return 0;
+  if (uz < half_pow_theta_) return 1;
+  const auto rank = static_cast<std::uint64_t>(
+      static_cast<double>(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  return rank >= n_ ? n_ - 1 : rank;
+}
+
+LoadGenerator::LoadGenerator(const LoadGenConfig& config)
+    : config_(config), zipf_(config.num_users, config.zipf_theta) {
+  if (config_.num_producers == 0) {
+    throw std::invalid_argument("LoadGenerator: num_producers must be > 0");
+  }
+  if (config_.sessions_per_producer == 0) {
+    throw std::invalid_argument(
+        "LoadGenerator: sessions_per_producer must be > 0");
+  }
+  if (config_.session_length <= 0 || config_.mean_gap <= 0) {
+    throw std::invalid_argument(
+        "LoadGenerator: session_length and mean_gap must be > 0");
+  }
+  if (config_.frames_per_chunk == 0) {
+    throw std::invalid_argument("LoadGenerator: frames_per_chunk must be > 0");
+  }
+}
+
+std::vector<Event> LoadGenerator::lane_events(std::size_t lane) const {
+  if (lane >= config_.num_producers) {
+    throw std::out_of_range("LoadGenerator: lane out of range");
+  }
+  // Per-lane engine seeded from (seed, lane) only — independent of the
+  // other lanes and of wall time.
+  Rng rng(config_.seed ^ mix(0xA5A5ull + lane));
+  std::vector<Event> out;
+  out.reserve(config_.sessions_per_producer * 2);
+  std::int64_t t = config_.start_time +
+                   static_cast<std::int64_t>(rng.uniform_index(
+                       static_cast<std::uint64_t>(config_.mean_gap)));
+  std::uint64_t index = 0;  // per-lane event counter
+  const auto lanes = static_cast<std::uint64_t>(config_.num_producers);
+  for (std::uint64_t s = 0; s < config_.sessions_per_producer; ++s) {
+    const std::uint64_t rank = zipf_.sample(rng);
+    // Rank → user id through a mix so adjacent ranks don't collide into
+    // adjacent ids (exercises the KV sharding like real ids would).
+    const std::uint64_t user_id = mix(config_.seed ^ rank) % config_.num_users;
+    const std::uint64_t session_id =
+        (s * lanes + lane) + 1;  // globally unique, never 0
+    Event ctx;
+    ctx.kind = EventKind::kContext;
+    ctx.seq = index++ * lanes + lane;
+    ctx.session_id = session_id;
+    ctx.user_id = user_id;
+    ctx.t = t;
+    const std::uint64_t h = mix(config_.seed ^ mix(user_id) ^ session_id);
+    for (std::size_t f = 0; f < ctx.context.size(); ++f) {
+      ctx.context[f] = static_cast<std::uint32_t>(h >> (8 * f)) & 0xFFu;
+    }
+    out.push_back(ctx);
+    // Popularity-correlated access rule: low ranks (popular users) get an
+    // extra boost so the learned policy has signal to find.
+    const double boost =
+        rank < config_.num_users / 100 ? 1.5 : 1.0;
+    const double p = std::min(1.0, config_.access_fraction * boost);
+    const bool access =
+        static_cast<double>(h >> 11) * 0x1.0p-53 < p;
+    if (access) {
+      Event acc;
+      acc.kind = EventKind::kAccess;
+      acc.seq = index++ * lanes + lane;
+      acc.session_id = session_id;
+      acc.t = t + config_.session_length / 2;
+      out.push_back(acc);
+    }
+    // Strictly monotone per-lane time: the next context starts after this
+    // session's access slot.
+    t += config_.session_length / 2 + 1 +
+         static_cast<std::int64_t>(rng.uniform_index(
+             static_cast<std::uint64_t>(2 * config_.mean_gap)));
+  }
+  return out;
+}
+
+std::vector<Event> LoadGenerator::generate_all() const {
+  std::vector<Event> all;
+  for (std::size_t lane = 0; lane < config_.num_producers; ++lane) {
+    std::vector<Event> lv = lane_events(lane);
+    all.insert(all.end(), lv.begin(), lv.end());
+  }
+  std::sort(all.begin(), all.end(), [](const Event& a, const Event& b) {
+    return a.t != b.t ? a.t < b.t : a.seq < b.seq;
+  });
+  return all;
+}
+
+LoadGenStats LoadGenerator::run(EventBus* bus) const {
+  if (bus->num_lanes() < config_.num_producers) {
+    throw std::invalid_argument("LoadGenerator: bus has fewer lanes than "
+                                "producers");
+  }
+  struct ProducerResult {
+    std::uint64_t events = 0;
+    std::uint64_t contexts = 0;
+    std::uint64_t accesses = 0;
+    std::uint64_t published = 0;
+    std::uint64_t dropped = 0;
+  };
+  std::vector<ProducerResult> results(config_.num_producers);
+  const double per_producer_rate =
+      config_.target_events_per_sec > 0.0
+          ? config_.target_events_per_sec /
+                static_cast<double>(config_.num_producers)
+          : 0.0;
+
+  Stopwatch wall;
+  std::vector<Thread> threads;
+  threads.reserve(config_.num_producers);
+  for (std::size_t lane = 0; lane < config_.num_producers; ++lane) {
+    threads.emplace_back([this, bus, lane, per_producer_rate, &results] {
+      ProducerResult& r = results[lane];
+      const std::vector<Event> events = lane_events(lane);
+      // Throttle state: after n events, target elapsed is n / rate.
+      Stopwatch pace;
+      Mutex sleep_mu;
+      CondVar sleep_cv;  // never signaled — wait_for is the sleep
+      std::vector<std::uint8_t> chunk;
+      std::size_t in_chunk = 0;
+      auto flush = [&] {
+        if (chunk.empty()) return;
+        if (bus->publish(lane, std::move(chunk))) {
+          ++r.published;
+        } else {
+          ++r.dropped;
+        }
+        chunk = {};
+        in_chunk = 0;
+      };
+      for (const Event& ev : events) {
+        encode_event(ev, &chunk);
+        ++r.events;
+        if (ev.kind == EventKind::kContext) {
+          ++r.contexts;
+        } else {
+          ++r.accesses;
+        }
+        if (++in_chunk >= config_.frames_per_chunk) flush();
+        if (per_producer_rate > 0.0) {
+          const double target_ns =
+              static_cast<double>(r.events) / per_producer_rate * 1e9;
+          const auto ahead_ns =
+              static_cast<std::int64_t>(target_ns) - pace.elapsed_ns();
+          if (ahead_ns > 1000) {
+            MutexLock lock(sleep_mu);
+            sleep_cv.wait_for(sleep_mu, std::chrono::nanoseconds(ahead_ns));
+          }
+        }
+      }
+      flush();
+      bus->close(lane);
+    });
+  }
+  for (Thread& t : threads) t.join();
+
+  LoadGenStats stats;
+  stats.elapsed_ns = wall.elapsed_ns();
+  for (const ProducerResult& r : results) {
+    stats.events += r.events;
+    stats.contexts += r.contexts;
+    stats.accesses += r.accesses;
+    stats.chunks_published += r.published;
+    stats.chunks_dropped += r.dropped;
+  }
+  stats.achieved_events_per_sec =
+      stats.elapsed_ns > 0
+          ? static_cast<double>(stats.events) /
+                (static_cast<double>(stats.elapsed_ns) * 1e-9)
+          : 0.0;
+  return stats;
+}
+
+}  // namespace pp::ingest

@@ -1,0 +1,109 @@
+// Seeded synthetic load generator for the ingest bus: P producer threads,
+// one bus lane each, driving a Zipf-distributed user population (the
+// paper's heavy-tail access pattern) at a controlled aggregate event rate.
+//
+// Determinism: every event is a pure function of (seed, lane, index) — the
+// same config always produces the same per-lane event sequences, and
+// generate_all() returns that exact event set in the canonical (t, seq)
+// order, which is the sequential-replay baseline the threaded-ingest
+// determinism tests compare against. Thread timing, throttling, and drops
+// change only *which* events survive the bus, never their content.
+//
+// Idiom grounded in the SNIPPETS.md §1 serialization-bench generator: a
+// seeded engine per producer, timestamps advanced monotonically per lane.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "ingest/event_bus.hpp"
+#include "ingest/wire.hpp"
+#include "util/rng.hpp"
+
+namespace pp::ingest {
+
+/// O(1) Zipf(theta) sampler over [0, n) after an O(n) zeta precompute
+/// (YCSB ZipfianGenerator shape; theta in (0, 1), rank 0 most popular).
+class ZipfSampler {
+ public:
+  ZipfSampler(std::uint64_t n, double theta);
+
+  std::uint64_t sample(Rng& rng) const;
+
+  std::uint64_t n() const { return n_; }
+
+ private:
+  std::uint64_t n_;
+  double theta_;
+  double zetan_;
+  double alpha_;
+  double eta_;
+  double half_pow_theta_;
+};
+
+struct LoadGenConfig {
+  /// Size of the synthetic user universe (ranks Zipf-distributed).
+  std::uint64_t num_users = 1 << 20;
+  /// Producer threads; producer p owns bus lane p (the bus must have at
+  /// least this many lanes).
+  std::size_t num_producers = 4;
+  std::uint64_t sessions_per_producer = 10000;
+  /// Zipf skew, in (0, 1). ~0.99 is the YCSB-style heavy tail.
+  double zipf_theta = 0.99;
+  std::int64_t start_time = 0;
+  /// Session window the downstream joiner uses; the access event (when the
+  /// session has one) lands at t + session_length / 2.
+  std::int64_t session_length = 600;
+  /// Mean event-time gap between consecutive sessions on one lane, added
+  /// on top of the session length so per-lane time is strictly monotone.
+  std::int64_t mean_gap = 60;
+  /// Fraction of sessions with an access event, decided per-session by a
+  /// seeded hash (popular users access more: the threshold is scaled up
+  /// for low ranks so decisions correlate with popularity).
+  double access_fraction = 0.35;
+  std::uint64_t seed = 0x5EEDF00Dull;
+  /// Aggregate publish rate across all producers in events/s of wall
+  /// time; 0 means unthrottled.
+  double target_events_per_sec = 0.0;
+  /// Frames batched into one bus chunk.
+  std::size_t frames_per_chunk = 32;
+};
+
+struct LoadGenStats {
+  std::uint64_t events = 0;           // generated (contexts + accesses)
+  std::uint64_t contexts = 0;
+  std::uint64_t accesses = 0;
+  std::uint64_t chunks_published = 0;
+  std::uint64_t chunks_dropped = 0;   // publish() returned false
+  std::int64_t elapsed_ns = 0;        // wall time of run()
+  double achieved_events_per_sec = 0.0;
+};
+
+class LoadGenerator {
+ public:
+  explicit LoadGenerator(const LoadGenConfig& config);
+
+  const LoadGenConfig& config() const { return config_; }
+
+  /// The full deterministic event sequence of lane `lane`, in publish
+  /// order (non-decreasing t; seq = index * num_producers + lane, so seq
+  /// is globally unique and per-lane increasing).
+  std::vector<Event> lane_events(std::size_t lane) const;
+
+  /// Every lane's events merged into the canonical (t, seq) order — the
+  /// sequential-replay baseline.
+  std::vector<Event> generate_all() const;
+
+  /// Spawns the producer threads, publishes every lane's events (throttled
+  /// to target_events_per_sec if set), closes the lanes, joins, and
+  /// returns aggregate stats. The bus outlives the call; the consumer runs
+  /// concurrently.
+  LoadGenStats run(EventBus* bus) const;
+
+ private:
+  LoadGenConfig config_;
+  ZipfSampler zipf_;
+};
+
+}  // namespace pp::ingest

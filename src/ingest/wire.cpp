@@ -1,0 +1,136 @@
+#include "ingest/wire.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+#include "storage/crc32c.hpp"
+
+namespace pp::ingest {
+namespace {
+
+constexpr std::size_t kContextPayload =
+    8 + 8 + 8 + 8 + 4 * data::kMaxContextFields;      // seq,session,user,t,ctx
+constexpr std::size_t kAccessPayload = 8 + 8 + 8;     // seq,session,t
+
+std::size_t payload_size(EventKind kind) {
+  return kind == EventKind::kContext ? kContextPayload : kAccessPayload;
+}
+
+template <typename T>
+void store_le(std::vector<std::uint8_t>* out, T v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const auto* p = reinterpret_cast<const std::uint8_t*>(&v);
+  out->insert(out->end(), p, p + sizeof(T));
+}
+
+template <typename T>
+T load_le(const std::uint8_t* p) {
+  T v;
+  std::memcpy(&v, p, sizeof(T));
+  return v;
+}
+
+}  // namespace
+
+std::size_t frame_size(EventKind kind) {
+  return kWireHeaderBytes + payload_size(kind) + kWireTrailerBytes;
+}
+
+std::size_t encode_event(const Event& event, std::vector<std::uint8_t>* out) {
+  if (event.kind != EventKind::kContext && event.kind != EventKind::kAccess) {
+    throw std::invalid_argument("encode_event: unknown event kind");
+  }
+  const std::size_t payload = payload_size(event.kind);
+  const std::size_t begin = out->size();
+  out->reserve(begin + kWireHeaderBytes + payload + kWireTrailerBytes);
+  out->push_back(kWireMagic);
+  out->push_back(static_cast<std::uint8_t>(event.kind));
+  store_le(out, static_cast<std::uint16_t>(payload));
+  store_le(out, event.seq);
+  store_le(out, event.session_id);
+  if (event.kind == EventKind::kContext) {
+    store_le(out, event.user_id);
+    store_le(out, event.t);
+    for (std::uint32_t c : event.context) store_le(out, c);
+  } else {
+    store_le(out, event.t);
+  }
+  // CRC covers everything after the magic byte: kind + len + payload.
+  const std::uint32_t crc = storage::crc32c(out->data() + begin + 1,
+                                            out->size() - begin - 1);
+  store_le(out, crc);
+  return out->size() - begin;
+}
+
+void WireDecoder::feed(const std::uint8_t* data, std::size_t n) {
+  buf_.insert(buf_.end(), data, data + n);
+}
+
+void WireDecoder::skip_garbage(std::size_t n) {
+  pos_ += n;
+  stats_.resync_bytes += n;
+}
+
+void WireDecoder::compact() {
+  // Reclaim the consumed prefix once it dominates the buffer, so a
+  // long-lived decoder's memory tracks the partial tail, not history.
+  if (pos_ > 4096 && pos_ * 2 >= buf_.size()) {
+    buf_.erase(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(pos_));
+    pos_ = 0;
+  }
+}
+
+WireDecoder::Status WireDecoder::next(Event* out) {
+  for (;;) {
+    compact();
+    const std::size_t avail = buf_.size() - pos_;
+    if (avail == 0) return Status::kNeedMore;
+    const std::uint8_t* p = buf_.data() + pos_;
+    if (p[0] != kWireMagic) {
+      // Hunt forward for the next magic candidate; everything before it is
+      // resync garbage.
+      std::size_t skip = 1;
+      while (skip < avail && p[skip] != kWireMagic) ++skip;
+      skip_garbage(skip);
+      continue;
+    }
+    if (avail < kWireHeaderBytes) return Status::kNeedMore;
+    const auto kind = static_cast<EventKind>(p[1]);
+    const std::uint16_t len = load_le<std::uint16_t>(p + 2);
+    if ((kind != EventKind::kContext && kind != EventKind::kAccess) ||
+        len != payload_size(kind)) {
+      ++stats_.header_rejects;
+      skip_garbage(1);  // the magic byte was a false start
+      continue;
+    }
+    const std::size_t total = kWireHeaderBytes + len + kWireTrailerBytes;
+    if (avail < total) return Status::kNeedMore;
+    const std::uint32_t want = load_le<std::uint32_t>(p + total - 4);
+    const std::uint32_t got = storage::crc32c(p + 1, total - 5);
+    if (want != got) {
+      ++stats_.crc_rejects;
+      skip_garbage(1);
+      continue;
+    }
+    const std::uint8_t* q = p + kWireHeaderBytes;
+    out->kind = kind;
+    out->seq = load_le<std::uint64_t>(q);
+    out->session_id = load_le<std::uint64_t>(q + 8);
+    if (kind == EventKind::kContext) {
+      out->user_id = load_le<std::uint64_t>(q + 16);
+      out->t = load_le<std::int64_t>(q + 24);
+      for (std::size_t i = 0; i < data::kMaxContextFields; ++i) {
+        out->context[i] = load_le<std::uint32_t>(q + 32 + 4 * i);
+      }
+    } else {
+      out->user_id = 0;
+      out->t = load_le<std::int64_t>(q + 16);
+      out->context.fill(0);
+    }
+    pos_ += total;
+    ++stats_.frames_decoded;
+    return Status::kOk;
+  }
+}
+
+}  // namespace pp::ingest

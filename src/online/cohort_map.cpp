@@ -2,6 +2,10 @@
 
 #include <stdexcept>
 
+// Completes ServingStack so the map members (and register_tenant, defined
+// in tenant.cpp) instantiate cleanly here.
+#include "online/tenant.hpp"
+
 namespace pp::online {
 
 namespace {
@@ -27,6 +31,8 @@ CohortRegistryMap::Cohort::Cohort(std::string id,
                              initial->quantized_serving()),
       learner_(registry_, dataset_meta, with_cohort_label(config.learner, id_)),
       daemon_(learner_, config.daemon) {}
+
+CohortRegistryMap::CohortRegistryMap() = default;
 
 CohortRegistryMap::~CohortRegistryMap() { stop_daemons(); }
 

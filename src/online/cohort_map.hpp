@@ -34,6 +34,9 @@
 
 namespace pp::online {
 
+struct TenantSpec;   // tenant.hpp
+class ServingStack;  // tenant.hpp
+
 /// Per-cohort wiring: the learner config (which embeds the replay-buffer
 /// config, e.g. reservoir admission for a heavy-tailed cohort) plus the
 /// registry replica policy and the update daemon's schedule.
@@ -76,7 +79,9 @@ class CohortRegistryMap {
     OnlineUpdateDaemon daemon_;
   };
 
-  CohortRegistryMap() = default;
+  /// Out-of-line (like the destructor) so TUs that only see the forward
+  /// declaration of ServingStack never instantiate stacks_'s teardown.
+  CohortRegistryMap();
   CohortRegistryMap(const CohortRegistryMap&) = delete;
   CohortRegistryMap& operator=(const CohortRegistryMap&) = delete;
   /// Stops every cohort's daemon (joining their threads) before teardown.
@@ -89,6 +94,20 @@ class CohortRegistryMap {
   Cohort& create(std::string id, std::shared_ptr<models::RnnModel> initial,
                  const data::Dataset& dataset_meta,
                  const CohortConfig& config);
+
+  /// One-call tenant onboarding (tenant.hpp): validates the whole spec
+  /// (duplicate/empty id, KV geometry, int8 precision vs codec/replicas),
+  /// creates the cohort, and wires a complete serving stack — KV store +
+  /// hidden-state store + registry-backed policy + PrecomputeService with
+  /// the completion listener feeding the cohort's learner (journal-first
+  /// when spec.replay_journal_dir is set). Throws std::invalid_argument
+  /// before any cohort state is created on a bad spec. The returned handle
+  /// is address-stable for the map's lifetime.
+  ServingStack& register_tenant(const TenantSpec& spec);
+
+  /// nullptr when no stack was registered under the id (find() may still
+  /// return a bare cohort created via create()).
+  ServingStack* find_stack(std::string_view id);
 
   /// nullptr when the cohort id is unknown. The returned pointer stays
   /// valid for the map's lifetime.
@@ -115,6 +134,12 @@ class CohortRegistryMap {
   /// Ordered map: deterministic ids() iteration; unique_ptr keeps Cohort
   /// addresses stable across inserts.
   std::map<std::string, std::unique_ptr<Cohort>, std::less<>> cohorts_
+      PP_GUARDED_BY(mutex_);
+  /// Serving stacks from register_tenant(). Declared after cohorts_ so
+  /// they destroy FIRST: a stack's policy/service reference its cohort's
+  /// registry/learner, which must still be alive (daemons are stopped
+  /// before either, in the destructor body).
+  std::map<std::string, std::unique_ptr<ServingStack>, std::less<>> stacks_
       PP_GUARDED_BY(mutex_);
 };
 

@@ -6,9 +6,9 @@
 
 #include "obs/export.hpp"
 #include "obs/stats_bridge.hpp"
+#include "online/tenant.hpp"
 #include "storage/durable_kv_store.hpp"
 #include "storage/durable_io.hpp"
-#include "storage/replay_journal.hpp"
 
 namespace pp::serving {
 
@@ -50,13 +50,26 @@ OnlineExperimentResult run_online_experiment(
   std::sort(stream.begin(), stream.end(),
             [](const Item& a, const Item& b) { return a.t < b.t; });
 
-  LocalKvStore rnn_kv;
-  HiddenStateStore hidden_store(rnn_kv, config.rnn_codec);
-  RnnPolicy rnn_policy(rnn_model, hidden_store);
-  PrecomputeService rnn_service(rnn_policy, config.rnn_threshold,
-                                cohort.session_length, config.grace,
-                                cohort.start_time);
+  // Both RNN arms are tenants of one registry map: a TenantSpec names the
+  // whole per-cohort stack and register_tenant() wires it. The frozen arm
+  // serves version 1 (an exact weight clone) and captures nothing; the
+  // online arm relearns from its own joiner feed.
+  online::CohortRegistryMap tenants;
 
+  online::TenantSpec frozen_spec;
+  frozen_spec.id = "rnn";
+  frozen_spec.model = std::shared_ptr<models::RnnModel>(rnn_model.clone());
+  frozen_spec.dataset_meta = &cohort;
+  frozen_spec.backend = storage::KvBackendSpec::local();
+  frozen_spec.codec = config.rnn_codec;
+  frozen_spec.threshold = config.rnn_threshold;
+  frozen_spec.grace = config.grace;
+  frozen_spec.capture = false;
+  online::ServingStack& rnn_stack = tenants.register_tenant(frozen_spec);
+  PrecomputeService& rnn_service = rnn_stack.service();
+
+  // The GBDT baseline is not an RNN tenant (different policy type, no
+  // registry/learner) — it stays on its own aggregation wiring.
   LocalKvStore gbdt_kv;
   AggregationService aggregation(gbdt_pipeline, gbdt_kv);
   GbdtPolicy gbdt_policy(gbdt_model, gbdt_pipeline, aggregation);
@@ -69,16 +82,7 @@ OnlineExperimentResult run_online_experiment(
   // ever sees what production would see — joined (context, access) records
   // delayed by window + grace — and every publish passes the prequential
   // gate inside run_update_round.
-  std::unique_ptr<KvStore> online_kv;
-  std::unique_ptr<HiddenStateStore> online_store;
-  std::unique_ptr<online::ModelRegistry> registry;
-  std::unique_ptr<online::OnlineLearner> learner;
-  std::unique_ptr<storage::ReplayJournal> journal;
-  std::unique_ptr<online::OnlineUpdateDaemon> daemon;
-  std::unique_ptr<RnnPolicy> online_policy;
-  std::unique_ptr<PrecomputeService> online_service;
-  bool resumed_from_checkpoint = false;
-  std::size_t replayed_journal_sessions = 0;
+  online::ServingStack* online_stack = nullptr;
   std::int64_t next_update = 0;
   if (config.online_rnn_arm) {
     if (config.online_update_period <= 0) {
@@ -86,100 +90,61 @@ OnlineExperimentResult run_online_experiment(
           "run_online_experiment: online_update_period must be positive "
           "(the update schedule advances by it)");
     }
-    if (config.durable_state_dir.empty()) {
-      online_kv = std::make_unique<LocalKvStore>();
-    } else {
-      // Durable tier: hidden states land in the crash-safe segment-log
-      // store instead of the in-memory map. The stored bytes are the same
-      // codec payloads either way, so the arm's behaviour is identical —
-      // until the process is killed, at which point only this variant can
-      // reopen and continue.
-      storage::ensure_dir(config.durable_state_dir);
-      storage::DurableKvConfig kv_config;
-      kv_config.dir = config.durable_state_dir + "/kv";
-      online_kv = std::make_unique<storage::DurableKvStore>(kv_config);
-    }
-    online_store =
-        std::make_unique<HiddenStateStore>(*online_kv, config.rnn_codec);
+    online::TenantSpec online_spec;
+    online_spec.id = "rnn_online";
+    online_spec.model = std::shared_ptr<models::RnnModel>(rnn_model.clone());
+    online_spec.dataset_meta = &cohort;
+    online_spec.codec = config.rnn_codec;
+    online_spec.threshold = config.rnn_threshold;
+    online_spec.grace = config.grace;
+    online_spec.cohort.learner = config.learner;
     // clone() never carries int8 replicas, so the replica policy must be
-    // explicit: an int8 gate (or an int8-serving source model) needs
-    // every published version rebuilt before the swap.
-    registry = std::make_unique<online::ModelRegistry>(
-        std::shared_ptr<models::RnnModel>(rnn_model.clone()),
-        config.learner.gate_int8 || rnn_model.quantized_serving());
-    learner = std::make_unique<online::OnlineLearner>(*registry, cohort,
-                                                      config.learner);
-    if (!config.learner_checkpoint.empty()) {
-      // Resume the incremental-training state (shadow weights + Adam
-      // moments + step count) exactly where a killed process left it.
-      resumed_from_checkpoint =
-          learner->load_checkpoint(config.learner_checkpoint);
-    }
+    // explicit: an int8 gate (or an int8-serving source model) needs every
+    // published version rebuilt before the swap (the Cohort ctor also ORs
+    // these in; stated here for the spec reader).
+    online_spec.cohort.quantize_replicas =
+        config.learner.gate_int8 || rnn_model.quantized_serving();
+    online_spec.learner_checkpoint = config.learner_checkpoint;
     if (!config.durable_state_dir.empty()) {
-      // Rebuild the replay buffer by re-feeding the journaled stream
-      // through observe(): add() is deterministic in (config, stream), so
-      // the buffer — retained sessions, eviction counters, reservoir RNG
-      // cursor — comes back bit-identical to the pre-kill state.
-      storage::ReplayJournalConfig journal_config;
-      journal_config.dir = config.durable_state_dir + "/replay";
-      online::OnlineLearner* feed = learner.get();
-      journal = std::make_unique<storage::ReplayJournal>(
-          journal_config,
-          [feed](std::uint64_t user_id, std::int64_t session_start,
-                 const std::array<std::uint32_t, data::kMaxContextFields>&
-                     context,
-                 bool access) {
-            JoinedSession joined;
-            joined.user_id = user_id;
-            joined.session_start = session_start;
-            joined.context = context;
-            joined.access = access;
-            feed->observe(joined);
-          });
-      replayed_journal_sessions = journal->stats().replayed;
+      // Durable tier: hidden states land in the crash-safe segment-log
+      // store, and capture goes journal-first so a kill between journal
+      // append and observe re-observes the session on reopen.
+      storage::ensure_dir(config.durable_state_dir);
+      online_spec.backend =
+          storage::KvBackendSpec::durable_dir(config.durable_state_dir +
+                                              "/kv");
+      online_spec.replay_journal_dir = config.durable_state_dir + "/replay";
     }
     if (config.use_update_daemon) {
-      online::OnlineUpdateDaemonConfig daemon_config;
-      // Replays are event-time deterministic: the auto triggers are
-      // parked (no new-session threshold can fire) and every round is an
-      // explicit drive_round() at the event-time schedule below — still
-      // executed on the daemon thread, never on this replay thread.
-      daemon_config.min_new_sessions = std::numeric_limits<std::size_t>::max();
-      daemon_config.min_round_interval = std::chrono::milliseconds(0);
+      // Replays are event-time deterministic: the auto triggers are parked
+      // (no new-session threshold can fire) and every round is an explicit
+      // drive_round() at the event-time schedule below — still executed on
+      // the daemon thread, never on this replay thread.
+      online_spec.cohort.daemon.min_new_sessions =
+          std::numeric_limits<std::size_t>::max();
+      online_spec.cohort.daemon.min_round_interval =
+          std::chrono::milliseconds(0);
       if (!config.learner_checkpoint.empty()) {
-        daemon_config.checkpoint_every_rounds = 1;
-        daemon_config.checkpoint_path = config.learner_checkpoint;
+        online_spec.cohort.daemon.checkpoint_every_rounds = 1;
+        online_spec.cohort.daemon.checkpoint_path = config.learner_checkpoint;
       }
-      daemon = std::make_unique<online::OnlineUpdateDaemon>(*learner,
-                                                            daemon_config);
-      daemon->start();
+      online_spec.start_daemon = true;
     }
-    online_policy = std::make_unique<RnnPolicy>(*registry, *online_store);
-    online_service = std::make_unique<PrecomputeService>(
-        *online_policy, config.rnn_threshold, cohort.session_length,
-        config.grace, cohort.start_time);
-    online::OnlineLearner* feed = learner.get();
-    storage::ReplayJournal* journal_ptr = journal.get();
-    online_service->set_completion_listener(
-        [feed, journal_ptr](const JoinedSession& joined) {
-          if (journal_ptr != nullptr) {
-            // Journal first: a kill between the two re-observes the
-            // session on reopen instead of losing it.
-            journal_ptr->append(joined.user_id, joined.session_start,
-                                joined.context, joined.access);
-          }
-          feed->observe(joined);
-        });
+    online_stack = &tenants.register_tenant(online_spec);
     if (!stream.empty()) {
       next_update = stream.front().t + config.online_update_period;
     }
   }
+  PrecomputeService* online_service =
+      online_stack != nullptr ? &online_stack->service() : nullptr;
+  online::OnlineLearner* learner =
+      online_stack != nullptr ? &online_stack->cohort().learner() : nullptr;
 
   std::uint64_t next_session_id = 1;
   for (const Item& item : stream) {
     if (online_service != nullptr && item.t >= next_update) {
-      if (daemon != nullptr) {
-        daemon->drive_round();
+      if (online_stack->daemon_running()) {
+        online_stack->cohort().daemon().drive_round();
       } else {
         const online::OnlineUpdateReport report =
             learner->run_update_round();
@@ -214,25 +179,23 @@ OnlineExperimentResult run_online_experiment(
   result.sessions = stream.size();
   result.rnn = collect(rnn_service);
   result.gbdt = collect(gbdt_service);
-  if (online_service != nullptr) {
-    if (daemon != nullptr) {
-      daemon->stop();  // join the update thread before reading ledgers
-      result.daemon = daemon->stats();
+  if (online_stack != nullptr) {
+    if (online_stack->daemon_running()) {
+      online_stack->stop_daemon();  // join the update thread before ledgers
+      result.daemon = online_stack->cohort().daemon().stats();
     }
     if (!config.learner_checkpoint.empty()) {
       learner->save_checkpoint(config.learner_checkpoint);
     }
     result.rnn_online = collect(*online_service);
     result.learner = learner->stats();
-    result.registry = registry->stats();
-    result.resumed_from_checkpoint = resumed_from_checkpoint;
-    result.replayed_journal_sessions = replayed_journal_sessions;
-    result.online_versions = registry->current_version();
-    if (journal != nullptr) journal->flush();
-    if (auto* durable = dynamic_cast<storage::DurableKvStore*>(online_kv.get());
-        durable != nullptr) {
-      durable->flush();
-    }
+    result.registry = online_stack->cohort().registry().stats();
+    result.resumed_from_checkpoint = online_stack->resumed_from_checkpoint();
+    result.replayed_journal_sessions =
+        online_stack->replayed_journal_sessions();
+    result.online_versions =
+        online_stack->cohort().registry().current_version();
+    online_stack->flush_durable();
   }
 
   // End-of-run export: bridge every arm's *Stats into the registry under
@@ -241,16 +204,17 @@ OnlineExperimentResult run_online_experiment(
   // registry — this only adds the gauge view of the legacy counters.
   auto& obs_registry = obs::MetricsRegistry::global();
   const obs::BridgeLabels rnn_labels{{"arm", "rnn"}};
-  obs::bridge_kv_stats(obs_registry, rnn_kv.stats(), rnn_labels);
+  obs::bridge_kv_stats(obs_registry, rnn_stack.kv().stats(), rnn_labels);
   obs::bridge_joiner_stats(obs_registry, result.rnn.joiner, rnn_labels);
   obs::bridge_cost_summary(obs_registry, result.rnn.costs, rnn_labels);
   const obs::BridgeLabels gbdt_labels{{"arm", "gbdt"}};
   obs::bridge_kv_stats(obs_registry, gbdt_kv.stats(), gbdt_labels);
   obs::bridge_joiner_stats(obs_registry, result.gbdt.joiner, gbdt_labels);
   obs::bridge_cost_summary(obs_registry, result.gbdt.costs, gbdt_labels);
-  if (online_service != nullptr) {
+  if (online_stack != nullptr) {
     const obs::BridgeLabels online_labels{{"arm", "rnn_online"}};
-    obs::bridge_kv_stats(obs_registry, online_kv->stats(), online_labels);
+    obs::bridge_kv_stats(obs_registry, online_stack->kv().stats(),
+                         online_labels);
     obs::bridge_joiner_stats(obs_registry, result.rnn_online.joiner,
                              online_labels);
     obs::bridge_cost_summary(obs_registry, result.rnn_online.costs,
@@ -258,10 +222,11 @@ OnlineExperimentResult run_online_experiment(
     obs::bridge_learner_stats(obs_registry, result.learner, online_labels);
     obs::bridge_replay_buffer_stats(obs_registry, learner->buffer().stats(),
                                     online_labels);
-    if (daemon != nullptr) {
+    if (config.use_update_daemon) {
       obs::bridge_daemon_stats(obs_registry, result.daemon, online_labels);
     }
-    if (auto* durable = dynamic_cast<storage::DurableKvStore*>(online_kv.get());
+    if (auto* durable =
+            dynamic_cast<storage::DurableKvStore*>(&online_stack->kv());
         durable != nullptr) {
       obs::bridge_durable_kv_stats(obs_registry, durable->durable_stats(),
                                    online_labels);

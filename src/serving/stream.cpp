@@ -102,7 +102,17 @@ void SessionJoiner::remember_fired(std::uint64_t session_id,
   }
 }
 
-void SessionJoiner::advance_to(std::int64_t now) { fire(now); }
+void SessionJoiner::advance_to(std::int64_t now) {
+  if (now < clock_) {
+    // Out-of-order delivery (e.g. a lagging bus lane) must not rewind the
+    // event-time clock: count it and hold at the high-water mark. fire() is
+    // idempotent for times already reached, so clamping is a no-op replay.
+    ++stats_.clock_rewinds;
+    now = clock_;
+  }
+  clock_ = now;
+  fire(now);
+}
 
 void SessionJoiner::flush() {
   fire(std::numeric_limits<std::int64_t>::max());

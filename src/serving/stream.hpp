@@ -15,6 +15,7 @@
 
 #include <array>
 #include <cstdint>
+#include <limits>
 #include <deque>
 #include <functional>
 #include <map>
@@ -44,6 +45,7 @@ struct JoinerStats {
   std::size_t orphan_accesses = 0;  // access with no context by fire time
   std::size_t orphan_drops = 0;     // orphan slots expired without a context
   std::size_t late_accesses = 0;    // access after the timer fired
+  std::size_t clock_rewinds = 0;    // advance_to() calls with now < clock
 };
 
 class SessionJoiner {
@@ -65,8 +67,15 @@ class SessionJoiner {
   /// Access event within the session window.
   void on_access(std::uint64_t session_id, std::int64_t event_time);
 
-  /// Advances the event-time clock, firing every due timer in order.
+  /// Advances the event-time clock, firing every due timer in order. The
+  /// clock is monotone: a `now` below the furthest point already reached
+  /// (out-of-order bus delivery, a skewed producer) is counted in
+  /// stats().clock_rewinds and clamped — event time never rewinds, and no
+  /// timer can fire twice.
   void advance_to(std::int64_t now);
+
+  /// Furthest event time advance_to() has reached.
+  std::int64_t clock() const { return clock_; }
   /// Fires everything still buffered (end of replay).
   void flush();
 
@@ -99,6 +108,8 @@ class SessionJoiner {
 
   std::int64_t window_;
   std::int64_t grace_;
+  /// High-water mark of advance_to(); see clock().
+  std::int64_t clock_ = std::numeric_limits<std::int64_t>::min();
   Callback on_joined_;
   std::size_t fired_capacity_;
   std::unordered_map<std::uint64_t, Pending> pending_;
